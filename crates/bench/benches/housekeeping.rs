@@ -1,0 +1,55 @@
+//! Criterion bench for E4: wall-clock housekeeping cost, compaction versus
+//! snapshot. Each iteration rebuilds the workload (housekeeping consumes
+//! the long log it is measured against).
+
+use argus_core::HousekeepingMode;
+use argus_guardian::{RsKind, World};
+use argus_sim::{CostModel, DetRng};
+use argus_workload::{Synth, SynthConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn build(history: u64) -> (World, argus_objects::GuardianId) {
+    let mut world = World::new(CostModel::fast());
+    let mut synth = Synth::setup(
+        &mut world,
+        RsKind::Hybrid,
+        SynthConfig {
+            objects: 64,
+            writes_per_action: 4,
+            value_size: 48,
+            ..Default::default()
+        },
+    )
+    .expect("setup");
+    let g = synth.guardian();
+    let mut rng = DetRng::new(3);
+    synth.run(&mut world, &mut rng, history).expect("run");
+    (world, g)
+}
+
+fn bench_housekeeping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("housekeeping");
+    group.sample_size(10);
+    for mode in [HousekeepingMode::Compaction, HousekeepingMode::Snapshot] {
+        for history in [500u64, 2_000] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), history),
+                &history,
+                |b, &history| {
+                    b.iter_batched(
+                        || build(history),
+                        |(mut world, g)| {
+                            world.housekeep(g, mode).expect("housekeeping");
+                            world
+                        },
+                        BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_housekeeping);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerates every experiment table (E1–E8). See DESIGN.md for the
+//! experiment index and EXPERIMENTS.md for recorded results.
+//!
+//! ```sh
+//! cargo run --release -p argus-bench --bin experiments            # all
+//! cargo run --release -p argus-bench --bin experiments -- E2 E3  # subset
+//! ```
+
+use argus_bench::{
+    e10_abort_rate, e1_write_cost, e2_recovery_cost, e4_housekeeping_cost,
+    e5_checkpoint_bounds_recovery, e6_early_prepare, e7_map_scaling, e8_crash_matrix,
+    e9_device_sensitivity,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_uppercase()).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+
+    println!("# Experiments — Reliable Object Storage to Support Atomic Actions\n");
+
+    if want("E1") {
+        println!("{}", e1_write_cost(200));
+    }
+    if want("E2") || want("E3") {
+        let (e2, e3) = e2_recovery_cost(&[250, 1_000, 4_000, 16_000]);
+        if want("E2") {
+            println!("{e2}");
+        }
+        if want("E3") {
+            println!("{e3}");
+        }
+    }
+    if want("E4") {
+        println!("{}", e4_housekeeping_cost());
+    }
+    if want("E5") {
+        println!("{}", e5_checkpoint_bounds_recovery());
+    }
+    if want("E6") {
+        println!("{}", e6_early_prepare());
+    }
+    if want("E7") {
+        println!("{}", e7_map_scaling());
+    }
+    if want("E8") {
+        println!("{}", e8_crash_matrix());
+    }
+    if want("E9") {
+        println!("{}", e9_device_sensitivity());
+    }
+    if want("E10") {
+        println!("{}", e10_abort_rate());
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal markdown-table rendering for the experiment harness.
+
+use std::fmt;
+
+/// One experiment's output table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id (E1..E8).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The thesis claim being checked.
+    pub claim: &'static str,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &'static str, title: &'static str, claim: &'static str) -> Self {
+        Self {
+            id,
+            title,
+            claim,
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn header(&mut self, header: Vec<String>) {
+        self.header = header;
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.header.len());
+        self.rows.push(row);
+    }
+
+    /// The data rows (for tests).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {} — {}", self.id, self.title)?;
+        writeln!(f, "_{}_", self.claim)?;
+        writeln!(f)?;
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {:<width$} |", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        write!(f, "|")?;
+        for width in &widths {
+            write!(f, "{:-<w$}|", "", w = width + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("E0", "demo", "a claim");
+        t.header(vec!["a".into(), "bb".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("### E0 — demo"));
+        assert!(s.contains("| a | bb |"));
+        assert!(s.contains("| 1 | 2  |"));
+    }
+}

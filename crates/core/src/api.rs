@@ -1,0 +1,300 @@
+//! The recovery-system interface (§2.3).
+
+use crate::{RecoveryOutcome, RsResult};
+use argus_objects::{ActionId, GuardianId, Heap, HeapId};
+use argus_sim::StatsSnapshot;
+use argus_stable::PageStore;
+
+/// Which housekeeping technique to run (ch. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HousekeepingMode {
+    /// Rebuild the stable state by reading the old log backwards (§5.1).
+    Compaction,
+    /// Rebuild the stable state by copying volatile memory (§5.2).
+    Snapshot,
+}
+
+/// Aggregate log/device statistics for experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogStats {
+    /// Forced entries on the active log.
+    pub entries: u64,
+    /// Bytes of forced log content.
+    pub bytes: u64,
+    /// Cumulative device counters of the active log's store.
+    pub device: StatsSnapshot,
+}
+
+/// The recovery system of one guardian: "the interface between the Argus
+/// system and stable storage" (§2.3).
+///
+/// The operations mirror the thesis's list one-for-one; `write_entry` is the
+/// early-prepare addition of §4.4, and housekeeping is split into
+/// `begin`/`finish` so tests and experiments can interleave guardian activity
+/// with an in-progress housekeeping pass, as the thesis's two-stage
+/// algorithms require. Operations are called sequentially (§2.3).
+pub trait RecoverySystem {
+    /// `prepare(aid, MOS)`: writes every accessible object in the MOS to the
+    /// log, then forces the `prepared` outcome entry (§3.3.3.3).
+    fn prepare(&mut self, aid: ActionId, mos: &[HeapId], heap: &Heap) -> RsResult<()>;
+
+    /// `write_entry(aid, MOS)`: early prepare (§4.4). Writes the accessible
+    /// objects to the log ahead of the prepare message and returns MOS′ —
+    /// the objects *not* written because they were inaccessible, which
+    /// becomes the caller's new MOS.
+    fn write_entry(&mut self, aid: ActionId, mos: &[HeapId], heap: &Heap) -> RsResult<Vec<HeapId>>;
+
+    /// `commit(aid)`: forces the `committed` participant outcome entry.
+    fn commit(&mut self, aid: ActionId) -> RsResult<()>;
+
+    /// `abort(aid)`: forces the `aborted` participant outcome entry.
+    fn abort(&mut self, aid: ActionId) -> RsResult<()>;
+
+    /// `committing(aid, gids)`: forces the coordinator's `committing` entry;
+    /// the action is committed once this returns (§2.2.1).
+    fn committing(&mut self, aid: ActionId, gids: &[GuardianId]) -> RsResult<()>;
+
+    /// `done(aid)`: forces the coordinator's `done` entry; two-phase commit
+    /// is complete.
+    fn done(&mut self, aid: ActionId) -> RsResult<()>;
+
+    /// `recovery`: rebuilds the guardian's stable state in `heap` from the
+    /// log and returns the OT/PT/CT tables (§3.4, §4.3).
+    fn recover(&mut self, heap: &mut Heap) -> RsResult<RecoveryOutcome>;
+
+    /// Starts housekeeping: sets the housekeeping marker and runs stage one
+    /// (ch. 5). Normal operations may continue before `finish_housekeeping`.
+    fn begin_housekeeping(&mut self, heap: &Heap, mode: HousekeepingMode) -> RsResult<()>;
+
+    /// Finishes housekeeping: copies post-marker activity to the new log and
+    /// atomically switches to it.
+    fn finish_housekeeping(&mut self) -> RsResult<()>;
+
+    /// Convenience: `begin_housekeeping` immediately followed by
+    /// `finish_housekeeping`.
+    fn housekeeping(&mut self, heap: &Heap, mode: HousekeepingMode) -> RsResult<()> {
+        self.begin_housekeeping(heap, mode)?;
+        self.finish_housekeeping()
+    }
+
+    /// Simulates the volatile half of a node crash *inside the recovery
+    /// system*: discards buffered log writes, internal tables (AS, PAT, MT),
+    /// and any in-progress housekeeping, then re-reads the log superblock
+    /// from the surviving media. The caller discards the heap and calls
+    /// [`RecoverySystem::recover`] next.
+    fn simulate_crash(&mut self) -> RsResult<()>;
+
+    /// Discards an action that aborted *locally*, before entering two-phase
+    /// commit: nothing is written to the log (the action "was aborted
+    /// locally" and is simply unknown afterwards, §2.2.2), but any
+    /// early-prepare bookkeeping for it is dropped so its orphaned data
+    /// entries are not carried across housekeeping forever.
+    fn discard(&mut self, aid: ActionId) {
+        let _ = aid;
+    }
+
+    /// Trims the accessibility set (§3.3.3.2): objects that became
+    /// unreachable from the stable variables accumulate in the AS over
+    /// time; this rebuilds it by traversing the stable state and
+    /// *intersecting* with the old set (newly-accessible objects discovered
+    /// mid-traversal must stay out, so a plain replacement would be wrong).
+    fn trim_access_set(&mut self, heap: &Heap);
+
+    /// Whether the participant has `aid` in its prepared-actions table.
+    fn is_prepared(&self, aid: ActionId) -> bool;
+
+    /// Current log and device statistics.
+    fn log_stats(&self) -> LogStats;
+}
+
+/// A source of fresh page stores, used by housekeeping to materialize the
+/// new log that will supplant the old one.
+pub trait StoreProvider {
+    /// The store type produced.
+    type Store: PageStore;
+
+    /// Creates a fresh, empty store.
+    fn new_store(&mut self) -> Self::Store;
+
+    /// Called after the most recently created store has atomically
+    /// supplanted the previous one (housekeeping's final step, ch. 5).
+    /// Providers whose stores have out-of-band names persist the active
+    /// generation here — e.g. [`providers::FileProvider`] rewrites its
+    /// stable [`argus_slog::LogRoot`].
+    fn store_switched(&mut self) {}
+}
+
+/// Providers for the common store types.
+pub mod providers {
+    use super::StoreProvider;
+    use argus_sim::{CostModel, SimClock};
+    use argus_stable::{FaultPlan, MemStore, MirroredDisk};
+
+    /// Produces in-memory stores sharing one clock/model/fault plan.
+    #[derive(Debug, Clone)]
+    pub struct MemProvider {
+        /// Shared simulated clock.
+        pub clock: SimClock,
+        /// Device cost profile.
+        pub model: CostModel,
+        /// Optional shared fault plan (node-crash injection).
+        pub plan: Option<FaultPlan>,
+    }
+
+    impl MemProvider {
+        /// A provider with a fresh clock, the fast cost profile, and no
+        /// fault injection — the default for unit tests.
+        pub fn fast() -> Self {
+            Self {
+                clock: SimClock::new(),
+                model: CostModel::fast(),
+                plan: None,
+            }
+        }
+
+        /// A provider with the realistic default cost profile.
+        pub fn realistic(clock: SimClock) -> Self {
+            Self {
+                clock,
+                model: CostModel::default(),
+                plan: None,
+            }
+        }
+
+        /// Attaches a fault plan to all stores this provider creates.
+        pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+            self.plan = Some(plan);
+            self
+        }
+    }
+
+    impl StoreProvider for MemProvider {
+        type Store = MemStore;
+
+        fn new_store(&mut self) -> MemStore {
+            match &self.plan {
+                Some(plan) => {
+                    MemStore::with_fault_plan(plan.clone(), self.clock.clone(), self.model.clone())
+                }
+                None => MemStore::new(self.clock.clone(), self.model.clone()),
+            }
+        }
+    }
+
+    /// Produces file-backed stores in a directory, one numbered file per
+    /// store — lets the hybrid log (and its housekeeping, which allocates a
+    /// fresh store per new log) run on a real filesystem. A stable
+    /// [`argus_slog::LogRoot`] in the same directory names the active
+    /// generation, so a new process can find the current log after any
+    /// number of housekeeping switches.
+    #[derive(Debug)]
+    pub struct FileProvider {
+        /// Directory the store files live in.
+        pub dir: std::path::PathBuf,
+        /// Shared simulated clock (still used for cost accounting).
+        pub clock: SimClock,
+        /// Device cost profile.
+        pub model: CostModel,
+        counter: u64,
+        root: argus_slog::LogRoot<argus_stable::FileStore>,
+    }
+
+    impl FileProvider {
+        /// Creates a provider over `dir` (created if absent). The root file
+        /// is created pointing at generation 0 if it does not exist yet.
+        pub fn new(dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+            let dir = dir.into();
+            std::fs::create_dir_all(&dir)?;
+            let clock = SimClock::new();
+            let model = CostModel::fast();
+            let root_path = dir.join("root.argus");
+            let existed = root_path.exists();
+            let store = argus_stable::FileStore::open(&root_path, clock.clone(), model.clone())
+                .map_err(std::io::Error::other)?;
+            let root = if existed {
+                argus_slog::LogRoot::open(store).map_err(std::io::Error::other)?
+            } else {
+                argus_slog::LogRoot::create(store, 0).map_err(std::io::Error::other)?
+            };
+            let mut provider = Self {
+                dir,
+                clock,
+                model,
+                counter: 0,
+                root,
+            };
+            // Resume the counter past any existing generations.
+            while provider.store_path(provider.counter).exists() {
+                provider.counter += 1;
+            }
+            Ok(provider)
+        }
+
+        /// The generation the stable root currently points at.
+        pub fn active_generation(&mut self) -> std::io::Result<u64> {
+            self.root.active().map_err(std::io::Error::other)
+        }
+
+        /// The path of the `n`-th store file.
+        pub fn store_path(&self, n: u64) -> std::path::PathBuf {
+            self.dir.join(format!("log-{n:04}.argus"))
+        }
+
+        /// Opens the existing store file `n` (for reopening after a real
+        /// process restart).
+        pub fn open_store(
+            &self,
+            n: u64,
+        ) -> Result<argus_stable::FileStore, argus_stable::StorageError> {
+            argus_stable::FileStore::open(
+                &self.store_path(n),
+                self.clock.clone(),
+                self.model.clone(),
+            )
+        }
+
+        /// Highest store number created so far.
+        pub fn stores_created(&self) -> u64 {
+            self.counter
+        }
+    }
+
+    impl StoreProvider for FileProvider {
+        type Store = argus_stable::FileStore;
+
+        fn new_store(&mut self) -> argus_stable::FileStore {
+            let path = self.store_path(self.counter);
+            self.counter += 1;
+            let _ = std::fs::remove_file(&path);
+            argus_stable::FileStore::open(&path, self.clock.clone(), self.model.clone())
+                .expect("create store file")
+        }
+
+        fn store_switched(&mut self) {
+            // "In one atomic step, the new log supplants the old log":
+            // the root file is that step on a real filesystem.
+            self.root
+                .switch(self.counter.saturating_sub(1))
+                .expect("switch log root");
+        }
+    }
+
+    /// Produces Lampson–Sturgis mirrored disks sharing one clock/model/plan.
+    #[derive(Debug, Clone)]
+    pub struct MirrorProvider {
+        /// Shared simulated clock.
+        pub clock: SimClock,
+        /// Device cost profile.
+        pub model: CostModel,
+        /// Shared fault plan.
+        pub plan: FaultPlan,
+    }
+
+    impl StoreProvider for MirrorProvider {
+        type Store = MirroredDisk;
+
+        fn new_store(&mut self) -> MirroredDisk {
+            MirroredDisk::new(self.plan.clone(), self.clock.clone(), self.model.clone())
+        }
+    }
+}

@@ -1,0 +1,621 @@
+//! Log entry formats (Figure 3-1 for the simple log, Figure 4-1 for the
+//! hybrid log) and their on-log encoding.
+
+use crate::{RsError, RsResult};
+use argus_objects::{ActionId, GuardianId, ObjKind, ObjRef, Uid, Value};
+use argus_slog::{CodecError, CodecResult, Decoder, Encoder, LogAddress};
+
+/// One log entry.
+///
+/// Data entries carry object versions; outcome entries record action states.
+/// The hybrid log adds to every outcome entry a `prev` pointer forming the
+/// backward chain of outcome entries, and moves the `(uid, log address)` map
+/// fragment into the `prepared` entry (§4.2). Simple-log entries simply leave
+/// `prev` as `None` and `pairs` empty, so one type serves both organizations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogEntry {
+    /// Simple-log data entry: `<uid, kind, version, aid>` (Figure 3-1).
+    Data {
+        /// The recoverable object's uid.
+        uid: Uid,
+        /// Atomic or mutex.
+        kind: ObjKind,
+        /// The flattened object version.
+        value: Value,
+        /// The preparing action that wrote the entry.
+        aid: ActionId,
+    },
+    /// Hybrid-log data entry: "data entries no longer need the action ids
+    /// and object uids since the prepared outcome entries contain that
+    /// information" (§4.2).
+    DataH {
+        /// Atomic or mutex.
+        kind: ObjKind,
+        /// The flattened object version.
+        value: Value,
+    },
+    /// Participant outcome: the action has prepared. In the hybrid log,
+    /// `pairs` is this action's fragment of the shadowing map.
+    Prepared {
+        /// The prepared action.
+        aid: ActionId,
+        /// `(uid, data-entry address)` for every object the action wrote.
+        pairs: Vec<(Uid, LogAddress)>,
+        /// Backward chain pointer (hybrid log only).
+        prev: Option<LogAddress>,
+    },
+    /// Participant outcome: the action committed.
+    Committed {
+        /// The committed action.
+        aid: ActionId,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Participant outcome: the action aborted.
+    Aborted {
+        /// The aborted action.
+        aid: ActionId,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Special participant outcome for a newly accessible object's base
+    /// version: "akin to writing not only the data entry, but also a
+    /// prepared outcome entry followed by a committed outcome entry" (§3.2).
+    /// The object is always atomic, so no kind field is needed.
+    BaseCommitted {
+        /// The newly accessible object.
+        uid: Uid,
+        /// Its flattened base version.
+        value: Value,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Special participant outcome for a newly accessible object's current
+    /// version written by *another*, already-prepared action (§3.3.3.2).
+    PreparedData {
+        /// The newly accessible object.
+        uid: Uid,
+        /// Its flattened current version.
+        value: Value,
+        /// The already-prepared action that holds the write lock.
+        aid: ActionId,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Coordinator outcome: all participants prepared; the action is
+    /// committed from this entry on.
+    Committing {
+        /// The committing action.
+        aid: ActionId,
+        /// The guardians participating in the action.
+        gids: Vec<GuardianId>,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Coordinator outcome: every participant acknowledged the commit.
+    Done {
+        /// The finished action.
+        aid: ActionId,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Housekeeping checkpoint (ch. 5): the committed stable state list,
+    /// "like a combined prepare and commit for some special action whose
+    /// name does not matter".
+    CommittedSs {
+        /// `(uid, data-entry address)` for the whole committed stable state.
+        cssl: Vec<(Uid, LogAddress)>,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+}
+
+impl LogEntry {
+    /// Whether this entry participates in the backward chain of outcome
+    /// entries (everything except data entries, §4.2).
+    pub fn is_outcome(&self) -> bool {
+        !matches!(self, LogEntry::Data { .. } | LogEntry::DataH { .. })
+    }
+
+    /// The chain pointer, if this is an outcome entry.
+    pub fn prev(&self) -> Option<LogAddress> {
+        match self {
+            LogEntry::Prepared { prev, .. }
+            | LogEntry::Committed { prev, .. }
+            | LogEntry::Aborted { prev, .. }
+            | LogEntry::BaseCommitted { prev, .. }
+            | LogEntry::PreparedData { prev, .. }
+            | LogEntry::Committing { prev, .. }
+            | LogEntry::Done { prev, .. }
+            | LogEntry::CommittedSs { prev, .. } => *prev,
+            LogEntry::Data { .. } | LogEntry::DataH { .. } => None,
+        }
+    }
+
+    /// Rewrites the chain pointer on an outcome entry (used by housekeeping
+    /// when re-chaining entries into the new log). No-op on data entries.
+    pub fn set_prev(&mut self, new_prev: Option<LogAddress>) {
+        match self {
+            LogEntry::Prepared { prev, .. }
+            | LogEntry::Committed { prev, .. }
+            | LogEntry::Aborted { prev, .. }
+            | LogEntry::BaseCommitted { prev, .. }
+            | LogEntry::PreparedData { prev, .. }
+            | LogEntry::Committing { prev, .. }
+            | LogEntry::Done { prev, .. }
+            | LogEntry::CommittedSs { prev, .. } => *prev = new_prev,
+            LogEntry::Data { .. } | LogEntry::DataH { .. } => {}
+        }
+    }
+
+    /// A short tag for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LogEntry::Data { .. } => "data",
+            LogEntry::DataH { .. } => "data",
+            LogEntry::Prepared { .. } => "prepared",
+            LogEntry::Committed { .. } => "committed",
+            LogEntry::Aborted { .. } => "aborted",
+            LogEntry::BaseCommitted { .. } => "base_committed",
+            LogEntry::PreparedData { .. } => "prepared_data",
+            LogEntry::Committing { .. } => "committing",
+            LogEntry::Done { .. } => "done",
+            LogEntry::CommittedSs { .. } => "committed_ss",
+        }
+    }
+}
+
+// ---- encoding ------------------------------------------------------------
+
+const TAG_DATA: u8 = 1;
+const TAG_DATA_H: u8 = 2;
+const TAG_PREPARED: u8 = 3;
+const TAG_COMMITTED: u8 = 4;
+const TAG_ABORTED: u8 = 5;
+const TAG_BASE_COMMITTED: u8 = 6;
+const TAG_PREPARED_DATA: u8 = 7;
+const TAG_COMMITTING: u8 = 8;
+const TAG_DONE: u8 = 9;
+const TAG_COMMITTED_SS: u8 = 10;
+
+const VTAG_UNIT: u8 = 0;
+const VTAG_INT: u8 = 1;
+const VTAG_BOOL: u8 = 2;
+const VTAG_STR: u8 = 3;
+const VTAG_BYTES: u8 = 4;
+const VTAG_SEQ: u8 = 5;
+const VTAG_REF: u8 = 6;
+
+fn put_kind(enc: &mut Encoder, kind: ObjKind) {
+    enc.put_u8(match kind {
+        ObjKind::Atomic => 0,
+        ObjKind::Mutex => 1,
+    });
+}
+
+fn take_kind(dec: &mut Decoder<'_>) -> CodecResult<ObjKind> {
+    match dec.take_u8()? {
+        0 => Ok(ObjKind::Atomic),
+        1 => Ok(ObjKind::Mutex),
+        tag => Err(CodecError::BadTag {
+            tag,
+            context: "object kind",
+        }),
+    }
+}
+
+fn put_aid(enc: &mut Encoder, aid: ActionId) {
+    enc.put_u32(aid.coordinator.0);
+    enc.put_u64(aid.seq);
+}
+
+fn take_aid(dec: &mut Decoder<'_>) -> CodecResult<ActionId> {
+    let g = dec.take_u32()?;
+    let seq = dec.take_u64()?;
+    Ok(ActionId::new(GuardianId(g), seq))
+}
+
+fn put_prev(enc: &mut Encoder, prev: Option<LogAddress>) {
+    // Record offsets start after the superblock page, so 0 is free for None.
+    enc.put_u64(prev.map(|a| a.offset()).unwrap_or(0));
+}
+
+fn take_prev(dec: &mut Decoder<'_>) -> CodecResult<Option<LogAddress>> {
+    let raw = dec.take_u64()?;
+    Ok(if raw == 0 {
+        None
+    } else {
+        Some(LogAddress(raw))
+    })
+}
+
+fn put_pairs(enc: &mut Encoder, pairs: &[(Uid, LogAddress)]) {
+    enc.put_u32(pairs.len() as u32);
+    for (uid, addr) in pairs {
+        enc.put_u64(uid.0);
+        enc.put_u64(addr.offset());
+    }
+}
+
+fn take_pairs(dec: &mut Decoder<'_>) -> CodecResult<Vec<(Uid, LogAddress)>> {
+    let n = dec.take_u32()? as usize;
+    let mut pairs = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let uid = Uid(dec.take_u64()?);
+        let addr = LogAddress(dec.take_u64()?);
+        pairs.push((uid, addr));
+    }
+    Ok(pairs)
+}
+
+/// Encodes a flattened value. Volatile references are an error: only
+/// flattened values may reach the log.
+pub fn encode_value(enc: &mut Encoder, value: &Value) -> RsResult<()> {
+    match value {
+        Value::Unit => enc.put_u8(VTAG_UNIT),
+        Value::Int(i) => {
+            enc.put_u8(VTAG_INT);
+            enc.put_i64(*i);
+        }
+        Value::Bool(b) => {
+            enc.put_u8(VTAG_BOOL);
+            enc.put_bool(*b);
+        }
+        Value::Str(s) => {
+            enc.put_u8(VTAG_STR);
+            enc.put_str(s);
+        }
+        Value::Bytes(b) => {
+            enc.put_u8(VTAG_BYTES);
+            enc.put_bytes(b);
+        }
+        Value::Seq(items) => {
+            enc.put_u8(VTAG_SEQ);
+            enc.put_u32(items.len() as u32);
+            for item in items {
+                encode_value(enc, item)?;
+            }
+        }
+        Value::Ref(ObjRef::Uid(u)) => {
+            enc.put_u8(VTAG_REF);
+            enc.put_u64(u.0);
+        }
+        Value::Ref(ObjRef::Heap(_)) => {
+            return Err(RsError::Internal(
+                "volatile reference in a value bound for the log",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Decodes a flattened value.
+pub fn decode_value(dec: &mut Decoder<'_>) -> CodecResult<Value> {
+    Ok(match dec.take_u8()? {
+        VTAG_UNIT => Value::Unit,
+        VTAG_INT => Value::Int(dec.take_i64()?),
+        VTAG_BOOL => Value::Bool(dec.take_bool()?),
+        VTAG_STR => Value::Str(dec.take_str()?.to_owned()),
+        VTAG_BYTES => Value::Bytes(dec.take_bytes()?.to_vec()),
+        VTAG_SEQ => {
+            let n = dec.take_u32()? as usize;
+            let mut items = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                items.push(decode_value(dec)?);
+            }
+            Value::Seq(items)
+        }
+        VTAG_REF => Value::uid_ref(Uid(dec.take_u64()?)),
+        tag => {
+            return Err(CodecError::BadTag {
+                tag,
+                context: "value",
+            })
+        }
+    })
+}
+
+/// Encodes a log entry to bytes.
+pub fn encode_entry(entry: &LogEntry) -> RsResult<Vec<u8>> {
+    let mut enc = Encoder::with_capacity(64);
+    match entry {
+        LogEntry::Data {
+            uid,
+            kind,
+            value,
+            aid,
+        } => {
+            enc.put_u8(TAG_DATA);
+            enc.put_u64(uid.0);
+            put_kind(&mut enc, *kind);
+            put_aid(&mut enc, *aid);
+            encode_value(&mut enc, value)?;
+        }
+        LogEntry::DataH { kind, value } => {
+            enc.put_u8(TAG_DATA_H);
+            put_kind(&mut enc, *kind);
+            encode_value(&mut enc, value)?;
+        }
+        LogEntry::Prepared { aid, pairs, prev } => {
+            enc.put_u8(TAG_PREPARED);
+            put_aid(&mut enc, *aid);
+            put_prev(&mut enc, *prev);
+            put_pairs(&mut enc, pairs);
+        }
+        LogEntry::Committed { aid, prev } => {
+            enc.put_u8(TAG_COMMITTED);
+            put_aid(&mut enc, *aid);
+            put_prev(&mut enc, *prev);
+        }
+        LogEntry::Aborted { aid, prev } => {
+            enc.put_u8(TAG_ABORTED);
+            put_aid(&mut enc, *aid);
+            put_prev(&mut enc, *prev);
+        }
+        LogEntry::BaseCommitted { uid, value, prev } => {
+            enc.put_u8(TAG_BASE_COMMITTED);
+            enc.put_u64(uid.0);
+            put_prev(&mut enc, *prev);
+            encode_value(&mut enc, value)?;
+        }
+        LogEntry::PreparedData {
+            uid,
+            value,
+            aid,
+            prev,
+        } => {
+            enc.put_u8(TAG_PREPARED_DATA);
+            enc.put_u64(uid.0);
+            put_aid(&mut enc, *aid);
+            put_prev(&mut enc, *prev);
+            encode_value(&mut enc, value)?;
+        }
+        LogEntry::Committing { aid, gids, prev } => {
+            enc.put_u8(TAG_COMMITTING);
+            put_aid(&mut enc, *aid);
+            put_prev(&mut enc, *prev);
+            enc.put_u32(gids.len() as u32);
+            for g in gids {
+                enc.put_u32(g.0);
+            }
+        }
+        LogEntry::Done { aid, prev } => {
+            enc.put_u8(TAG_DONE);
+            put_aid(&mut enc, *aid);
+            put_prev(&mut enc, *prev);
+        }
+        LogEntry::CommittedSs { cssl, prev } => {
+            enc.put_u8(TAG_COMMITTED_SS);
+            put_prev(&mut enc, *prev);
+            put_pairs(&mut enc, cssl);
+        }
+    }
+    Ok(enc.finish())
+}
+
+/// Decodes a log entry from bytes.
+pub fn decode_entry(payload: &[u8]) -> RsResult<LogEntry> {
+    let mut dec = Decoder::new(payload);
+    let entry = match dec.take_u8()? {
+        TAG_DATA => {
+            let uid = Uid(dec.take_u64()?);
+            let kind = take_kind(&mut dec)?;
+            let aid = take_aid(&mut dec)?;
+            let value = decode_value(&mut dec)?;
+            LogEntry::Data {
+                uid,
+                kind,
+                value,
+                aid,
+            }
+        }
+        TAG_DATA_H => {
+            let kind = take_kind(&mut dec)?;
+            let value = decode_value(&mut dec)?;
+            LogEntry::DataH { kind, value }
+        }
+        TAG_PREPARED => {
+            let aid = take_aid(&mut dec)?;
+            let prev = take_prev(&mut dec)?;
+            let pairs = take_pairs(&mut dec)?;
+            LogEntry::Prepared { aid, pairs, prev }
+        }
+        TAG_COMMITTED => {
+            let aid = take_aid(&mut dec)?;
+            let prev = take_prev(&mut dec)?;
+            LogEntry::Committed { aid, prev }
+        }
+        TAG_ABORTED => {
+            let aid = take_aid(&mut dec)?;
+            let prev = take_prev(&mut dec)?;
+            LogEntry::Aborted { aid, prev }
+        }
+        TAG_BASE_COMMITTED => {
+            let uid = Uid(dec.take_u64()?);
+            let prev = take_prev(&mut dec)?;
+            let value = decode_value(&mut dec)?;
+            LogEntry::BaseCommitted { uid, value, prev }
+        }
+        TAG_PREPARED_DATA => {
+            let uid = Uid(dec.take_u64()?);
+            let aid = take_aid(&mut dec)?;
+            let prev = take_prev(&mut dec)?;
+            let value = decode_value(&mut dec)?;
+            LogEntry::PreparedData {
+                uid,
+                value,
+                aid,
+                prev,
+            }
+        }
+        TAG_COMMITTING => {
+            let aid = take_aid(&mut dec)?;
+            let prev = take_prev(&mut dec)?;
+            let n = dec.take_u32()? as usize;
+            let mut gids = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                gids.push(GuardianId(dec.take_u32()?));
+            }
+            LogEntry::Committing { aid, gids, prev }
+        }
+        TAG_DONE => {
+            let aid = take_aid(&mut dec)?;
+            let prev = take_prev(&mut dec)?;
+            LogEntry::Done { aid, prev }
+        }
+        TAG_COMMITTED_SS => {
+            let prev = take_prev(&mut dec)?;
+            let cssl = take_pairs(&mut dec)?;
+            LogEntry::CommittedSs { cssl, prev }
+        }
+        tag => {
+            return Err(CodecError::BadTag {
+                tag,
+                context: "log entry",
+            }
+            .into())
+        }
+    };
+    if !dec.is_empty() {
+        return Err(RsError::Codec(CodecError::BadTag {
+            tag: 0xFF,
+            context: "trailing bytes after log entry",
+        }));
+    }
+    Ok(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid(n: u64) -> ActionId {
+        ActionId::new(GuardianId(2), n)
+    }
+
+    fn roundtrip(entry: LogEntry) {
+        let bytes = encode_entry(&entry).unwrap();
+        assert_eq!(decode_entry(&bytes).unwrap(), entry);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let value = Value::Seq(vec![
+            Value::Int(-3),
+            Value::Str("s".into()),
+            Value::Bytes(vec![0, 255]),
+            Value::Bool(false),
+            Value::Unit,
+            Value::uid_ref(Uid(11)),
+        ]);
+        roundtrip(LogEntry::Data {
+            uid: Uid(5),
+            kind: ObjKind::Mutex,
+            value: value.clone(),
+            aid: aid(1),
+        });
+        roundtrip(LogEntry::DataH {
+            kind: ObjKind::Atomic,
+            value: value.clone(),
+        });
+        roundtrip(LogEntry::Prepared {
+            aid: aid(2),
+            pairs: vec![(Uid(1), LogAddress(512)), (Uid(2), LogAddress(600))],
+            prev: Some(LogAddress(700)),
+        });
+        roundtrip(LogEntry::Committed {
+            aid: aid(3),
+            prev: None,
+        });
+        roundtrip(LogEntry::Aborted {
+            aid: aid(4),
+            prev: Some(LogAddress(512)),
+        });
+        roundtrip(LogEntry::BaseCommitted {
+            uid: Uid(9),
+            value: value.clone(),
+            prev: None,
+        });
+        roundtrip(LogEntry::PreparedData {
+            uid: Uid(10),
+            value,
+            aid: aid(5),
+            prev: Some(LogAddress(99)),
+        });
+        roundtrip(LogEntry::Committing {
+            aid: aid(6),
+            gids: vec![GuardianId(1), GuardianId(2)],
+            prev: None,
+        });
+        roundtrip(LogEntry::Done {
+            aid: aid(7),
+            prev: Some(LogAddress(1)),
+        });
+        roundtrip(LogEntry::CommittedSs {
+            cssl: vec![(Uid(3), LogAddress(512))],
+            prev: Some(LogAddress(812)),
+        });
+    }
+
+    #[test]
+    fn volatile_refs_are_rejected() {
+        let entry = LogEntry::DataH {
+            kind: ObjKind::Atomic,
+            value: Value::heap_ref(argus_objects::HeapId(0)),
+        };
+        assert!(matches!(encode_entry(&entry), Err(RsError::Internal(_))));
+    }
+
+    #[test]
+    fn junk_tags_are_rejected() {
+        assert!(decode_entry(&[99]).is_err());
+        assert!(decode_entry(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_entry(&LogEntry::Done {
+            aid: aid(1),
+            prev: None,
+        })
+        .unwrap();
+        bytes.push(0);
+        assert!(decode_entry(&bytes).is_err());
+    }
+
+    #[test]
+    fn outcome_classification() {
+        assert!(!LogEntry::DataH {
+            kind: ObjKind::Atomic,
+            value: Value::Unit
+        }
+        .is_outcome());
+        assert!(LogEntry::Done {
+            aid: aid(1),
+            prev: None
+        }
+        .is_outcome());
+        assert!(LogEntry::BaseCommitted {
+            uid: Uid(1),
+            value: Value::Unit,
+            prev: None
+        }
+        .is_outcome());
+    }
+
+    #[test]
+    fn set_prev_rechains_outcome_entries() {
+        let mut e = LogEntry::Committed {
+            aid: aid(1),
+            prev: None,
+        };
+        e.set_prev(Some(LogAddress(42)));
+        assert_eq!(e.prev(), Some(LogAddress(42)));
+        let mut d = LogEntry::DataH {
+            kind: ObjKind::Atomic,
+            value: Value::Unit,
+        };
+        d.set_prev(Some(LogAddress(42)));
+        assert_eq!(d.prev(), None);
+    }
+}

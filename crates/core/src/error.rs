@@ -1,0 +1,99 @@
+//! Recovery-system errors.
+
+use argus_objects::HeapError;
+use argus_slog::{CodecError, LogError};
+use std::fmt;
+
+/// Errors surfaced by the recovery system.
+#[derive(Debug)]
+pub enum RsError {
+    /// Propagated log/storage error (including the simulated crash).
+    Log(LogError),
+    /// Propagated volatile-memory error.
+    Heap(HeapError),
+    /// A log entry failed to decode.
+    Codec(CodecError),
+    /// The operation is not supported by this organization (e.g.
+    /// housekeeping on the simple log, which ch. 5 defines only for the
+    /// hybrid log).
+    Unsupported(&'static str),
+    /// The recovery system was driven through an illegal state transition.
+    BadState(String),
+    /// An internal invariant was violated (a bug, surfaced as an error
+    /// rather than a panic).
+    Internal(&'static str),
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::Log(e) => write!(f, "log: {e}"),
+            RsError::Heap(e) => write!(f, "heap: {e}"),
+            RsError::Codec(e) => write!(f, "entry codec: {e}"),
+            RsError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            RsError::BadState(what) => write!(f, "bad state: {what}"),
+            RsError::Internal(what) => write!(f, "internal invariant violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RsError::Log(e) => Some(e),
+            RsError::Heap(e) => Some(e),
+            RsError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LogError> for RsError {
+    fn from(e: LogError) -> Self {
+        RsError::Log(e)
+    }
+}
+
+impl From<HeapError> for RsError {
+    fn from(e: HeapError) -> Self {
+        RsError::Heap(e)
+    }
+}
+
+impl From<CodecError> for RsError {
+    fn from(e: CodecError) -> Self {
+        RsError::Codec(e)
+    }
+}
+
+impl RsError {
+    /// Whether this error is the simulated node crash.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, RsError::Log(e) if e.is_crash())
+    }
+}
+
+/// Result alias for recovery-system operations.
+pub type RsResult<T> = Result<T, RsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_stable::StorageError;
+
+    #[test]
+    fn crash_detection_threads_through() {
+        let e: RsError = LogError::Storage(StorageError::Crashed).into();
+        assert!(e.is_crash());
+        assert!(!RsError::Unsupported("x").is_crash());
+    }
+
+    #[test]
+    fn displays_mention_the_layer() {
+        assert!(RsError::Unsupported("housekeeping")
+            .to_string()
+            .contains("unsupported"));
+        let e: RsError = HeapError::NoSuchUid(argus_objects::Uid(3)).into();
+        assert!(e.to_string().starts_with("heap:"));
+    }
+}

@@ -1,0 +1,442 @@
+//! Shared recovery machinery: applying log entries to volatile memory.
+//!
+//! Both recovery algorithms (§3.4.4 simple, §4.3.3 hybrid) funnel through
+//! [`RecoverCtx`]: the simple scan feeds it every record, the hybrid walk
+//! feeds it outcome entries and lazily-read data entries. The restore rules
+//! and the OT/PT/CT bookkeeping are identical between the two.
+
+use crate::tables::{
+    CState, CoordinatorTable, ObjState, ObjectTable, OtEntry, PState, ParticipantTable,
+};
+use crate::{RsError, RsResult};
+use argus_objects::{ActionId, AtomicObject, Heap, MutexObject, ObjKind, ObjectBody, Uid, Value};
+use argus_slog::LogAddress;
+
+/// Mutable recovery state threaded through one recovery pass.
+#[derive(Debug)]
+pub(crate) struct RecoverCtx<'h> {
+    pub heap: &'h mut Heap,
+    pub ot: ObjectTable,
+    pub pt: ParticipantTable,
+    pub ct: CoordinatorTable,
+    pub entries_examined: u64,
+    pub data_entries_read: u64,
+}
+
+impl<'h> RecoverCtx<'h> {
+    pub fn new(heap: &'h mut Heap) -> Self {
+        Self {
+            heap,
+            ot: ObjectTable::new(),
+            pt: ParticipantTable::new(),
+            ct: CoordinatorTable::new(),
+            entries_examined: 0,
+            data_entries_read: 0,
+        }
+    }
+
+    // ---- outcome-entry bookkeeping ---------------------------------------
+
+    /// `prepared` outcome entry: "If aid ∈ PT then ignore the entry [else]
+    /// insert <aid, prepared>" (§3.4.4 2.a). Returns the state in force.
+    pub fn on_prepared(&mut self, aid: ActionId) -> PState {
+        self.pt.enter(aid, PState::Prepared)
+    }
+
+    /// `committed` outcome entry (2.b).
+    pub fn on_committed(&mut self, aid: ActionId) {
+        self.pt.enter(aid, PState::Committed);
+    }
+
+    /// `aborted` outcome entry (2.c).
+    pub fn on_aborted(&mut self, aid: ActionId) {
+        self.pt.enter(aid, PState::Aborted);
+    }
+
+    /// `committing` outcome entry (2.f).
+    pub fn on_committing(&mut self, aid: ActionId, gids: Vec<argus_objects::GuardianId>) {
+        self.ct.enter(aid, CState::Committing(gids));
+    }
+
+    /// `done` outcome entry (2.g).
+    pub fn on_done(&mut self, aid: ActionId) {
+        self.ct.enter(aid, CState::Done);
+    }
+
+    // ---- version restoration ---------------------------------------------
+
+    /// Restores a *committed* version of `uid` (from a data entry of a
+    /// committed action, a `base_committed` entry, or the CSSL). For atomic
+    /// objects this is the base version; for mutex objects the current
+    /// version subject to the §4.4 recency rule. Returns whether a copy was
+    /// made.
+    pub fn restore_committed(
+        &mut self,
+        uid: Uid,
+        kind: ObjKind,
+        value: Value,
+        addr: Option<LogAddress>,
+    ) -> RsResult<bool> {
+        if let Some(entry) = self.ot.get(uid).copied() {
+            match kind {
+                ObjKind::Atomic => match entry.state {
+                    ObjState::Prepared => {
+                        // The object's current (prepared) version is already
+                        // in place; this is "the latest committed version"
+                        // that becomes its base (scenario 1, step 7).
+                        let slot = self.heap.get_mut(entry.heap)?;
+                        match &mut slot.body {
+                            ObjectBody::Atomic(obj) => obj.base = value,
+                            ObjectBody::Mutex(_) => {
+                                return Err(RsError::Internal("kind changed between entries"))
+                            }
+                        }
+                        if let Some(e) = self.ot.get_mut(uid) {
+                            e.state = ObjState::Restored;
+                        }
+                        Ok(true)
+                    }
+                    ObjState::Restored => Ok(false),
+                },
+                ObjKind::Mutex => self.maybe_replace_mutex(uid, entry, value, addr),
+            }
+        } else {
+            let body = match kind {
+                ObjKind::Atomic => ObjectBody::Atomic(AtomicObject::new(value)),
+                ObjKind::Mutex => ObjectBody::Mutex(MutexObject::new(value)),
+            };
+            let heap_id = self.heap.insert_with_uid(uid, body)?;
+            self.ot.insert(
+                uid,
+                OtEntry {
+                    state: ObjState::Restored,
+                    heap: heap_id,
+                    mutex_addr: if kind == ObjKind::Mutex { addr } else { None },
+                },
+            );
+            Ok(true)
+        }
+    }
+
+    /// Restores a *prepared* version of `uid` written by the in-doubt action
+    /// `aid`: the current version, with `aid` granted the write lock
+    /// (scenario 1, step 2). For mutex objects the version is simply the
+    /// current version (recency-checked).
+    pub fn restore_prepared(
+        &mut self,
+        uid: Uid,
+        kind: ObjKind,
+        value: Value,
+        aid: ActionId,
+        addr: Option<LogAddress>,
+    ) -> RsResult<bool> {
+        if let Some(entry) = self.ot.get(uid).copied() {
+            match kind {
+                ObjKind::Atomic => {
+                    // Ordinarily unreachable in an uncompacted log (the
+                    // write lock excludes later writers), but after
+                    // housekeeping the committed_ss entry sits at the chain
+                    // head and restores the base *first*; attach the
+                    // prepared current version to it. See DESIGN.md
+                    // ("compaction ordering fix").
+                    let slot = self.heap.get_mut(entry.heap)?;
+                    match &mut slot.body {
+                        ObjectBody::Atomic(obj) if obj.writer.is_none() => {
+                            obj.current = Some(value);
+                            obj.writer = Some(aid);
+                            Ok(true)
+                        }
+                        _ => Ok(false),
+                    }
+                }
+                ObjKind::Mutex => self.maybe_replace_mutex(uid, entry, value, addr),
+            }
+        } else {
+            match kind {
+                ObjKind::Atomic => {
+                    // Base unknown yet; an earlier committed entry will fill
+                    // it (object state: prepared).
+                    let obj = AtomicObject {
+                        base: Value::Unit,
+                        current: Some(value),
+                        writer: Some(aid),
+                        readers: Default::default(),
+                    };
+                    let heap_id = self.heap.insert_with_uid(uid, ObjectBody::Atomic(obj))?;
+                    self.ot.insert(
+                        uid,
+                        OtEntry {
+                            state: ObjState::Prepared,
+                            heap: heap_id,
+                            mutex_addr: None,
+                        },
+                    );
+                }
+                ObjKind::Mutex => {
+                    let heap_id = self
+                        .heap
+                        .insert_with_uid(uid, ObjectBody::Mutex(MutexObject::new(value)))?;
+                    self.ot.insert(
+                        uid,
+                        OtEntry {
+                            state: ObjState::Restored,
+                            heap: heap_id,
+                            mutex_addr: addr,
+                        },
+                    );
+                }
+            }
+            Ok(true)
+        }
+    }
+
+    /// The §4.4 recency rule: replace the resident mutex version only if the
+    /// incoming data entry sits at a *larger* log address.
+    fn maybe_replace_mutex(
+        &mut self,
+        uid: Uid,
+        entry: OtEntry,
+        value: Value,
+        addr: Option<LogAddress>,
+    ) -> RsResult<bool> {
+        let newer = match (addr, entry.mutex_addr) {
+            (Some(new), Some(old)) => new > old,
+            // Without addresses to compare, backward-scan order rules: the
+            // version already copied is the later one.
+            _ => false,
+        };
+        if !newer {
+            return Ok(false);
+        }
+        let slot = self.heap.get_mut(entry.heap)?;
+        match &mut slot.body {
+            ObjectBody::Mutex(obj) => obj.value = value,
+            ObjectBody::Atomic(_) => return Err(RsError::Internal("kind changed between entries")),
+        }
+        if let Some(e) = self.ot.get_mut(uid) {
+            e.mutex_addr = addr;
+        }
+        Ok(true)
+    }
+
+    /// Applies a *data entry* under the participant state of its action
+    /// (§3.4.4 2.h). `addr` is the data entry's own log address.
+    pub fn on_data(
+        &mut self,
+        addr: LogAddress,
+        uid: Uid,
+        kind: ObjKind,
+        value: Value,
+        aid: ActionId,
+    ) -> RsResult<()> {
+        match self.pt.get(aid) {
+            Some(PState::Committed) => {
+                self.restore_committed(uid, kind, value, Some(addr))?;
+            }
+            Some(PState::Prepared) => {
+                self.restore_prepared(uid, kind, value, aid, Some(addr))?;
+            }
+            // Atomic versions of aborted actions are discarded; mutex
+            // versions written by an action that *prepared* must still be
+            // restored (§2.4.2, scenario 2).
+            Some(PState::Aborted) if kind == ObjKind::Mutex => {
+                self.restore_committed(uid, kind, value, Some(addr))?;
+            }
+            Some(PState::Aborted) => {}
+            None => {
+                // No outcome entry at all: the action was wiped out by the
+                // crash before preparing; all its modifications are
+                // discarded (§1.2.1).
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a `base_committed` outcome entry (§3.4.4 2.d).
+    pub fn on_base_committed(&mut self, uid: Uid, value: Value) -> RsResult<()> {
+        self.restore_committed(uid, ObjKind::Atomic, value, None)?;
+        Ok(())
+    }
+
+    /// Applies a `prepared_data` outcome entry (§3.4.4 2.e).
+    pub fn on_prepared_data(&mut self, uid: Uid, value: Value, aid: ActionId) -> RsResult<()> {
+        match self.pt.get(aid) {
+            Some(PState::Aborted) => {}
+            Some(PState::Committed) => {
+                self.restore_committed(uid, ObjKind::Atomic, value, None)?;
+            }
+            Some(PState::Prepared) => {
+                self.restore_prepared(uid, ObjKind::Atomic, value, aid, None)?;
+            }
+            None => {
+                // "The action must have prepared (the real prepared outcome
+                // entry appears earlier in the log)" — enter it as prepared.
+                self.pt.enter(aid, PState::Prepared);
+                self.restore_prepared(uid, ObjKind::Atomic, value, aid, None)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_objects::GuardianId;
+
+    fn aid(n: u64) -> ActionId {
+        ActionId::new(GuardianId(0), n)
+    }
+
+    #[test]
+    fn committed_then_earlier_base_is_ignored() {
+        let mut heap = Heap::new();
+        let mut ctx = RecoverCtx::new(&mut heap);
+        ctx.on_committed(aid(1));
+        // Newest version first.
+        assert!(ctx
+            .restore_committed(
+                Uid(1),
+                ObjKind::Atomic,
+                Value::Int(2),
+                Some(LogAddress(900))
+            )
+            .unwrap());
+        // Older committed version: ignored.
+        assert!(!ctx
+            .restore_committed(
+                Uid(1),
+                ObjKind::Atomic,
+                Value::Int(1),
+                Some(LogAddress(600))
+            )
+            .unwrap());
+        let h = ctx.ot.get(Uid(1)).unwrap().heap;
+        assert_eq!(ctx.heap.read_value(h, None).unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn prepared_version_gets_write_lock_then_base_fills() {
+        let mut heap = Heap::new();
+        let mut ctx = RecoverCtx::new(&mut heap);
+        ctx.on_prepared(aid(2));
+        ctx.restore_prepared(Uid(1), ObjKind::Atomic, Value::Int(9), aid(2), None)
+            .unwrap();
+        assert_eq!(ctx.ot.get(Uid(1)).unwrap().state, ObjState::Prepared);
+        // Earlier committed version becomes the base.
+        ctx.restore_committed(Uid(1), ObjKind::Atomic, Value::Int(5), None)
+            .unwrap();
+        assert_eq!(ctx.ot.get(Uid(1)).unwrap().state, ObjState::Restored);
+        let h = ctx.ot.get(Uid(1)).unwrap().heap;
+        let slot = ctx.heap.get(h).unwrap();
+        match &slot.body {
+            ObjectBody::Atomic(obj) => {
+                assert_eq!(obj.base, Value::Int(5));
+                assert_eq!(obj.current, Some(Value::Int(9)));
+                assert_eq!(obj.writer, Some(aid(2)));
+            }
+            _ => panic!("expected atomic"),
+        }
+    }
+
+    #[test]
+    fn mutex_recency_rule_uses_addresses() {
+        let mut heap = Heap::new();
+        let mut ctx = RecoverCtx::new(&mut heap);
+        ctx.on_committed(aid(1));
+        // A mid-log version arrives first (e.g. via a hybrid pair)...
+        ctx.restore_committed(Uid(7), ObjKind::Mutex, Value::Int(1), Some(LogAddress(700)))
+            .unwrap();
+        // ...then a later one: replaced.
+        assert!(ctx
+            .restore_committed(Uid(7), ObjKind::Mutex, Value::Int(2), Some(LogAddress(800)))
+            .unwrap());
+        // An earlier one: ignored.
+        assert!(!ctx
+            .restore_committed(Uid(7), ObjKind::Mutex, Value::Int(0), Some(LogAddress(600)))
+            .unwrap());
+        let h = ctx.ot.get(Uid(7)).unwrap().heap;
+        assert_eq!(ctx.heap.read_value(h, None).unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn data_entries_of_unknown_actions_are_discarded() {
+        let mut heap = Heap::new();
+        let mut ctx = RecoverCtx::new(&mut heap);
+        ctx.on_data(
+            LogAddress(512),
+            Uid(1),
+            ObjKind::Atomic,
+            Value::Int(1),
+            aid(9),
+        )
+        .unwrap();
+        ctx.on_data(
+            LogAddress(600),
+            Uid(2),
+            ObjKind::Mutex,
+            Value::Int(1),
+            aid(9),
+        )
+        .unwrap();
+        assert!(ctx.ot.is_empty());
+        assert!(ctx.heap.is_empty());
+    }
+
+    #[test]
+    fn aborted_action_keeps_mutex_but_not_atomic_versions() {
+        let mut heap = Heap::new();
+        let mut ctx = RecoverCtx::new(&mut heap);
+        ctx.on_aborted(aid(3));
+        ctx.on_data(
+            LogAddress(512),
+            Uid(1),
+            ObjKind::Atomic,
+            Value::Int(8),
+            aid(3),
+        )
+        .unwrap();
+        ctx.on_data(
+            LogAddress(600),
+            Uid(2),
+            ObjKind::Mutex,
+            Value::Int(8),
+            aid(3),
+        )
+        .unwrap();
+        assert!(ctx.ot.get(Uid(1)).is_none());
+        assert!(ctx.ot.get(Uid(2)).is_some());
+    }
+
+    #[test]
+    fn prepared_data_for_unknown_action_enters_pt() {
+        let mut heap = Heap::new();
+        let mut ctx = RecoverCtx::new(&mut heap);
+        ctx.on_prepared_data(Uid(4), Value::Int(1), aid(5)).unwrap();
+        assert_eq!(ctx.pt.get(aid(5)), Some(PState::Prepared));
+        assert_eq!(ctx.ot.get(Uid(4)).unwrap().state, ObjState::Prepared);
+    }
+
+    #[test]
+    fn compaction_ordering_fix_attaches_current_to_restored_base() {
+        // committed_ss restored the base first; the in-doubt prepared
+        // version must still attach with its write lock.
+        let mut heap = Heap::new();
+        let mut ctx = RecoverCtx::new(&mut heap);
+        ctx.restore_committed(Uid(1), ObjKind::Atomic, Value::Int(5), None)
+            .unwrap();
+        ctx.on_prepared(aid(2));
+        assert!(ctx
+            .restore_prepared(Uid(1), ObjKind::Atomic, Value::Int(9), aid(2), None)
+            .unwrap());
+        let h = ctx.ot.get(Uid(1)).unwrap().heap;
+        match &ctx.heap.get(h).unwrap().body {
+            ObjectBody::Atomic(obj) => {
+                assert_eq!(obj.base, Value::Int(5));
+                assert_eq!(obj.current, Some(Value::Int(9)));
+                assert_eq!(obj.writer, Some(aid(2)));
+            }
+            _ => panic!("expected atomic"),
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! The writing algorithm (§3.3.3.3), shared by the simple and hybrid logs.
+//!
+//! The two organizations differ only in what a "data entry" looks like and
+//! whether the special outcome entries join the backward chain, so the MOS /
+//! accessibility-set / NAOS machinery is written once against the
+//! [`EntrySink`] trait and each recovery system supplies its own sink.
+
+use crate::{RsError, RsResult};
+use argus_objects::{flatten_value, ActionId, Heap, HeapId, ObjKind, ObjectBody, Uid, Value};
+use std::collections::{HashSet, VecDeque};
+
+/// Receives the entries the writing algorithm produces, in order.
+pub trait EntrySink {
+    /// An ordinary data entry for an accessible object's relevant version.
+    fn data(&mut self, uid: Uid, kind: ObjKind, value: Value, aid: ActionId) -> RsResult<()>;
+
+    /// A `base_committed` special outcome entry for a newly accessible
+    /// atomic object's base version.
+    fn base_committed(&mut self, uid: Uid, value: Value) -> RsResult<()>;
+
+    /// A `prepared_data` special outcome entry: the current version of a
+    /// newly accessible atomic object write-locked by an already-prepared
+    /// *other* action.
+    fn prepared_data(&mut self, uid: Uid, value: Value, aid: ActionId) -> RsResult<()>;
+}
+
+/// Runs the §3.3.3.3 algorithm for one `prepare` or `write_entry` call.
+///
+/// * `aid` — the preparing action.
+/// * `mos` — the Modified Objects Set for `aid`.
+/// * `access` — the guardian's accessibility set (AS); newly accessible
+///   objects are added to it as they are written.
+/// * `pat` — the prepared-actions table (PAT), consulted for newly
+///   accessible objects write-locked by other actions.
+///
+/// Returns MOS′: the objects of `mos` that were *not* written because they
+/// are (still) inaccessible — the early-prepare contract of §4.4.
+pub fn process_mos(
+    aid: ActionId,
+    mos: &[HeapId],
+    heap: &Heap,
+    access: &mut HashSet<Uid>,
+    pat: &HashSet<ActionId>,
+    sink: &mut impl EntrySink,
+) -> RsResult<Vec<HeapId>> {
+    let mut naos: VecDeque<HeapId> = VecDeque::new();
+    let mut queued: HashSet<Uid> = HashSet::new();
+
+    let enqueue_refs = |referenced: &[HeapId],
+                        heap: &Heap,
+                        access: &HashSet<Uid>,
+                        queued: &mut HashSet<Uid>,
+                        naos: &mut VecDeque<HeapId>|
+     -> RsResult<()> {
+        for &h in referenced {
+            let uid = heap.uid_of(h)?;
+            if !access.contains(&uid) && queued.insert(uid) {
+                naos.push_back(h);
+            }
+        }
+        Ok(())
+    };
+
+    // Step 3: process every object in the MOS.
+    let mut seen_mos: HashSet<Uid> = HashSet::new();
+    for &h in mos {
+        let slot = heap.get(h)?;
+        if !seen_mos.insert(slot.uid) {
+            continue;
+        }
+        if !access.contains(&slot.uid) {
+            // Step 3c: ignore for now; if it becomes newly accessible it
+            // will be written through the NAOS below, otherwise it is
+            // returned in MOS′.
+            continue;
+        }
+        // Step 3b: copy the relevant version as a data entry.
+        match &slot.body {
+            ObjectBody::Atomic(obj) => {
+                let out = flatten_value(heap, obj.version_for(Some(aid)))?;
+                enqueue_refs(&out.referenced, heap, access, &mut queued, &mut naos)?;
+                sink.data(slot.uid, ObjKind::Atomic, out.value, aid)?;
+            }
+            ObjectBody::Mutex(obj) => {
+                let out = flatten_value(heap, &obj.value)?;
+                enqueue_refs(&out.referenced, heap, access, &mut queued, &mut naos)?;
+                sink.data(slot.uid, ObjKind::Mutex, out.value, aid)?;
+            }
+        }
+    }
+
+    // Step 4: drain the NAOS, which may grow as versions are copied.
+    while let Some(h) = naos.pop_front() {
+        let slot = heap.get(h)?;
+        let uid = slot.uid;
+        if access.contains(&uid) {
+            continue;
+        }
+        match &slot.body {
+            ObjectBody::Mutex(obj) => {
+                // A newly accessible mutex object "is no problem": one data
+                // entry with its current version suffices (§3.3.3.2).
+                let out = flatten_value(heap, &obj.value)?;
+                enqueue_refs(&out.referenced, heap, access, &mut queued, &mut naos)?;
+                sink.data(uid, ObjKind::Mutex, out.value, aid)?;
+            }
+            ObjectBody::Atomic(obj) => {
+                let base = flatten_value(heap, &obj.base)?;
+                enqueue_refs(&base.referenced, heap, access, &mut queued, &mut naos)?;
+                match obj.writer {
+                    Some(w) if w == aid => {
+                        // Step 4a, write-locked by the preparing action:
+                        // base_committed for the base, data entry for the
+                        // current version.
+                        let cur = obj
+                            .current
+                            .as_ref()
+                            .ok_or(RsError::Internal("write lock without a current version"))?;
+                        let cur = flatten_value(heap, cur)?;
+                        enqueue_refs(&cur.referenced, heap, access, &mut queued, &mut naos)?;
+                        sink.base_committed(uid, base.value)?;
+                        sink.data(uid, ObjKind::Atomic, cur.value, aid)?;
+                    }
+                    Some(other) if pat.contains(&other) => {
+                        // Write-locked by another action that has already
+                        // prepared: base_committed (needed if it aborts) and
+                        // prepared_data (needed if it commits).
+                        let cur = obj
+                            .current
+                            .as_ref()
+                            .ok_or(RsError::Internal("write lock without a current version"))?;
+                        let cur = flatten_value(heap, cur)?;
+                        enqueue_refs(&cur.referenced, heap, access, &mut queued, &mut naos)?;
+                        sink.base_committed(uid, base.value)?;
+                        sink.prepared_data(uid, cur.value, other)?;
+                    }
+                    _ => {
+                        // Read-locked (e.g. freshly created), unlocked, or
+                        // write-locked by an unprepared action: the base
+                        // version alone is what must survive.
+                        sink.base_committed(uid, base.value)?;
+                    }
+                }
+            }
+        }
+        access.insert(uid);
+    }
+
+    // MOS′: whatever never became accessible.
+    let mut leftover = Vec::new();
+    let mut seen_leftover = HashSet::new();
+    for &h in mos {
+        let uid = heap.uid_of(h)?;
+        if !access.contains(&uid) && seen_leftover.insert(uid) {
+            leftover.push(h);
+        }
+    }
+    Ok(leftover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_objects::GuardianId;
+
+    fn aid(n: u64) -> ActionId {
+        ActionId::new(GuardianId(0), n)
+    }
+
+    /// Records emitted entries for inspection.
+    #[derive(Default)]
+    struct VecSink(Vec<String>);
+
+    impl EntrySink for VecSink {
+        fn data(&mut self, uid: Uid, kind: ObjKind, _v: Value, aid: ActionId) -> RsResult<()> {
+            self.0.push(format!("data {uid} {kind} {aid}"));
+            Ok(())
+        }
+
+        fn base_committed(&mut self, uid: Uid, _v: Value) -> RsResult<()> {
+            self.0.push(format!("bc {uid}"));
+            Ok(())
+        }
+
+        fn prepared_data(&mut self, uid: Uid, _v: Value, aid: ActionId) -> RsResult<()> {
+            self.0.push(format!("pd {uid} {aid}"));
+            Ok(())
+        }
+    }
+
+    /// Reproduces the worked example of §3.3.3.2 (Figure 3-6): stable
+    /// variable X → O1 → O2; T1 write-locks O2 and points it at a new O3.
+    #[test]
+    fn figure_3_6_newly_accessible_object() {
+        let mut heap = Heap::new();
+        let o3 = heap.alloc_atomic(Value::Int(3), Some(aid(1)));
+        let o2 = heap.alloc_atomic(Value::Unit, None);
+        let uid2 = heap.uid_of(o2).unwrap();
+        let uid3 = heap.uid_of(o3).unwrap();
+        heap.acquire_write(o2, aid(1)).unwrap();
+        heap.write_value(o2, aid(1), |v| *v = Value::heap_ref(o3))
+            .unwrap();
+
+        let mut access: HashSet<Uid> = [uid2].into_iter().collect();
+        let pat = HashSet::new();
+        let mut sink = VecSink::default();
+        let leftover = process_mos(aid(1), &[o2], &heap, &mut access, &pat, &mut sink).unwrap();
+
+        assert!(leftover.is_empty());
+        assert_eq!(
+            sink.0,
+            vec![format!("data {uid2} atomic T0.1"), format!("bc {uid3}")]
+        );
+        // Step 7: the AS now contains O2 and O3.
+        assert!(access.contains(&uid2) && access.contains(&uid3));
+    }
+
+    #[test]
+    fn naos_object_write_locked_by_preparer_gets_both_versions() {
+        let mut heap = Heap::new();
+        let o3 = heap.alloc_atomic(Value::Int(0), Some(aid(1)));
+        heap.acquire_write(o3, aid(1)).unwrap();
+        heap.write_value(o3, aid(1), |v| *v = Value::Int(9))
+            .unwrap();
+        let o2 = heap.alloc_atomic(Value::Unit, None);
+        heap.acquire_write(o2, aid(1)).unwrap();
+        heap.write_value(o2, aid(1), |v| *v = Value::heap_ref(o3))
+            .unwrap();
+        let uid2 = heap.uid_of(o2).unwrap();
+        let uid3 = heap.uid_of(o3).unwrap();
+
+        let mut access: HashSet<Uid> = [uid2].into_iter().collect();
+        let mut sink = VecSink::default();
+        process_mos(
+            aid(1),
+            &[o2],
+            &heap,
+            &mut access,
+            &HashSet::new(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(
+            sink.0,
+            vec![
+                format!("data {uid2} atomic T0.1"),
+                format!("bc {uid3}"),
+                format!("data {uid3} atomic T0.1"),
+            ]
+        );
+    }
+
+    #[test]
+    fn naos_object_locked_by_prepared_other_action_gets_prepared_data() {
+        // Action B prepared while holding a write lock on X; action A then
+        // makes X newly accessible. Both base and current versions must be
+        // written: bc + pd (§3.3.3.2).
+        let a = aid(1);
+        let b = aid(2);
+        let mut heap = Heap::new();
+        let x = heap.alloc_atomic(Value::Int(1), None);
+        heap.acquire_write(x, b).unwrap();
+        heap.write_value(x, b, |v| *v = Value::Int(2)).unwrap();
+        let root = heap.alloc_atomic(Value::Unit, None);
+        heap.acquire_write(root, a).unwrap();
+        heap.write_value(root, a, |v| *v = Value::heap_ref(x))
+            .unwrap();
+        let uid_x = heap.uid_of(x).unwrap();
+        let uid_root = heap.uid_of(root).unwrap();
+
+        let mut access: HashSet<Uid> = [uid_root].into_iter().collect();
+        let pat: HashSet<ActionId> = [b].into_iter().collect();
+        let mut sink = VecSink::default();
+        process_mos(a, &[root], &heap, &mut access, &pat, &mut sink).unwrap();
+        assert_eq!(
+            sink.0,
+            vec![
+                format!("data {uid_root} atomic T0.1"),
+                format!("bc {uid_x}"),
+                format!("pd {uid_x} T0.2"),
+            ]
+        );
+    }
+
+    #[test]
+    fn unprepared_other_writer_gets_base_only() {
+        let a = aid(1);
+        let b = aid(2);
+        let mut heap = Heap::new();
+        let x = heap.alloc_atomic(Value::Int(1), None);
+        heap.acquire_write(x, b).unwrap();
+        let root = heap.alloc_atomic(Value::Unit, None);
+        heap.acquire_write(root, a).unwrap();
+        heap.write_value(root, a, |v| *v = Value::heap_ref(x))
+            .unwrap();
+        let uid_x = heap.uid_of(x).unwrap();
+        let uid_root = heap.uid_of(root).unwrap();
+
+        let mut access: HashSet<Uid> = [uid_root].into_iter().collect();
+        let mut sink = VecSink::default();
+        process_mos(a, &[root], &heap, &mut access, &HashSet::new(), &mut sink).unwrap();
+        assert_eq!(
+            sink.0,
+            vec![
+                format!("data {uid_root} atomic T0.1"),
+                format!("bc {uid_x}")
+            ]
+        );
+    }
+
+    #[test]
+    fn inaccessible_mos_objects_are_returned_as_mos_prime() {
+        let mut heap = Heap::new();
+        let orphan = heap.alloc_atomic(Value::Int(1), None);
+        heap.acquire_write(orphan, aid(1)).unwrap();
+        let mut access = HashSet::new();
+        let mut sink = VecSink::default();
+        let leftover = process_mos(
+            aid(1),
+            &[orphan],
+            &heap,
+            &mut access,
+            &HashSet::new(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(leftover, vec![orphan]);
+        assert!(sink.0.is_empty());
+    }
+
+    #[test]
+    fn newly_accessible_mutex_gets_one_data_entry() {
+        let a = aid(1);
+        let mut heap = Heap::new();
+        let m = heap.alloc_mutex(Value::Int(7));
+        let root = heap.alloc_atomic(Value::Unit, None);
+        heap.acquire_write(root, a).unwrap();
+        heap.write_value(root, a, |v| *v = Value::heap_ref(m))
+            .unwrap();
+        let uid_m = heap.uid_of(m).unwrap();
+        let uid_root = heap.uid_of(root).unwrap();
+
+        let mut access: HashSet<Uid> = [uid_root].into_iter().collect();
+        let mut sink = VecSink::default();
+        process_mos(a, &[root], &heap, &mut access, &HashSet::new(), &mut sink).unwrap();
+        assert_eq!(
+            sink.0,
+            vec![
+                format!("data {uid_root} atomic T0.1"),
+                format!("data {uid_m} mutex T0.1"),
+            ]
+        );
+    }
+
+    #[test]
+    fn naos_cascades_through_chains_of_new_objects() {
+        // root -> n1 -> n2 -> n3, all newly accessible.
+        let a = aid(1);
+        let mut heap = Heap::new();
+        let n3 = heap.alloc_atomic(Value::Int(3), Some(a));
+        let n2 = heap.alloc_atomic(Value::heap_ref(n3), Some(a));
+        let n1 = heap.alloc_atomic(Value::heap_ref(n2), Some(a));
+        let root = heap.alloc_atomic(Value::Unit, None);
+        heap.acquire_write(root, a).unwrap();
+        heap.write_value(root, a, |v| *v = Value::heap_ref(n1))
+            .unwrap();
+        let uid_root = heap.uid_of(root).unwrap();
+
+        let mut access: HashSet<Uid> = [uid_root].into_iter().collect();
+        let mut sink = VecSink::default();
+        process_mos(a, &[root], &heap, &mut access, &HashSet::new(), &mut sink).unwrap();
+        // One data entry for root plus one bc per new object.
+        assert_eq!(sink.0.len(), 4);
+        assert_eq!(access.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_mos_entries_write_once() {
+        let a = aid(1);
+        let mut heap = Heap::new();
+        let x = heap.alloc_atomic(Value::Int(0), None);
+        heap.acquire_write(x, a).unwrap();
+        let uid = heap.uid_of(x).unwrap();
+        let mut access: HashSet<Uid> = [uid].into_iter().collect();
+        let mut sink = VecSink::default();
+        process_mos(
+            a,
+            &[x, x, x],
+            &heap,
+            &mut access,
+            &HashSet::new(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(sink.0.len(), 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! One guardian: heap + recovery system + protocol state.
+
+use crate::{WorldError, WorldResult};
+use argus_core::providers::MemProvider;
+use argus_core::{HybridLogRs, LogStats, RecoverySystem, RsResult, SimpleLogRs};
+use argus_objects::{ActionId, GuardianId, Heap, HeapId, Uid, Value};
+use argus_shadow::ShadowRs;
+use argus_sim::{CostModel, SimClock};
+use argus_stable::{FaultPlan, MemStore};
+use argus_twopc::{Coordinator, Participant};
+use std::collections::{HashMap, HashSet};
+
+/// Which stable-storage organization a guardian runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsKind {
+    /// The simple log (ch. 3).
+    Simple,
+    /// The hybrid log (ch. 4/5) — the thesis's contribution.
+    Hybrid,
+    /// The shadowing baseline (§1.2.1).
+    Shadow,
+}
+
+/// A guardian: a logical node with stable and volatile state (§2.1).
+///
+/// "When a guardian's node crashes, all processes within the guardian
+/// disappear, but a subset of the guardian's state survives" — here, the
+/// recovery system's stable log survives; everything else in this struct is
+/// volatile and is rebuilt by [`crate::World::restart`].
+pub struct Guardian {
+    /// This guardian's identity.
+    pub id: GuardianId,
+    /// Volatile object memory.
+    pub heap: Heap,
+    /// The recovery system over this guardian's stable log.
+    pub(crate) rs: Box<dyn RecoverySystem>,
+    /// The fault plan shared with the guardian's storage stack.
+    pub(crate) plan: FaultPlan,
+    /// Whether the node is up.
+    pub(crate) up: bool,
+    /// Modified Objects Set per active action (§2.3).
+    pub(crate) mos: HashMap<ActionId, Vec<HeapId>>,
+    /// Actions this guardian has participated in since its last crash.
+    pub(crate) known: HashSet<ActionId>,
+    /// Locally resolved participant verdicts (for idempotent re-acks).
+    pub(crate) resolved: HashMap<ActionId, bool>,
+    /// Actions this guardian coordinated to completion.
+    pub(crate) coord_done: HashSet<ActionId>,
+    /// Live coordinator state machines.
+    pub(crate) coordinators: HashMap<ActionId, Coordinator>,
+    /// Live participant state machines.
+    pub(crate) participants: HashMap<ActionId, Participant>,
+    /// Action-id sequence for top-level actions originating here.
+    pub(crate) next_seq: u64,
+    /// Automatic housekeeping policy: (max log entries, mode).
+    pub(crate) hk_policy: Option<(u64, argus_core::HousekeepingMode)>,
+}
+
+impl std::fmt::Debug for Guardian {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Guardian")
+            .field("id", &self.id)
+            .field("up", &self.up)
+            .field("objects", &self.heap.len())
+            .finish()
+    }
+}
+
+impl Guardian {
+    /// Creates a fresh guardian with an empty stable state.
+    pub(crate) fn new(
+        id: GuardianId,
+        kind: RsKind,
+        clock: SimClock,
+        model: CostModel,
+    ) -> RsResult<Self> {
+        let plan = FaultPlan::new();
+        let provider = MemProvider {
+            clock: clock.clone(),
+            model: model.clone(),
+            plan: Some(plan.clone()),
+        };
+        let rs: Box<dyn RecoverySystem> = match kind {
+            RsKind::Simple => {
+                let store = MemStore::with_fault_plan(plan.clone(), clock, model);
+                Box::new(SimpleLogRs::create(store)?)
+            }
+            RsKind::Hybrid => Box::new(HybridLogRs::create(provider)?),
+            RsKind::Shadow => Box::new(ShadowRs::create(provider)?),
+        };
+        Ok(Self {
+            id,
+            heap: Heap::with_stable_root(),
+            rs,
+            plan,
+            up: true,
+            mos: HashMap::new(),
+            known: HashSet::new(),
+            resolved: HashMap::new(),
+            coord_done: HashSet::new(),
+            coordinators: HashMap::new(),
+            participants: HashMap::new(),
+            next_seq: 0,
+            hk_policy: None,
+        })
+    }
+
+    /// Whether the node is up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// The committed value of the stable variable `name`, if set.
+    pub fn stable_value(&self, name: &str) -> Option<Value> {
+        self.stable_value_as(name, None)
+    }
+
+    /// The value of the stable variable `name` as seen by `aid` (its own
+    /// uncommitted version while it holds the write lock on the root).
+    pub fn stable_value_as(&self, name: &str, aid: Option<ActionId>) -> Option<Value> {
+        let root = self.heap.stable_root()?;
+        let value = self.heap.read_value(root, aid).ok()?;
+        if let Value::Seq(pairs) = value {
+            for pair in pairs {
+                if let Value::Seq(kv) = pair {
+                    if let [Value::Str(n), v] = kv.as_slice() {
+                        if n == name {
+                            return Some(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Records a stable-variable binding in the root's current version. The
+    /// caller must already hold the root write lock for `aid`.
+    pub(crate) fn bind_stable(
+        &mut self,
+        aid: ActionId,
+        name: &str,
+        value: Value,
+    ) -> WorldResult<()> {
+        let root = self.heap.stable_root().ok_or(WorldError::Heap(
+            argus_objects::HeapError::NoSuchUid(Uid::STABLE_ROOT),
+        ))?;
+        let name = name.to_owned();
+        self.heap.write_value(root, aid, move |v| {
+            let pairs = match v {
+                Value::Seq(pairs) => pairs,
+                other => {
+                    *other = Value::Seq(Vec::new());
+                    match other {
+                        Value::Seq(pairs) => pairs,
+                        _ => unreachable!(),
+                    }
+                }
+            };
+            for pair in pairs.iter_mut() {
+                if let Value::Seq(kv) = pair {
+                    if let [Value::Str(n), slot] = kv.as_mut_slice() {
+                        if *n == name {
+                            *slot = value;
+                            return;
+                        }
+                    }
+                }
+            }
+            pairs.push(Value::Seq(vec![Value::Str(name), value]));
+        })?;
+        Ok(())
+    }
+
+    /// Log and device statistics for this guardian's recovery system.
+    pub fn log_stats(&self) -> LogStats {
+        self.rs.log_stats()
+    }
+
+    /// Read-only access to the recovery system (for tests).
+    pub fn recovery_system(&self) -> &dyn RecoverySystem {
+        self.rs.as_ref()
+    }
+}

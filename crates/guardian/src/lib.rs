@@ -1,0 +1,28 @@
+//! The Argus guardian substrate (§2.1, §2.3).
+//!
+//! Guardians are the logical nodes of the distributed system: each
+//! encapsulates a volatile [`argus_objects::Heap`], a recovery system over
+//! its own stable log, and its halves of any in-flight two-phase commits.
+//! [`World`] simulates a network of guardians deterministically — message
+//! delivery, node crashes (volatile state vanishes, stable media survive),
+//! restarts (the recovery system rebuilds the stable state, in-doubt
+//! participants query their coordinators, committing coordinators restart
+//! phase two).
+//!
+//! Simplifications relative to full Argus, recorded in DESIGN.md: handler
+//! calls are modeled by the caller manipulating objects at several guardians
+//! under one action id; subactions and read-only participants are elided
+//! (reads acquire locks but a guardian joins two-phase commit only if the
+//! action modified something there).
+
+mod error;
+mod guardian;
+mod network;
+#[cfg(test)]
+mod tests;
+mod world;
+
+pub use error::{WorldError, WorldResult};
+pub use guardian::{Guardian, RsKind};
+pub use network::{NetFaults, SimNetwork};
+pub use world::{Outcome, World};

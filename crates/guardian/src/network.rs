@@ -1,0 +1,179 @@
+//! The simulated network.
+
+use argus_objects::GuardianId;
+use argus_sim::DetRng;
+use argus_twopc::Envelope;
+use std::collections::{HashSet, VecDeque};
+
+/// Deterministic message-fault injection: duplication and reordering.
+///
+/// The two-phase-commit machines must tolerate a network that duplicates
+/// and reorders messages (§2.2 assumes only that "eventually any two nodes
+/// can communicate"). Probabilities are driven by a seeded RNG, so a faulty
+/// run is exactly reproducible.
+#[derive(Debug)]
+pub struct NetFaults {
+    rng: DetRng,
+    /// Probability a delivered message is also re-enqueued (duplicate).
+    pub duplicate_prob: f64,
+    /// Probability a message is deferred behind the rest of the queue
+    /// (reordering); each message is deferred at most twice so delivery
+    /// remains eventual.
+    pub defer_prob: f64,
+}
+
+impl NetFaults {
+    /// Creates an injector with the given seed and probabilities.
+    pub fn new(seed: u64, duplicate_prob: f64, defer_prob: f64) -> Self {
+        Self {
+            rng: DetRng::new(seed),
+            duplicate_prob,
+            defer_prob,
+        }
+    }
+}
+
+/// A deterministic store-and-forward network.
+///
+/// Messages are delivered in FIFO order, one at a time, by the world's event
+/// loop — unless a [`NetFaults`] injector is installed, in which case
+/// messages may be duplicated or deferred. Messages addressed to a crashed
+/// guardian are dropped at delivery time — the protocol's retry/query paths
+/// are what recover from the loss, exactly as over a real network.
+#[derive(Debug, Default)]
+pub struct SimNetwork {
+    queue: VecDeque<(Envelope, u8)>,
+    down: HashSet<GuardianId>,
+    faults: Option<NetFaults>,
+    delivered: u64,
+    dropped: u64,
+    duplicated: u64,
+    deferred: u64,
+}
+
+impl SimNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or removes) a fault injector.
+    pub fn set_faults(&mut self, faults: Option<NetFaults>) {
+        self.faults = faults;
+    }
+
+    /// Enqueues a message.
+    pub fn send(&mut self, envelope: Envelope) {
+        self.queue.push_back((envelope, 0));
+    }
+
+    /// Pops the next deliverable message, silently dropping any addressed to
+    /// down guardians and applying any installed fault injection.
+    pub fn deliver_next(&mut self) -> Option<Envelope> {
+        while let Some((envelope, deferrals)) = self.queue.pop_front() {
+            if self.down.contains(&envelope.to) {
+                self.dropped += 1;
+                continue;
+            }
+            if let Some(faults) = &mut self.faults {
+                // Defer (reorder) with bounded retries so delivery stays
+                // eventual.
+                if deferrals < 2 && !self.queue.is_empty() && faults.rng.gen_bool(faults.defer_prob)
+                {
+                    self.deferred += 1;
+                    self.queue.push_back((envelope, deferrals + 1));
+                    continue;
+                }
+                if faults.rng.gen_bool(faults.duplicate_prob) {
+                    self.duplicated += 1;
+                    self.queue.push_back((envelope.clone(), 2));
+                }
+            }
+            self.delivered += 1;
+            return Some(envelope);
+        }
+        None
+    }
+
+    /// Marks a guardian down (its messages will be dropped).
+    pub fn mark_down(&mut self, g: GuardianId) {
+        self.down.insert(g);
+    }
+
+    /// Marks a guardian up again.
+    pub fn mark_up(&mut self, g: GuardianId) {
+        self.down.remove(&g);
+    }
+
+    /// Whether any messages are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Pending message count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total messages dropped (addressed to down guardians).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total duplicate deliveries injected.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Total deferrals (reorderings) injected.
+    pub fn deferred(&self) -> u64 {
+        self.deferred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_objects::ActionId;
+    use argus_twopc::Msg;
+
+    fn env(from: u32, to: u32) -> Envelope {
+        Envelope {
+            from: GuardianId(from),
+            to: GuardianId(to),
+            msg: Msg::Prepare {
+                aid: ActionId::new(GuardianId(from), 1),
+            },
+        }
+    }
+
+    #[test]
+    fn fifo_delivery() {
+        let mut net = SimNetwork::new();
+        net.send(env(0, 1));
+        net.send(env(1, 0));
+        assert_eq!(net.deliver_next().unwrap().to, GuardianId(1));
+        assert_eq!(net.deliver_next().unwrap().to, GuardianId(0));
+        assert!(net.deliver_next().is_none());
+        assert_eq!(net.delivered(), 2);
+    }
+
+    #[test]
+    fn down_guardians_drop_mail() {
+        let mut net = SimNetwork::new();
+        net.mark_down(GuardianId(1));
+        net.send(env(0, 1));
+        net.send(env(0, 2));
+        let delivered = net.deliver_next().unwrap();
+        assert_eq!(delivered.to, GuardianId(2));
+        assert_eq!(net.dropped(), 1);
+        net.mark_up(GuardianId(1));
+        net.send(env(0, 1));
+        assert_eq!(net.deliver_next().unwrap().to, GuardianId(1));
+    }
+}

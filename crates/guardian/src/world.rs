@@ -1,0 +1,794 @@
+//! The simulated distributed system.
+
+use crate::network::NetFaults;
+use crate::{Guardian, RsKind, SimNetwork, WorldError, WorldResult};
+use argus_core::{HousekeepingMode, RecoveryOutcome};
+use argus_objects::{ActionId, GuardianId, HeapId, Value};
+use argus_sim::{CostModel, SimClock};
+use argus_twopc::{CoordEffect, Coordinator, Envelope, Msg, PartEffect, Participant};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The fate of a top-level action as observed by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The committing record is on stable storage: committed everywhere.
+    Committed,
+    /// The action aborted everywhere.
+    Aborted,
+    /// A crash interrupted the protocol; the outcome will settle after the
+    /// crashed node restarts.
+    Pending,
+}
+
+/// A deterministic world of guardians, the driver for every integration
+/// test, example, and experiment.
+///
+/// # Examples
+///
+/// A distributed action across two guardians, committed by two-phase commit,
+/// surviving a crash of each:
+///
+/// ```
+/// use argus_guardian::{Outcome, RsKind, World};
+/// use argus_objects::Value;
+///
+/// let mut world = World::fast();
+/// let g0 = world.add_guardian(RsKind::Hybrid)?;
+/// let g1 = world.add_guardian(RsKind::Shadow)?; // organizations can mix
+///
+/// let action = world.begin(g0)?;
+/// world.set_stable(g0, action, "left", Value::Int(1))?;
+/// world.set_stable(g1, action, "right", Value::Int(2))?;
+/// assert_eq!(world.commit(action)?, Outcome::Committed);
+///
+/// for g in [g0, g1] {
+///     world.crash(g);
+///     world.restart(g)?;
+/// }
+/// assert_eq!(world.guardian(g0)?.stable_value("left"), Some(Value::Int(1)));
+/// assert_eq!(world.guardian(g1)?.stable_value("right"), Some(Value::Int(2)));
+/// # Ok::<(), argus_guardian::WorldError>(())
+/// ```
+pub struct World {
+    /// The shared logical clock.
+    pub clock: SimClock,
+    model: CostModel,
+    guardians: BTreeMap<GuardianId, Guardian>,
+    net: SimNetwork,
+    /// Guardians an action has modified objects at.
+    touched: HashMap<ActionId, BTreeSet<GuardianId>>,
+    /// Guardians an action has (only) read at — they hold read locks and
+    /// must join two-phase commit so those locks are released with the
+    /// action (read-only participants).
+    touched_read: HashMap<ActionId, BTreeSet<GuardianId>>,
+    /// Final verdicts of completed coordinators.
+    outcomes: HashMap<ActionId, bool>,
+    next_gid: u32,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("guardians", &self.guardians.len())
+            .finish()
+    }
+}
+
+impl World {
+    /// Creates an empty world with the given device cost profile.
+    pub fn new(model: CostModel) -> Self {
+        Self {
+            clock: SimClock::new(),
+            model,
+            guardians: BTreeMap::new(),
+            net: SimNetwork::new(),
+            touched: HashMap::new(),
+            touched_read: HashMap::new(),
+            outcomes: HashMap::new(),
+            next_gid: 0,
+        }
+    }
+
+    /// A world with the fast cost profile (unit tests).
+    pub fn fast() -> Self {
+        Self::new(CostModel::fast())
+    }
+
+    /// Spawns a guardian running the given storage organization.
+    pub fn add_guardian(&mut self, kind: RsKind) -> WorldResult<GuardianId> {
+        let id = GuardianId(self.next_gid);
+        self.next_gid += 1;
+        let guardian = Guardian::new(id, kind, self.clock.clone(), self.model.clone())?;
+        self.guardians.insert(id, guardian);
+        Ok(id)
+    }
+
+    /// Borrows a guardian.
+    pub fn guardian(&self, g: GuardianId) -> WorldResult<&Guardian> {
+        self.guardians.get(&g).ok_or(WorldError::NoGuardian(g))
+    }
+
+    fn guardian_mut(&mut self, g: GuardianId) -> WorldResult<&mut Guardian> {
+        self.guardians.get_mut(&g).ok_or(WorldError::NoGuardian(g))
+    }
+
+    fn live(&mut self, g: GuardianId) -> WorldResult<&mut Guardian> {
+        let guardian = self
+            .guardians
+            .get_mut(&g)
+            .ok_or(WorldError::NoGuardian(g))?;
+        if !guardian.up {
+            return Err(WorldError::Down(g));
+        }
+        Ok(guardian)
+    }
+
+    // ---- action execution (the "handler call" surface) -------------------
+
+    /// Begins a top-level action originating (and coordinated) at `origin`.
+    pub fn begin(&mut self, origin: GuardianId) -> WorldResult<ActionId> {
+        let guardian = self.live(origin)?;
+        let aid = ActionId::new(origin, guardian.next_seq);
+        guardian.next_seq += 1;
+        guardian.known.insert(aid);
+        self.touched.entry(aid).or_default().insert(origin);
+        Ok(aid)
+    }
+
+    fn note_read(&mut self, g: GuardianId, aid: ActionId) {
+        self.touched_read.entry(aid).or_default().insert(g);
+        if let Some(guardian) = self.guardians.get_mut(&g) {
+            guardian.known.insert(aid);
+        }
+    }
+
+    fn note_write(&mut self, g: GuardianId, aid: ActionId, h: HeapId) {
+        self.touched.entry(aid).or_default().insert(g);
+        if let Some(guardian) = self.guardians.get_mut(&g) {
+            guardian.known.insert(aid);
+            let mos = guardian.mos.entry(aid).or_default();
+            if !mos.contains(&h) {
+                mos.push(h);
+            }
+        }
+    }
+
+    /// Creates an atomic object at `g` on behalf of `aid` (read-locked by
+    /// its creator, §2.4.1).
+    pub fn create_atomic(
+        &mut self,
+        g: GuardianId,
+        aid: ActionId,
+        value: Value,
+    ) -> WorldResult<HeapId> {
+        let guardian = self.live(g)?;
+        Ok(guardian.heap.alloc_atomic(value, Some(aid)))
+    }
+
+    /// Creates a mutex object at `g`.
+    pub fn create_mutex(&mut self, g: GuardianId, value: Value) -> WorldResult<HeapId> {
+        let guardian = self.live(g)?;
+        Ok(guardian.heap.alloc_mutex(value))
+    }
+
+    /// Reads an object at `g` under `aid`, acquiring a read lock on atomic
+    /// objects. The guardian becomes a *read-only participant* of the
+    /// action: it joins two-phase commit so the lock is released with the
+    /// action's outcome.
+    pub fn read(&mut self, g: GuardianId, aid: ActionId, h: HeapId) -> WorldResult<Value> {
+        let guardian = self.live(g)?;
+        if matches!(
+            guardian.heap.get(h)?.body,
+            argus_objects::ObjectBody::Atomic(_)
+        ) {
+            guardian.heap.acquire_read(h, aid)?;
+        }
+        let value = guardian.heap.read_value(h, Some(aid))?.clone();
+        self.note_read(g, aid);
+        Ok(value)
+    }
+
+    /// Write-locks and mutates an atomic object at `g` under `aid`.
+    pub fn write_atomic(
+        &mut self,
+        g: GuardianId,
+        aid: ActionId,
+        h: HeapId,
+        f: impl FnOnce(&mut Value),
+    ) -> WorldResult<()> {
+        let guardian = self.live(g)?;
+        guardian.heap.acquire_write(h, aid)?;
+        guardian.heap.write_value(h, aid, f)?;
+        self.note_write(g, aid, h);
+        Ok(())
+    }
+
+    /// Seizes, mutates, and releases a mutex object at `g` under `aid`.
+    pub fn mutate_mutex(
+        &mut self,
+        g: GuardianId,
+        aid: ActionId,
+        h: HeapId,
+        f: impl FnOnce(&mut Value),
+    ) -> WorldResult<()> {
+        let guardian = self.live(g)?;
+        guardian.heap.seize(h, aid)?;
+        guardian.heap.mutate_mutex(h, aid, f)?;
+        guardian.heap.release(h, aid)?;
+        self.note_write(g, aid, h);
+        Ok(())
+    }
+
+    /// Binds the stable variable `name` at `g` to `value` under `aid`
+    /// (write-locks the stable root).
+    pub fn set_stable(
+        &mut self,
+        g: GuardianId,
+        aid: ActionId,
+        name: &str,
+        value: Value,
+    ) -> WorldResult<()> {
+        let guardian = self.live(g)?;
+        let root = guardian
+            .heap
+            .stable_root()
+            .expect("live guardians always have a stable root");
+        guardian.heap.acquire_write(root, aid)?;
+        guardian.bind_stable(aid, name, value)?;
+        self.note_write(g, aid, root);
+        Ok(())
+    }
+
+    /// Early-prepares `aid`'s current MOS at `g` (§4.4); objects that were
+    /// inaccessible stay in the MOS.
+    pub fn early_prepare(&mut self, g: GuardianId, aid: ActionId) -> WorldResult<()> {
+        let guardian = self.live(g)?;
+        let mos = guardian.mos.remove(&aid).unwrap_or_default();
+        match guardian.rs.write_entry(aid, &mos, &guardian.heap) {
+            Ok(leftover) => {
+                guardian.mos.insert(aid, leftover);
+                Ok(())
+            }
+            Err(e) if e.is_crash() => {
+                self.mark_crashed(g);
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Locally aborts an action that has not entered two-phase commit.
+    pub fn abort_local(&mut self, aid: ActionId) {
+        let mut touched = self.touched.remove(&aid).unwrap_or_default();
+        touched.extend(self.touched_read.remove(&aid).unwrap_or_default());
+        for g in touched {
+            if let Some(guardian) = self.guardians.get_mut(&g) {
+                guardian.heap.abort_action(aid);
+                guardian.mos.remove(&aid);
+                guardian.known.remove(&aid);
+                guardian.rs.discard(aid);
+            }
+        }
+        self.outcomes.insert(aid, false);
+    }
+
+    /// Runs housekeeping at `g`.
+    pub fn housekeep(&mut self, g: GuardianId, mode: HousekeepingMode) -> WorldResult<()> {
+        let guardian = self.live(g)?;
+        // Split borrow: the recovery system reads the heap during snapshot.
+        let Guardian { rs, heap, .. } = guardian;
+        rs.housekeeping(heap, mode)?;
+        Ok(())
+    }
+
+    // ---- two-phase commit -------------------------------------------------
+
+    /// Commits a top-level action: the full two-phase commit of §2.2, driven
+    /// to quiescence.
+    pub fn commit(&mut self, aid: ActionId) -> WorldResult<Outcome> {
+        let outcome = self.commit_inner(aid)?;
+        // Apply any automatic housekeeping policies now that the log grew
+        // ("as frequently as needed", ch. 5).
+        let gids: Vec<GuardianId> = self.guardians.keys().copied().collect();
+        for g in gids {
+            self.maybe_housekeep(g)?;
+        }
+        Ok(outcome)
+    }
+
+    fn commit_inner(&mut self, aid: ActionId) -> WorldResult<Outcome> {
+        let origin = aid.coordinator;
+        {
+            let mut gids: BTreeSet<GuardianId> =
+                self.touched.get(&aid).cloned().unwrap_or_default();
+            if let Some(readers) = self.touched_read.get(&aid) {
+                gids.extend(readers.iter().copied());
+            }
+            gids.insert(origin);
+            let guardian = self.live(origin)?;
+            let coordinator = Coordinator::new(aid, gids.into_iter().collect());
+            let effects = coordinator.start();
+            guardian.coordinators.insert(aid, coordinator);
+            self.exec_coord(origin, aid, effects)?;
+        }
+        self.run_until_quiet()?;
+
+        if let Some(&committed) = self.outcomes.get(&aid) {
+            return Ok(if committed {
+                Outcome::Committed
+            } else {
+                Outcome::Aborted
+            });
+        }
+        let Some(guardian) = self.guardians.get(&origin) else {
+            return Ok(Outcome::Pending);
+        };
+        if !guardian.up {
+            return Ok(Outcome::Pending);
+        }
+        match guardian.coordinators.get(&aid).map(|c| c.phase()) {
+            Some(argus_twopc::CoordPhase::Preparing) => {
+                // Some participant is down or silent: unilateral abort
+                // (§2.2.1, the Argus-system timeout).
+                let guardian = self.guardian_mut(origin)?;
+                let effects = guardian
+                    .coordinators
+                    .get_mut(&aid)
+                    .map(|c| c.abort_unilaterally())
+                    .unwrap_or_default();
+                self.exec_coord(origin, aid, effects)?;
+                self.run_until_quiet()?;
+                Ok(Outcome::Aborted)
+            }
+            Some(argus_twopc::CoordPhase::Committing) => {
+                // Committed; the missing acknowledgments arrive after the
+                // crashed participant restarts.
+                Ok(Outcome::Committed)
+            }
+            Some(argus_twopc::CoordPhase::Aborting) => Ok(Outcome::Aborted),
+            _ => Ok(Outcome::Pending),
+        }
+    }
+
+    // ---- crashes and restarts ----------------------------------------------
+
+    /// Crashes a guardian: volatile state is lost; the stable media survive.
+    pub fn crash(&mut self, g: GuardianId) {
+        self.mark_crashed(g);
+    }
+
+    fn mark_crashed(&mut self, g: GuardianId) {
+        if let Some(guardian) = self.guardians.get_mut(&g) {
+            guardian.up = false;
+        }
+        self.net.mark_down(g);
+    }
+
+    /// Arms the guardian's fault plan: the node will crash when the
+    /// `n + 1`-th subsequent low-level page write begins.
+    pub fn arm_crash_after_writes(&mut self, g: GuardianId, n: u64) -> WorldResult<()> {
+        let guardian = self.guardian_mut(g)?;
+        guardian.plan.arm_after_writes(n);
+        Ok(())
+    }
+
+    /// Whether the node is up. A node downed by an armed fault plan is only
+    /// discovered at its next storage operation, so check after operations.
+    pub fn is_up(&self, g: GuardianId) -> bool {
+        self.guardians
+            .get(&g)
+            .map(|gu| gu.up && !gu.plan.is_crashed())
+            .unwrap_or(false)
+    }
+
+    /// Restarts a crashed guardian: runs recovery, resumes in-doubt
+    /// participants (they query their coordinators) and committing
+    /// coordinators (they re-send commits), then drives the network to
+    /// quiescence. Returns the recovery outcome for inspection.
+    pub fn restart(&mut self, g: GuardianId) -> WorldResult<RecoveryOutcome> {
+        let guardian = self.guardian_mut(g)?;
+        guardian.plan.heal();
+        guardian.rs.simulate_crash()?;
+        guardian.heap = argus_objects::Heap::new();
+        guardian.mos.clear();
+        guardian.known.clear();
+        guardian.resolved.clear();
+        guardian.coord_done.clear();
+        guardian.coordinators.clear();
+        guardian.participants.clear();
+        let outcome = guardian.rs.recover(&mut guardian.heap)?;
+        // If recovery found nothing (fresh log), re-create the stable root.
+        if guardian.heap.stable_root().is_none() {
+            guardian.heap = argus_objects::Heap::with_stable_root();
+        }
+        guardian.up = true;
+
+        for (aid, state) in outcome.pt.iter() {
+            match state {
+                argus_core::PState::Committed => {
+                    guardian.resolved.insert(*aid, true);
+                    guardian.known.insert(*aid);
+                }
+                argus_core::PState::Aborted => {
+                    guardian.resolved.insert(*aid, false);
+                    guardian.known.insert(*aid);
+                }
+                argus_core::PState::Prepared => {
+                    guardian.known.insert(*aid);
+                }
+            }
+        }
+        for (aid, ct_state) in outcome.ct.iter() {
+            if matches!(ct_state, argus_core::CState::Done) {
+                guardian.coord_done.insert(*aid);
+            }
+        }
+        self.net.mark_up(g);
+
+        // Resume in-doubt participants: query the coordinator (§2.2.2).
+        for aid in outcome.pt.prepared_actions() {
+            let (participant, effects) = Participant::resume_in_doubt(aid, aid.coordinator);
+            self.guardian_mut(g)?.participants.insert(aid, participant);
+            self.exec_part(g, aid, effects)?;
+        }
+        // Resume committing coordinators: restart phase two (§2.2.3).
+        for (aid, gids) in outcome.ct.committing_actions() {
+            let (coordinator, effects) = Coordinator::resume_committing(aid, gids);
+            self.guardian_mut(g)?.coordinators.insert(aid, coordinator);
+            self.exec_coord(g, aid, effects)?;
+        }
+        self.run_until_quiet()?;
+        // A node coming back may be the coordinator some other guardian's
+        // in-doubt participant is waiting on; model the periodic query of
+        // §2.2.2 by a world-wide re-query sweep.
+        self.requery_in_doubt()?;
+        Ok(outcome)
+    }
+
+    /// Every in-doubt participant on an up guardian re-queries its
+    /// coordinator — the thesis's "if a participant has not heard from its
+    /// coordinator it can query the coordinator" (§2.2.2), which a real
+    /// system drives from a timer.
+    pub fn requery_in_doubt(&mut self) -> WorldResult<()> {
+        let queries: Vec<Envelope> = self
+            .guardians
+            .values()
+            .filter(|guardian| guardian.up)
+            .flat_map(|guardian| {
+                guardian.participants.iter().filter_map(move |(aid, p)| {
+                    (p.phase() == argus_twopc::PartPhase::Prepared).then_some(Envelope {
+                        from: guardian.id,
+                        to: p.coordinator,
+                        msg: Msg::QueryOutcome { aid: *aid },
+                    })
+                })
+            })
+            .collect();
+        for q in queries {
+            self.net.send(q);
+        }
+        self.run_until_quiet()
+    }
+
+    // ---- message loop -------------------------------------------------------
+
+    /// Delivers messages until the network is quiet.
+    pub fn run_until_quiet(&mut self) -> WorldResult<()> {
+        let mut budget = 1_000_000u64;
+        while let Some(envelope) = self.net.deliver_next() {
+            self.deliver(envelope)?;
+            budget -= 1;
+            if budget == 0 {
+                return Err(WorldError::Rs(argus_core::RsError::BadState(
+                    "message loop did not quiesce".into(),
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn deliver(&mut self, envelope: Envelope) -> WorldResult<()> {
+        let g = envelope.to;
+        let aid = envelope.msg.aid();
+        let Some(guardian) = self.guardians.get_mut(&g) else {
+            return Ok(());
+        };
+        if !guardian.up {
+            return Ok(());
+        }
+        match &envelope.msg {
+            Msg::Prepare { .. } => {
+                if guardian.participants.contains_key(&aid) {
+                    return Ok(()); // duplicate prepare
+                }
+                if let Some(&committed) = guardian.resolved.get(&aid) {
+                    // Already resolved here (e.g. coordinator retry storm).
+                    let reply = if committed {
+                        Msg::PrepareOk { aid }
+                    } else {
+                        Msg::PrepareRefused { aid }
+                    };
+                    self.net.send(Envelope {
+                        from: g,
+                        to: envelope.from,
+                        msg: reply,
+                    });
+                    return Ok(());
+                }
+                if !guardian.known.contains(&aid) {
+                    // "If the action is unknown at the participant (because
+                    // it never ran there, was aborted locally, or was wiped
+                    // out by a crash), then it replies aborted" (§2.2.2).
+                    self.net.send(Envelope {
+                        from: g,
+                        to: envelope.from,
+                        msg: Msg::PrepareRefused { aid },
+                    });
+                    return Ok(());
+                }
+                let (participant, effects) = Participant::on_prepare(aid, envelope.from);
+                guardian.participants.insert(aid, participant);
+                self.exec_part(g, aid, effects)
+            }
+            Msg::Commit { .. } | Msg::Abort { .. } | Msg::Outcome { .. } => {
+                if guardian.participants.contains_key(&aid) {
+                    let effects = guardian
+                        .participants
+                        .get_mut(&aid)
+                        .map(|p| p.on_msg(&envelope.msg))
+                        .unwrap_or_default();
+                    self.exec_part(g, aid, effects)
+                } else {
+                    // Participant already resolved and forgotten: re-ack so
+                    // the coordinator can finish.
+                    let reply = match &envelope.msg {
+                        Msg::Commit { .. } => Some(Msg::CommitAck { aid }),
+                        Msg::Abort { .. } => Some(Msg::AbortAck { aid }),
+                        _ => None,
+                    };
+                    if let Some(msg) = reply {
+                        self.net.send(Envelope {
+                            from: g,
+                            to: envelope.from,
+                            msg,
+                        });
+                    }
+                    Ok(())
+                }
+            }
+            Msg::PrepareOk { .. }
+            | Msg::PrepareRefused { .. }
+            | Msg::CommitAck { .. }
+            | Msg::AbortAck { .. } => {
+                let effects = guardian
+                    .coordinators
+                    .get_mut(&aid)
+                    .map(|c| c.on_msg(envelope.from, &envelope.msg))
+                    .unwrap_or_default();
+                self.exec_coord(g, aid, effects)
+            }
+            Msg::QueryOutcome { .. } => {
+                if let Some(coordinator) = guardian.coordinators.get_mut(&aid) {
+                    let effects = coordinator.on_msg(envelope.from, &envelope.msg);
+                    self.exec_coord(g, aid, effects)
+                } else {
+                    // Finished (done on the log) or forgotten (⇒ aborted,
+                    // §2.2.3).
+                    let committed = guardian.coord_done.contains(&aid)
+                        || self.outcomes.get(&aid) == Some(&true);
+                    self.net.send(Envelope {
+                        from: g,
+                        to: envelope.from,
+                        msg: Msg::Outcome { aid, committed },
+                    });
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn exec_coord(
+        &mut self,
+        g: GuardianId,
+        aid: ActionId,
+        effects: Vec<CoordEffect>,
+    ) -> WorldResult<()> {
+        let mut queue: std::collections::VecDeque<CoordEffect> = effects.into();
+        while let Some(effect) = queue.pop_front() {
+            match effect {
+                CoordEffect::Send { to, msg } => {
+                    self.net.send(Envelope { from: g, to, msg });
+                }
+                CoordEffect::ForceCommitting => {
+                    let guardian = self.guardian_mut(g)?;
+                    let gids: Vec<GuardianId> = guardian
+                        .coordinators
+                        .get(&aid)
+                        .map(|c| c.participants.clone())
+                        .unwrap_or_default();
+                    match guardian.rs.committing(aid, &gids) {
+                        Ok(()) => {
+                            let more = guardian
+                                .coordinators
+                                .get_mut(&aid)
+                                .map(|c| c.committing_forced())
+                                .unwrap_or_default();
+                            queue.extend(more);
+                        }
+                        Err(e) if e.is_crash() => {
+                            self.mark_crashed(g);
+                            return Ok(());
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                CoordEffect::ForceDone => {
+                    let guardian = self.guardian_mut(g)?;
+                    match guardian.rs.done(aid) {
+                        Ok(()) => {
+                            let more = guardian
+                                .coordinators
+                                .get_mut(&aid)
+                                .map(|c| c.done_forced())
+                                .unwrap_or_default();
+                            queue.extend(more);
+                        }
+                        Err(e) if e.is_crash() => {
+                            self.mark_crashed(g);
+                            return Ok(());
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                CoordEffect::Finished { committed } => {
+                    self.outcomes.insert(aid, committed);
+                    let guardian = self.guardian_mut(g)?;
+                    guardian.coordinators.remove(&aid);
+                    if committed {
+                        guardian.coord_done.insert(aid);
+                    }
+                    self.touched.remove(&aid);
+                    self.touched_read.remove(&aid);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_part(
+        &mut self,
+        g: GuardianId,
+        aid: ActionId,
+        effects: Vec<PartEffect>,
+    ) -> WorldResult<()> {
+        let mut queue: std::collections::VecDeque<PartEffect> = effects.into();
+        while let Some(effect) = queue.pop_front() {
+            match effect {
+                PartEffect::Send { to, msg } => {
+                    self.net.send(Envelope { from: g, to, msg });
+                }
+                PartEffect::PrepareLocally => {
+                    let guardian = self.guardian_mut(g)?;
+                    let mos = guardian.mos.remove(&aid).unwrap_or_default();
+                    let Guardian { rs, heap, .. } = guardian;
+                    match rs.prepare(aid, &mos, heap) {
+                        Ok(()) => {
+                            let more = guardian
+                                .participants
+                                .get_mut(&aid)
+                                .map(|p| p.prepare_succeeded())
+                                .unwrap_or_default();
+                            queue.extend(more);
+                        }
+                        Err(e) if e.is_crash() => {
+                            self.mark_crashed(g);
+                            return Ok(());
+                        }
+                        Err(_) => {
+                            let more = guardian
+                                .participants
+                                .get_mut(&aid)
+                                .map(|p| p.prepare_failed())
+                                .unwrap_or_default();
+                            queue.extend(more);
+                        }
+                    }
+                }
+                PartEffect::ForceCommit => {
+                    let guardian = self.guardian_mut(g)?;
+                    match guardian.rs.commit(aid) {
+                        Ok(()) => {
+                            guardian.heap.commit_action(aid);
+                            guardian.resolved.insert(aid, true);
+                            let more = guardian
+                                .participants
+                                .get_mut(&aid)
+                                .map(|p| p.commit_forced())
+                                .unwrap_or_default();
+                            queue.extend(more);
+                        }
+                        Err(e) if e.is_crash() => {
+                            self.mark_crashed(g);
+                            return Ok(());
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                PartEffect::ForceAbort => {
+                    let guardian = self.guardian_mut(g)?;
+                    match guardian.rs.abort(aid) {
+                        Ok(()) => {
+                            guardian.heap.abort_action(aid);
+                            guardian.resolved.insert(aid, false);
+                            let more = guardian
+                                .participants
+                                .get_mut(&aid)
+                                .map(|p| p.abort_forced())
+                                .unwrap_or_default();
+                            queue.extend(more);
+                        }
+                        Err(e) if e.is_crash() => {
+                            self.mark_crashed(g);
+                            return Ok(());
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                PartEffect::Finished { .. } => {
+                    let guardian = self.guardian_mut(g)?;
+                    guardian.participants.remove(&aid);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The final verdict for `aid`, if the protocol completed at the
+    /// coordinator.
+    pub fn verdict(&self, aid: ActionId) -> Option<bool> {
+        self.outcomes.get(&aid).copied()
+    }
+
+    /// Network statistics.
+    pub fn network(&self) -> &SimNetwork {
+        &self.net
+    }
+
+    /// Enables deterministic network fault injection (message duplication
+    /// and reordering) for everything delivered from now on.
+    pub fn enable_network_faults(&mut self, seed: u64, duplicate_prob: f64, defer_prob: f64) {
+        self.net
+            .set_faults(Some(NetFaults::new(seed, duplicate_prob, defer_prob)));
+    }
+
+    /// Installs an automatic housekeeping policy at `g`: after each commit
+    /// or abort record, if the guardian's log has grown past `max_entries`,
+    /// the world runs a housekeeping pass — "Whenever the Argus system has
+    /// determined that enough old information has accumulated on stable
+    /// storage at a guardian, it calls the housekeeping operation" (§2.3).
+    pub fn set_housekeeping_policy(
+        &mut self,
+        g: GuardianId,
+        max_entries: u64,
+        mode: HousekeepingMode,
+    ) -> WorldResult<()> {
+        let guardian = self.guardian_mut(g)?;
+        guardian.hk_policy = Some((max_entries, mode));
+        Ok(())
+    }
+
+    /// Applies the housekeeping policy at `g` if its threshold is exceeded.
+    /// Returns whether a pass ran.
+    pub fn maybe_housekeep(&mut self, g: GuardianId) -> WorldResult<bool> {
+        let guardian = self.guardian_mut(g)?;
+        let Some((max_entries, mode)) = guardian.hk_policy else {
+            return Ok(false);
+        };
+        if !guardian.up || guardian.rs.log_stats().entries <= max_entries {
+            return Ok(false);
+        }
+        let Guardian { rs, heap, .. } = guardian;
+        rs.housekeeping(heap, mode)?;
+        Ok(true)
+    }
+}

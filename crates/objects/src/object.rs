@@ -1,0 +1,168 @@
+//! Recoverable objects: built-in atomic objects and mutex objects.
+
+use crate::{ActionId, Uid, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The flavor of a recoverable object, recorded in every data entry (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjKind {
+    /// A built-in atomic object (read/write locks, base + current versions).
+    Atomic,
+    /// A mutex object (single version, seize/release).
+    Mutex,
+}
+
+impl fmt::Display for ObjKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjKind::Atomic => write!(f, "atomic"),
+            ObjKind::Mutex => write!(f, "mutex"),
+        }
+    }
+}
+
+/// A built-in atomic object (§2.4.1).
+///
+/// "When a write lock is obtained, a version of the object is made (in
+/// volatile memory), and the action operates on this version. If the action
+/// ultimately commits, this version will be retained and the old version
+/// discarded. If the action aborts, this version will be discarded, and the
+/// old version retained."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicObject {
+    /// The committed (base) version.
+    pub base: Value,
+    /// The uncommitted (current) version; present iff write-locked.
+    pub current: Option<Value>,
+    /// The write-lock holder.
+    pub writer: Option<ActionId>,
+    /// Read-lock holders.
+    pub readers: BTreeSet<ActionId>,
+}
+
+impl AtomicObject {
+    /// Creates an unlocked atomic object with the given base version.
+    pub fn new(base: Value) -> Self {
+        Self {
+            base,
+            current: None,
+            writer: None,
+            readers: BTreeSet::new(),
+        }
+    }
+
+    /// The version an action observes: its own current version while it
+    /// holds the write lock, otherwise the base version.
+    pub fn version_for(&self, aid: Option<ActionId>) -> &Value {
+        match (&self.current, self.writer, aid) {
+            (Some(cur), Some(w), Some(a)) if w == a => cur,
+            _ => &self.base,
+        }
+    }
+
+    /// Whether any action other than `aid` holds a lock.
+    pub fn locked_by_other(&self, aid: ActionId) -> bool {
+        if let Some(w) = self.writer {
+            if w != aid {
+                return true;
+            }
+        }
+        self.readers.iter().any(|r| *r != aid)
+    }
+}
+
+/// A mutex object (§2.4.2): a container with a single current version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutexObject {
+    /// The one and only version.
+    pub value: Value,
+    /// The action currently in possession via `seize`, if any.
+    pub seized_by: Option<ActionId>,
+}
+
+impl MutexObject {
+    /// Creates an unseized mutex object.
+    pub fn new(value: Value) -> Self {
+        Self {
+            value,
+            seized_by: None,
+        }
+    }
+}
+
+/// The body of a recoverable object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjectBody {
+    /// A built-in atomic object.
+    Atomic(AtomicObject),
+    /// A mutex object.
+    Mutex(MutexObject),
+}
+
+impl ObjectBody {
+    /// The object's kind tag.
+    pub fn kind(&self) -> ObjKind {
+        match self {
+            ObjectBody::Atomic(_) => ObjKind::Atomic,
+            ObjectBody::Mutex(_) => ObjKind::Mutex,
+        }
+    }
+}
+
+/// A recoverable object as it sits in volatile memory: kind + uid + data
+/// (Figure 3-2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectSlot {
+    /// The object's durable unique identifier.
+    pub uid: Uid,
+    /// The object's body.
+    pub body: ObjectBody,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GuardianId;
+
+    fn aid(n: u64) -> ActionId {
+        ActionId::new(GuardianId(0), n)
+    }
+
+    #[test]
+    fn version_for_prefers_writers_current() {
+        let mut obj = AtomicObject::new(Value::Int(1));
+        obj.current = Some(Value::Int(2));
+        obj.writer = Some(aid(1));
+        assert_eq!(obj.version_for(Some(aid(1))), &Value::Int(2));
+        assert_eq!(obj.version_for(Some(aid(2))), &Value::Int(1));
+        assert_eq!(obj.version_for(None), &Value::Int(1));
+    }
+
+    #[test]
+    fn locked_by_other_ignores_own_locks() {
+        let mut obj = AtomicObject::new(Value::Unit);
+        obj.readers.insert(aid(1));
+        assert!(!obj.locked_by_other(aid(1)));
+        assert!(obj.locked_by_other(aid(2)));
+        obj.readers.clear();
+        obj.writer = Some(aid(3));
+        obj.current = Some(Value::Unit);
+        assert!(obj.locked_by_other(aid(1)));
+        assert!(!obj.locked_by_other(aid(3)));
+    }
+
+    #[test]
+    fn kind_tags() {
+        assert_eq!(
+            ObjectBody::Atomic(AtomicObject::new(Value::Unit)).kind(),
+            ObjKind::Atomic
+        );
+        assert_eq!(
+            ObjectBody::Mutex(MutexObject::new(Value::Unit)).kind(),
+            ObjKind::Mutex
+        );
+        assert_eq!(ObjKind::Atomic.to_string(), "atomic");
+        assert_eq!(ObjKind::Mutex.to_string(), "mutex");
+    }
+}

@@ -1,0 +1,25 @@
+//! The shadowing baseline (§1.2.1 of the thesis).
+//!
+//! Storage is organized as *version storage* (an append-only area holding
+//! object versions) plus a **map** associating every object uid with the
+//! location of its current committed version. Committing an action writes a
+//! brand-new map and installs it atomically; aborting discards the new
+//! versions and leaves the map untouched. Because the data is distributed, a
+//! small log of in-process actions (intents) rides along, exactly as the
+//! thesis describes: "If the data an action manipulates is distributed, then
+//! a map alone is not enough for shadowing to work properly. A log is also
+//! required."
+//!
+//! The cost profile is the point of this crate: **commit rewrites the whole
+//! map** (cost proportional to the number of live objects — experiment E7),
+//! while **recovery reads one map plus the live versions** (no history scan
+//! — experiment E2). It implements the same
+//! [`argus_core::RecoverySystem`] trait as the simple and hybrid logs, so
+//! the three organizations are interchangeable under the guardian substrate
+//! and directly comparable in the benchmarks.
+
+mod record;
+mod rs;
+
+pub use record::{decode_record, encode_record, IntentBody, ShadowRecord};
+pub use rs::ShadowRs;

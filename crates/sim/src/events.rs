@@ -1,0 +1,160 @@
+//! A minimal discrete-event queue.
+
+use crate::SimClock;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled for a point in logical time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// Delivery time in microseconds.
+    pub at: u64,
+    /// Tie-break sequence number; preserves FIFO order among events
+    /// scheduled for the same instant.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event scheduler over a [`SimClock`].
+///
+/// Events scheduled for the same instant pop in insertion order, so a run is
+/// a pure function of the inputs.
+///
+/// # Examples
+///
+/// ```
+/// use argus_sim::{EventQueue, SimClock};
+///
+/// let clock = SimClock::new();
+/// let mut q = EventQueue::new(clock.clone());
+/// q.schedule_in(10, "b");
+/// q.schedule_in(5, "a");
+/// assert_eq!(q.pop(), Some("a"));
+/// assert_eq!(clock.now(), 5);
+/// assert_eq!(q.pop(), Some("b"));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    clock: SimClock,
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue over the given clock.
+    pub fn new(clock: SimClock) -> Self {
+        Self {
+            clock,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at` (clamped to now if in the past).
+    pub fn schedule_at(&mut self, at: u64, event: E) {
+        let at = at.max(self.clock.now());
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` `delay` microseconds from now.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.schedule_at(self.clock.now() + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its delivery time.
+    pub fn pop(&mut self) -> Option<E> {
+        let scheduled = self.heap.pop()?;
+        self.clock.advance_to(scheduled.at);
+        Some(scheduled.event)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event, e.g. when a simulated node crashes and its
+    /// in-flight work disappears.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new(SimClock::new());
+        q.schedule_at(30, 3);
+        q.schedule_at(10, 1);
+        q.schedule_at(20, 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new(SimClock::new());
+        q.schedule_at(5, "first");
+        q.schedule_at(5, "second");
+        q.schedule_at(5, "third");
+        assert_eq!(q.pop(), Some("first"));
+        assert_eq!(q.pop(), Some("second"));
+        assert_eq!(q.pop(), Some("third"));
+    }
+
+    #[test]
+    fn pop_advances_clock() {
+        let clock = SimClock::new();
+        let mut q = EventQueue::new(clock.clone());
+        q.schedule_at(42, ());
+        q.pop();
+        assert_eq!(clock.now(), 42);
+    }
+
+    #[test]
+    fn past_events_run_now() {
+        let clock = SimClock::new();
+        clock.advance(100);
+        let mut q = EventQueue::new(clock.clone());
+        q.schedule_at(10, ());
+        q.pop();
+        assert_eq!(clock.now(), 100);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new(SimClock::new());
+        q.schedule_in(1, ());
+        q.schedule_in(2, ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,25 @@
+//! Deterministic simulation substrate for the Argus reliable-storage stack.
+//!
+//! The thesis assumes real stable-storage devices and a real distributed
+//! system; this crate supplies deterministic stand-ins so that every
+//! experiment and every fault-injection run is exactly reproducible:
+//!
+//! * [`SimClock`] — a shared logical clock in microseconds. Device models and
+//!   the network charge time against it instead of sleeping.
+//! * [`DetRng`] — a small, seedable xorshift64* generator with the uniform and
+//!   zipfian draws the workload generators need. We deliberately avoid
+//!   platform entropy: a seed fully determines a run.
+//! * [`CostModel`] / [`DeviceStats`] — the I/O cost accounting used to report
+//!   simulated device time for the write-path and recovery experiments.
+//! * [`EventQueue`] — a tiny discrete-event scheduler used by the simulated
+//!   network in `argus-guardian`.
+
+mod clock;
+mod cost;
+mod events;
+mod rng;
+
+pub use clock::SimClock;
+pub use cost::{CostModel, DeviceStats, OpKind, StatsSnapshot};
+pub use events::{EventQueue, Scheduled};
+pub use rng::{DetRng, Zipf};

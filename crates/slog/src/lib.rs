@@ -1,0 +1,43 @@
+//! The stable log abstraction (§3.1 of the thesis).
+//!
+//! > "We postulate the existence of a stable storage system that provides
+//! > objects that look like stable logs and behave like stable logs."
+//!
+//! This crate is that stable-log object, built over the atomic page stores of
+//! `argus-stable`. It provides exactly the thesis's interface \[Raible 83\]:
+//!
+//! | thesis operation             | here                                   |
+//! |------------------------------|----------------------------------------|
+//! | `write(log, entry)`          | [`StableLog::write`]                   |
+//! | `force_write(log, entry)`    | [`StableLog::force_write`]             |
+//! | `read(log, log_address)`     | [`StableLog::read`]                    |
+//! | `read_backward(log, addr)`   | [`StableLog::read_backward`]           |
+//! | `get_top(log)`               | [`StableLog::get_top`]                 |
+//! | `create()`                   | [`StableLog::create`]                  |
+//! | `destroy(log)`               | dropping / replacing via [`LogRoot`]   |
+//!
+//! Semantics preserved from the thesis:
+//!
+//! * `write` buffers; "the actual writing of the data to the stable storage
+//!   device may not have happened when this operation returns". A crash
+//!   discards buffered entries.
+//! * `force_write` makes the entry *and every earlier buffered entry*
+//!   durable before returning.
+//! * Entries are addressed by [`LogAddress`]; addresses are monotonically
+//!   increasing, which the hybrid log's mutex-recency rule (§4.4) relies on.
+//!
+//! Records are framed with a CRC32 and a trailer that allows walking the log
+//! backwards, and a superblock on page 0 is atomically rewritten at each
+//! force — the commit point that makes a multi-page force all-or-nothing.
+//! [`LogRoot`] provides the "new log supplants the old log in one atomic
+//! step" needed by housekeeping (ch. 5).
+
+mod addr;
+mod codec;
+mod log;
+mod root;
+
+pub use addr::LogAddress;
+pub use codec::{crc32, CodecError, CodecResult, Decoder, Encoder};
+pub use log::{BackwardIter, LogError, LogResult, StableLog};
+pub use root::LogRoot;

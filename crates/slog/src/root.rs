@@ -1,0 +1,103 @@
+//! The log root: one atomic pointer to the active log.
+//!
+//! Housekeeping (ch. 5) ends with "in one atomic step, the new log supplants
+//! the old log". [`LogRoot`] is that step: a single stable page naming the
+//! active log generation, rewritten atomically.
+
+use crate::{crc32, LogError, LogResult};
+use argus_stable::{Page, PageStore};
+
+const ROOT_MAGIC: u64 = 0x4152_4755_524F_4F54; // "ARGUROOT"
+
+/// A stable cell holding the identifier of a guardian's active log.
+#[derive(Debug)]
+pub struct LogRoot<S: PageStore> {
+    store: S,
+}
+
+impl<S: PageStore> LogRoot<S> {
+    /// Formats a fresh root pointing at log generation `initial`.
+    pub fn create(store: S, initial: u64) -> LogResult<Self> {
+        let mut root = Self { store };
+        root.switch(initial)?;
+        Ok(root)
+    }
+
+    /// Opens an existing root.
+    pub fn open(store: S) -> LogResult<Self> {
+        let mut root = Self { store };
+        root.active()?; // validate
+        Ok(root)
+    }
+
+    /// Returns the active log generation.
+    pub fn active(&mut self) -> LogResult<u64> {
+        let page = self.store.read_page(0)?;
+        let buf = page.as_slice();
+        let magic = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        if magic != ROOT_MAGIC {
+            return Err(LogError::NotALog);
+        }
+        let id = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let crc = u32::from_le_bytes(buf[16..20].try_into().unwrap());
+        if crc != crc32(&buf[0..16]) {
+            return Err(LogError::Corrupt {
+                offset: 0,
+                what: "root checksum",
+            });
+        }
+        Ok(id)
+    }
+
+    /// Atomically repoints the root at log generation `id` — the single
+    /// atomic step that retires an old log.
+    pub fn switch(&mut self, id: u64) -> LogResult<()> {
+        let mut buf = [0u8; 20];
+        buf[0..8].copy_from_slice(&ROOT_MAGIC.to_le_bytes());
+        buf[8..16].copy_from_slice(&id.to_le_bytes());
+        let crc = crc32(&buf[0..16]);
+        buf[16..20].copy_from_slice(&crc.to_le_bytes());
+        self.store.write_page(0, &Page::from_bytes(&buf))?;
+        self.store.sync()?;
+        Ok(())
+    }
+
+    /// Consumes the root, returning its store (crash simulation).
+    pub fn into_store(self) -> S {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_sim::{CostModel, SimClock};
+    use argus_stable::MemStore;
+
+    fn mem() -> MemStore {
+        MemStore::new(SimClock::new(), CostModel::fast())
+    }
+
+    #[test]
+    fn create_then_read() {
+        let mut root = LogRoot::create(mem(), 1).unwrap();
+        assert_eq!(root.active().unwrap(), 1);
+    }
+
+    #[test]
+    fn switch_is_visible_after_reopen() {
+        let mut root = LogRoot::create(mem(), 1).unwrap();
+        root.switch(2).unwrap();
+        let mut root = LogRoot::open(root.into_store()).unwrap();
+        assert_eq!(root.active().unwrap(), 2);
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let mut store = mem();
+        store
+            .write_page(0, &Page::from_bytes(b"not a root"))
+            .unwrap();
+        assert!(LogRoot::open(store).is_err());
+    }
+}

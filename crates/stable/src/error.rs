@@ -1,0 +1,84 @@
+//! Storage-layer errors.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors surfaced by the storage stack.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The fault plan fired: the simulated node has crashed. All volatile
+    /// state must be discarded and recovery run against the surviving media.
+    Crashed,
+    /// Both copies of a mirrored page were unreadable — stable storage
+    /// itself has failed. The thesis treats this as a catastrophe whose
+    /// probability the mirroring makes negligible; the simulator surfaces it
+    /// so tests can prove single-copy decay never causes it.
+    BothCopiesBad { page: u64 },
+    /// A raw (unmirrored) page was unreadable.
+    BadPage { page: u64 },
+    /// Access beyond the end of the device.
+    OutOfRange { page: u64, len: u64 },
+    /// An underlying real-file I/O error (file-backed store only).
+    Io(io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Crashed => write!(f, "simulated node crash"),
+            StorageError::BothCopiesBad { page } => {
+                write!(f, "both mirrored copies of page {page} are bad")
+            }
+            StorageError::BadPage { page } => write!(f, "page {page} is unreadable"),
+            StorageError::OutOfRange { page, len } => {
+                write!(f, "page {page} out of range (device has {len} pages)")
+            }
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl StorageError {
+    /// Returns `true` when the error is the simulated node crash, which the
+    /// harness treats as "stop, drop volatile state, recover".
+    pub fn is_crash(&self) -> bool {
+        matches!(self, StorageError::Crashed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::BothCopiesBad { page: 7 };
+        assert!(e.to_string().contains("page 7"));
+        assert!(StorageError::Crashed.is_crash());
+        assert!(!e.is_crash());
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: StorageError = io::Error::other("boom").into();
+        assert!(matches!(e, StorageError::Io(_)));
+    }
+}

@@ -1,0 +1,167 @@
+//! Crash and decay injection.
+
+use crate::{StorageError, StorageResult};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A shared fault plan for one simulated node's device stack.
+///
+/// A plan is armed with a countdown of low-level page writes; when the
+/// countdown reaches zero the node "crashes": the in-progress write is torn
+/// and every subsequent operation fails with [`StorageError::Crashed`] until
+/// the harness calls [`FaultPlan::heal`] (modelling the node restarting).
+///
+/// Clones share state, so one plan can be threaded through a mirrored disk,
+/// the log on top of it, and the recovery system above that.
+///
+/// # Examples
+///
+/// ```
+/// use argus_stable::FaultPlan;
+///
+/// let plan = FaultPlan::new();
+/// plan.arm_after_writes(2);
+/// assert!(plan.note_write().is_ok());   // write 1
+/// assert!(plan.note_write().is_ok());   // write 2
+/// assert!(plan.note_write().is_err());  // crash fires here
+/// assert!(plan.is_crashed());
+/// plan.heal();
+/// assert!(plan.note_write().is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Arc<Mutex<PlanInner>>,
+}
+
+#[derive(Debug, Default)]
+struct PlanInner {
+    /// Remaining low-level writes before a crash fires. `None` = disarmed.
+    writes_until_crash: Option<u64>,
+    /// Set once a crash has fired; cleared by `heal`.
+    crashed: bool,
+    /// Total crashes fired over the plan's lifetime.
+    crash_count: u64,
+}
+
+impl FaultPlan {
+    /// Creates a disarmed plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms the plan to crash when the `n + 1`-th subsequent low-level write
+    /// begins (i.e. `n` more writes complete, the next one tears).
+    pub fn arm_after_writes(&self, n: u64) {
+        let mut inner = self.inner.lock();
+        inner.writes_until_crash = Some(n);
+    }
+
+    /// Disarms a pending crash without healing an already-fired one.
+    pub fn disarm(&self) {
+        self.inner.lock().writes_until_crash = None;
+    }
+
+    /// Called by devices before every low-level page write.
+    ///
+    /// Returns `Err(Crashed)` when the crash fires on this write (the caller
+    /// must tear the page) or when the node is already down.
+    pub fn note_write(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.crashed {
+            return Err(StorageError::Crashed);
+        }
+        match &mut inner.writes_until_crash {
+            Some(0) => {
+                inner.writes_until_crash = None;
+                inner.crashed = true;
+                inner.crash_count += 1;
+                Err(StorageError::Crashed)
+            }
+            Some(n) => {
+                *n -= 1;
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Called by devices before reads; a down node cannot read either.
+    pub fn note_read(&self) -> StorageResult<()> {
+        if self.inner.lock().crashed {
+            Err(StorageError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Returns whether the node is currently down.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.lock().crashed
+    }
+
+    /// Restarts the node: clears the crashed flag. Volatile state above the
+    /// device layer must be discarded by the caller; the media keep whatever
+    /// the crash left behind.
+    pub fn heal(&self) {
+        self.inner.lock().crashed = false;
+    }
+
+    /// Total crashes fired so far.
+    pub fn crash_count(&self) -> u64 {
+        self.inner.lock().crash_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_plan_never_fires() {
+        let plan = FaultPlan::new();
+        for _ in 0..1000 {
+            plan.note_write().unwrap();
+        }
+        assert!(!plan.is_crashed());
+    }
+
+    #[test]
+    fn countdown_fires_exactly_once_armed() {
+        let plan = FaultPlan::new();
+        plan.arm_after_writes(0);
+        assert!(plan.note_write().is_err());
+        assert_eq!(plan.crash_count(), 1);
+        // Still down until healed.
+        assert!(plan.note_write().is_err());
+        assert_eq!(plan.crash_count(), 1);
+    }
+
+    #[test]
+    fn reads_fail_while_down() {
+        let plan = FaultPlan::new();
+        plan.arm_after_writes(0);
+        let _ = plan.note_write();
+        assert!(plan.note_read().is_err());
+        plan.heal();
+        assert!(plan.note_read().is_ok());
+    }
+
+    #[test]
+    fn disarm_cancels_pending_crash() {
+        let plan = FaultPlan::new();
+        plan.arm_after_writes(1);
+        plan.disarm();
+        for _ in 0..10 {
+            plan.note_write().unwrap();
+        }
+    }
+
+    #[test]
+    fn clones_share_the_plan() {
+        let plan = FaultPlan::new();
+        let other = plan.clone();
+        plan.arm_after_writes(0);
+        assert!(other.note_write().is_err());
+        assert!(plan.is_crashed());
+    }
+}

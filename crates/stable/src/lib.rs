@@ -1,0 +1,46 @@
+//! Simulated atomic stable storage.
+//!
+//! The thesis *assumes* stable storage: "we assume that atomic stable storage
+//! exists, has the right properties, and is available to use" (§1.1). It cites
+//! Lampson & Sturgis's construction — mirror every logical page on two disks
+//! with independent failure modes, write one copy then the other, and repair
+//! on read.
+//!
+//! This crate supplies that substrate, simulated deterministically:
+//!
+//! * [`RawDisk`] — a fallible disk: pages can *decay* (spontaneously become
+//!   unreadable) and a crash in the middle of a write *tears* the page.
+//! * [`MirroredDisk`] — the Lampson–Sturgis pair over two raw disks. A crash
+//!   at any point leaves every logical page readable as either its old or its
+//!   new value — never garbage. Decayed copies are repaired from the twin on
+//!   read.
+//! * [`MemStore`] — an always-good page store for experiments where media
+//!   faults are not under test (node crashes are injected above this layer).
+//! * [`FileStore`] — the same interface persisted in a real file, so examples
+//!   can survive actual process restarts.
+//! * [`ByteDevice`] — a byte-addressed extent view over any [`PageStore`];
+//!   the stable log in `argus-slog` is built on it.
+//! * [`FaultPlan`] — the crash/decay injector shared by a device stack.
+//!
+//! All I/O charges simulated time against an [`argus_sim::SimClock`] through
+//! [`argus_sim::DeviceStats`], so experiments can report device cost.
+
+mod bytedev;
+mod error;
+mod fault;
+mod file;
+mod mem;
+mod mirror;
+mod page;
+mod raw;
+mod store;
+
+pub use bytedev::ByteDevice;
+pub use error::{StorageError, StorageResult};
+pub use fault::FaultPlan;
+pub use file::FileStore;
+pub use mem::MemStore;
+pub use mirror::MirroredDisk;
+pub use page::{Page, PageNo, PAGE_SIZE};
+pub use raw::RawDisk;
+pub use store::PageStore;

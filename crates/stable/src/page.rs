@@ -1,0 +1,108 @@
+//! Fixed-size storage pages.
+
+use std::fmt;
+
+/// Size of one storage page in bytes.
+///
+/// Small by modern standards, matching the early-80s devices the thesis has
+/// in mind; nothing above this layer depends on the exact value.
+pub const PAGE_SIZE: usize = 512;
+
+/// A page number on a device.
+pub type PageNo = u64;
+
+/// One page of storage contents.
+///
+/// Pages are plain byte blocks; interpretation belongs to higher layers.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Page {
+    bytes: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// Creates a zero-filled page.
+    pub fn zeroed() -> Self {
+        Self {
+            bytes: Box::new([0; PAGE_SIZE]),
+        }
+    }
+
+    /// Creates a page from a byte slice, zero-padding to [`PAGE_SIZE`].
+    /// Panics if `data` is longer than a page.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        assert!(
+            data.len() <= PAGE_SIZE,
+            "page overflow: {} bytes",
+            data.len()
+        );
+        let mut page = Self::zeroed();
+        page.bytes[..data.len()].copy_from_slice(data);
+        page
+    }
+
+    /// Returns the page contents.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..]
+    }
+
+    /// Returns the page contents mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.bytes[..]
+    }
+
+    /// A cheap content fingerprint used by the raw-disk simulator to detect
+    /// torn/decayed pages, standing in for a sector ECC.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the page body.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self.bytes.iter() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Page(fp={:016x})", self.fingerprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_page_is_all_zero() {
+        assert!(Page::zeroed().as_slice().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn from_bytes_pads_with_zeros() {
+        let p = Page::from_bytes(&[1, 2, 3]);
+        assert_eq!(&p.as_slice()[..3], &[1, 2, 3]);
+        assert!(p.as_slice()[3..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "page overflow")]
+    fn from_bytes_rejects_oversize() {
+        Page::from_bytes(&[0u8; PAGE_SIZE + 1]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = Page::from_bytes(b"hello");
+        let b = Page::from_bytes(b"hello");
+        let c = Page::from_bytes(b"world");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

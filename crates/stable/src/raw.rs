@@ -1,0 +1,136 @@
+//! The fallible raw disk underneath a mirror.
+
+use crate::{FaultPlan, Page, PageNo, StorageError, StorageResult};
+
+/// The simulated condition of one raw page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RawPage {
+    /// Readable contents.
+    Good(Page),
+    /// Unreadable: decayed spontaneously or torn by a crash mid-write.
+    Bad,
+}
+
+/// One half of a Lampson–Sturgis mirrored pair.
+///
+/// A raw disk is *not* atomic: a crash during [`RawDisk::write`] leaves the
+/// page unreadable (torn), and any page may be marked decayed by the test
+/// harness. [`crate::MirroredDisk`] builds the atomic abstraction on top.
+#[derive(Debug, Clone)]
+pub struct RawDisk {
+    pages: Vec<RawPage>,
+}
+
+impl RawDisk {
+    /// Creates an empty raw disk.
+    pub fn new() -> Self {
+        Self { pages: Vec::new() }
+    }
+
+    /// Grows the disk to hold at least `len` pages (zero-filled).
+    pub fn ensure_len(&mut self, len: u64) {
+        while (self.pages.len() as u64) < len {
+            self.pages.push(RawPage::Good(Page::zeroed()));
+        }
+    }
+
+    /// Number of pages on the disk.
+    pub fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Reads a page, failing if it has decayed or was torn.
+    pub fn read(&self, pno: PageNo) -> StorageResult<Page> {
+        match self.pages.get(pno as usize) {
+            Some(RawPage::Good(p)) => Ok(p.clone()),
+            Some(RawPage::Bad) => Err(StorageError::BadPage { page: pno }),
+            None => Err(StorageError::OutOfRange {
+                page: pno,
+                len: self.page_count(),
+            }),
+        }
+    }
+
+    /// Writes a page. Consults `plan` first: if the crash fires on this
+    /// write the page is torn (left unreadable) and the error propagates —
+    /// precisely the failure the mirrored pair exists to mask.
+    pub fn write(&mut self, pno: PageNo, page: &Page, plan: &FaultPlan) -> StorageResult<()> {
+        self.ensure_len(pno + 1);
+        if let Err(e) = plan.note_write() {
+            self.pages[pno as usize] = RawPage::Bad;
+            return Err(e);
+        }
+        self.pages[pno as usize] = RawPage::Good(page.clone());
+        Ok(())
+    }
+
+    /// Repairs a page from known-good contents (used by the mirror after
+    /// reading the twin).
+    pub fn repair(&mut self, pno: PageNo, page: &Page) {
+        self.ensure_len(pno + 1);
+        self.pages[pno as usize] = RawPage::Good(page.clone());
+    }
+
+    /// Marks a page decayed — the spontaneous media failure of §1.1.
+    pub fn decay(&mut self, pno: PageNo) {
+        self.ensure_len(pno + 1);
+        self.pages[pno as usize] = RawPage::Bad;
+    }
+
+    /// Returns whether the page is currently readable.
+    pub fn is_good(&self, pno: PageNo) -> bool {
+        matches!(self.pages.get(pno as usize), Some(RawPage::Good(_)))
+    }
+}
+
+impl Default for RawDisk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut d = RawDisk::new();
+        let plan = FaultPlan::new();
+        let p = Page::from_bytes(b"payload");
+        d.write(3, &p, &plan).unwrap();
+        assert_eq!(d.read(3).unwrap(), p);
+        // Pages below the write exist and read as zero.
+        assert_eq!(d.read(0).unwrap(), Page::zeroed());
+    }
+
+    #[test]
+    fn read_past_end_fails() {
+        let d = RawDisk::new();
+        assert!(matches!(d.read(0), Err(StorageError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn decayed_page_is_unreadable_until_repaired() {
+        let mut d = RawDisk::new();
+        let plan = FaultPlan::new();
+        let p = Page::from_bytes(b"x");
+        d.write(0, &p, &plan).unwrap();
+        d.decay(0);
+        assert!(matches!(d.read(0), Err(StorageError::BadPage { .. })));
+        d.repair(0, &p);
+        assert_eq!(d.read(0).unwrap(), p);
+    }
+
+    #[test]
+    fn crash_mid_write_tears_the_page() {
+        let mut d = RawDisk::new();
+        let plan = FaultPlan::new();
+        d.write(0, &Page::from_bytes(b"old"), &plan).unwrap();
+        plan.arm_after_writes(0);
+        let err = d.write(0, &Page::from_bytes(b"new"), &plan).unwrap_err();
+        assert!(err.is_crash());
+        // The old value is gone AND the new one never landed: torn.
+        assert!(!d.is_good(0));
+    }
+}

@@ -1,0 +1,79 @@
+//! The page-store interface.
+
+use crate::{Page, PageNo, StorageResult};
+use argus_sim::DeviceStats;
+
+/// A device of fixed-size pages with atomic single-page writes.
+///
+/// This is the contract the thesis assumes of stable storage (§1.1): a write
+/// either happens completely or not at all, even across a crash. The mirrored
+/// implementation ([`crate::MirroredDisk`]) provides it over fallible media;
+/// [`crate::MemStore`] and [`crate::FileStore`] provide it trivially.
+///
+/// Writing past the current end grows the device with zero pages.
+pub trait PageStore {
+    /// Reads the page at `pno`.
+    fn read_page(&mut self, pno: PageNo) -> StorageResult<Page>;
+
+    /// Atomically replaces the page at `pno`.
+    fn write_page(&mut self, pno: PageNo, page: &Page) -> StorageResult<()>;
+
+    /// Number of pages currently on the device.
+    fn page_count(&self) -> u64;
+
+    /// Write barrier: when this returns, every prior write is durable.
+    fn sync(&mut self) -> StorageResult<()>;
+
+    /// The device's I/O counters.
+    fn stats(&self) -> DeviceStats;
+}
+
+/// Classifies an access as sequential or random relative to the previous one.
+///
+/// Shared by the store implementations for cost accounting: an access to the
+/// same or the following page after the last access of the same kind is
+/// sequential, anything else pays a seek.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SeqTracker {
+    last: Option<PageNo>,
+}
+
+impl SeqTracker {
+    /// Records an access to `pno` and reports whether it was sequential.
+    pub(crate) fn classify(&mut self, pno: PageNo) -> bool {
+        let sequential = match self.last {
+            Some(prev) => pno == prev || pno == prev + 1,
+            None => true,
+        };
+        self.last = Some(pno);
+        sequential
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_is_sequential() {
+        let mut t = SeqTracker::default();
+        assert!(t.classify(10));
+    }
+
+    #[test]
+    fn forward_step_is_sequential() {
+        let mut t = SeqTracker::default();
+        t.classify(5);
+        assert!(t.classify(6));
+        assert!(t.classify(6));
+        assert!(t.classify(7));
+    }
+
+    #[test]
+    fn jumps_are_random() {
+        let mut t = SeqTracker::default();
+        t.classify(5);
+        assert!(!t.classify(9));
+        assert!(!t.classify(4));
+    }
+}

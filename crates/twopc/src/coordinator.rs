@@ -1,0 +1,319 @@
+//! The coordinator state machine (§2.2.1).
+
+use crate::Msg;
+use argus_objects::{ActionId, GuardianId};
+use std::collections::BTreeSet;
+
+/// Where the coordinator stands in the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordPhase {
+    /// Prepare messages are out; waiting for votes.
+    Preparing,
+    /// Every participant voted prepared; the `committing` record is being /
+    /// has been forced and commit messages are out.
+    Committing,
+    /// At least one refusal (or a unilateral abort); abort messages are out.
+    Aborting,
+    /// All participants acknowledged the commit; `done` forced.
+    Done,
+    /// All participants acknowledged the abort.
+    Aborted,
+}
+
+/// An effect the guardian must execute on the coordinator's behalf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordEffect {
+    /// Send a protocol message.
+    Send {
+        /// Destination guardian.
+        to: GuardianId,
+        /// The message.
+        msg: Msg,
+    },
+    /// Force the `committing` record (the commit point, §2.2.1), then call
+    /// [`Coordinator::committing_forced`].
+    ForceCommitting,
+    /// Force the `done` record, then call [`Coordinator::done_forced`].
+    ForceDone,
+    /// The protocol is over; the top-level action's fate is final.
+    Finished {
+        /// The verdict.
+        committed: bool,
+    },
+}
+
+/// The coordinator of one top-level action.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    /// The action being committed.
+    pub aid: ActionId,
+    /// Every guardian involved (participants; may include the coordinator's
+    /// own guardian, which also acts as a participant).
+    pub participants: Vec<GuardianId>,
+    phase: CoordPhase,
+    waiting: BTreeSet<GuardianId>,
+}
+
+impl Coordinator {
+    /// Creates a coordinator about to run the preparing phase.
+    pub fn new(aid: ActionId, participants: Vec<GuardianId>) -> Self {
+        let waiting = participants.iter().copied().collect();
+        Self {
+            aid,
+            participants,
+            phase: CoordPhase::Preparing,
+            waiting,
+        }
+    }
+
+    /// Resumes a coordinator from a recovered `committing` CT entry: phase
+    /// two restarts by re-sending commit messages (§2.2.3).
+    pub fn resume_committing(
+        aid: ActionId,
+        participants: Vec<GuardianId>,
+    ) -> (Self, Vec<CoordEffect>) {
+        let waiting: BTreeSet<GuardianId> = participants.iter().copied().collect();
+        let coord = Self {
+            aid,
+            participants,
+            phase: CoordPhase::Committing,
+            waiting,
+        };
+        let effects = coord.commit_msgs();
+        (coord, effects)
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> CoordPhase {
+        self.phase
+    }
+
+    /// Starts the preparing phase: prepare messages to every participant.
+    pub fn start(&self) -> Vec<CoordEffect> {
+        self.participants
+            .iter()
+            .map(|&g| CoordEffect::Send {
+                to: g,
+                msg: Msg::Prepare { aid: self.aid },
+            })
+            .collect()
+    }
+
+    fn commit_msgs(&self) -> Vec<CoordEffect> {
+        self.participants
+            .iter()
+            .map(|&g| CoordEffect::Send {
+                to: g,
+                msg: Msg::Commit { aid: self.aid },
+            })
+            .collect()
+    }
+
+    fn abort_msgs(&self) -> Vec<CoordEffect> {
+        self.participants
+            .iter()
+            .map(|&g| CoordEffect::Send {
+                to: g,
+                msg: Msg::Abort { aid: self.aid },
+            })
+            .collect()
+    }
+
+    /// Feeds an incoming protocol message from `from`.
+    pub fn on_msg(&mut self, from: GuardianId, msg: &Msg) -> Vec<CoordEffect> {
+        match (msg, self.phase) {
+            (Msg::PrepareOk { .. }, CoordPhase::Preparing) => {
+                self.waiting.remove(&from);
+                if self.waiting.is_empty() {
+                    vec![CoordEffect::ForceCommitting]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Msg::PrepareRefused { .. }, CoordPhase::Preparing) => self.abort_unilaterally(),
+            // A refusal after we already started aborting: ignore (it will
+            // be told to abort anyway).
+            (Msg::PrepareRefused { .. }, CoordPhase::Aborting) => Vec::new(),
+            (Msg::CommitAck { .. }, CoordPhase::Committing) => {
+                self.waiting.remove(&from);
+                if self.waiting.is_empty() {
+                    self.phase = CoordPhase::Done;
+                    vec![CoordEffect::ForceDone]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Msg::AbortAck { .. }, CoordPhase::Aborting) => {
+                self.waiting.remove(&from);
+                if self.waiting.is_empty() {
+                    self.phase = CoordPhase::Aborted;
+                    vec![CoordEffect::Finished { committed: false }]
+                } else {
+                    Vec::new()
+                }
+            }
+            // An in-doubt participant asking for the verdict.
+            (Msg::QueryOutcome { .. }, phase) => {
+                let committed = matches!(phase, CoordPhase::Committing | CoordPhase::Done);
+                vec![CoordEffect::Send {
+                    to: from,
+                    msg: Msg::Outcome {
+                        aid: self.aid,
+                        committed,
+                    },
+                }]
+            }
+            // Anything else is a stale duplicate.
+            _ => Vec::new(),
+        }
+    }
+
+    /// The guardian forced the `committing` record; the action is now
+    /// committed and phase two begins.
+    pub fn committing_forced(&mut self) -> Vec<CoordEffect> {
+        self.phase = CoordPhase::Committing;
+        self.waiting = self.participants.iter().copied().collect();
+        self.commit_msgs()
+    }
+
+    /// The guardian forced the `done` record; two-phase commit is complete.
+    pub fn done_forced(&mut self) -> Vec<CoordEffect> {
+        vec![CoordEffect::Finished { committed: true }]
+    }
+
+    /// Aborts unilaterally — a refusal arrived, or the Argus system decided
+    /// a participant is unreachable (§2.2.1).
+    pub fn abort_unilaterally(&mut self) -> Vec<CoordEffect> {
+        if matches!(self.phase, CoordPhase::Committing | CoordPhase::Done) {
+            // Past the commit point: aborting is no longer possible.
+            return Vec::new();
+        }
+        self.phase = CoordPhase::Aborting;
+        self.waiting = self.participants.iter().copied().collect();
+        self.abort_msgs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gid(n: u32) -> GuardianId {
+        GuardianId(n)
+    }
+
+    fn aid() -> ActionId {
+        ActionId::new(gid(0), 1)
+    }
+
+    fn commit_sends(effects: &[CoordEffect]) -> usize {
+        effects
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    CoordEffect::Send {
+                        msg: Msg::Commit { .. },
+                        ..
+                    }
+                )
+            })
+            .count()
+    }
+
+    #[test]
+    fn happy_path_commits() {
+        let mut c = Coordinator::new(aid(), vec![gid(0), gid(1)]);
+        assert_eq!(c.start().len(), 2);
+        assert!(c.on_msg(gid(0), &Msg::PrepareOk { aid: aid() }).is_empty());
+        let effects = c.on_msg(gid(1), &Msg::PrepareOk { aid: aid() });
+        assert_eq!(effects, vec![CoordEffect::ForceCommitting]);
+        let effects = c.committing_forced();
+        assert_eq!(commit_sends(&effects), 2);
+        assert!(c.on_msg(gid(1), &Msg::CommitAck { aid: aid() }).is_empty());
+        let effects = c.on_msg(gid(0), &Msg::CommitAck { aid: aid() });
+        assert_eq!(effects, vec![CoordEffect::ForceDone]);
+        assert_eq!(
+            c.done_forced(),
+            vec![CoordEffect::Finished { committed: true }]
+        );
+        assert_eq!(c.phase(), CoordPhase::Done);
+    }
+
+    #[test]
+    fn refusal_aborts_everyone() {
+        let mut c = Coordinator::new(aid(), vec![gid(0), gid(1)]);
+        c.start();
+        let effects = c.on_msg(gid(0), &Msg::PrepareRefused { aid: aid() });
+        assert_eq!(effects.len(), 2);
+        assert!(effects.iter().all(|e| matches!(
+            e,
+            CoordEffect::Send {
+                msg: Msg::Abort { .. },
+                ..
+            }
+        )));
+        c.on_msg(gid(0), &Msg::AbortAck { aid: aid() });
+        let effects = c.on_msg(gid(1), &Msg::AbortAck { aid: aid() });
+        assert_eq!(effects, vec![CoordEffect::Finished { committed: false }]);
+        assert_eq!(c.phase(), CoordPhase::Aborted);
+    }
+
+    #[test]
+    fn duplicate_votes_are_harmless() {
+        let mut c = Coordinator::new(aid(), vec![gid(0), gid(1)]);
+        c.start();
+        c.on_msg(gid(0), &Msg::PrepareOk { aid: aid() });
+        assert!(c.on_msg(gid(0), &Msg::PrepareOk { aid: aid() }).is_empty());
+        let effects = c.on_msg(gid(1), &Msg::PrepareOk { aid: aid() });
+        assert_eq!(effects, vec![CoordEffect::ForceCommitting]);
+    }
+
+    #[test]
+    fn no_abort_after_commit_point() {
+        let mut c = Coordinator::new(aid(), vec![gid(0)]);
+        c.start();
+        c.on_msg(gid(0), &Msg::PrepareOk { aid: aid() });
+        c.committing_forced();
+        assert!(c.abort_unilaterally().is_empty());
+        assert_eq!(c.phase(), CoordPhase::Committing);
+    }
+
+    #[test]
+    fn resume_committing_resends_commits() {
+        let (c, effects) = Coordinator::resume_committing(aid(), vec![gid(0), gid(1)]);
+        assert_eq!(c.phase(), CoordPhase::Committing);
+        assert_eq!(commit_sends(&effects), 2);
+    }
+
+    #[test]
+    fn queries_get_the_right_verdict() {
+        let mut c = Coordinator::new(aid(), vec![gid(0)]);
+        c.start();
+        // Still preparing: "abort" (the coordinator has not committed).
+        let effects = c.on_msg(gid(0), &Msg::QueryOutcome { aid: aid() });
+        assert_eq!(
+            effects,
+            vec![CoordEffect::Send {
+                to: gid(0),
+                msg: Msg::Outcome {
+                    aid: aid(),
+                    committed: false
+                }
+            }]
+        );
+        c.on_msg(gid(0), &Msg::PrepareOk { aid: aid() });
+        c.committing_forced();
+        let effects = c.on_msg(gid(0), &Msg::QueryOutcome { aid: aid() });
+        assert_eq!(
+            effects,
+            vec![CoordEffect::Send {
+                to: gid(0),
+                msg: Msg::Outcome {
+                    aid: aid(),
+                    committed: true
+                }
+            }]
+        );
+    }
+}

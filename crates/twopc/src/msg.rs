@@ -1,0 +1,111 @@
+//! Protocol messages.
+
+use argus_objects::{ActionId, GuardianId};
+
+/// A two-phase-commit message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Coordinator → participant: "prepare for action A to commit".
+    Prepare {
+        /// The committing action.
+        aid: ActionId,
+    },
+    /// Participant → coordinator: prepared successfully.
+    PrepareOk {
+        /// The action.
+        aid: ActionId,
+    },
+    /// Participant → coordinator: the action is unknown or cannot prepare;
+    /// the reply "aborted" of §2.2.2.
+    PrepareRefused {
+        /// The action.
+        aid: ActionId,
+    },
+    /// Coordinator → participant: the verdict is commit.
+    Commit {
+        /// The action.
+        aid: ActionId,
+    },
+    /// Participant → coordinator: commit record forced.
+    CommitAck {
+        /// The action.
+        aid: ActionId,
+    },
+    /// Coordinator → participant: the verdict is abort.
+    Abort {
+        /// The action.
+        aid: ActionId,
+    },
+    /// Participant → coordinator: abort record forced.
+    AbortAck {
+        /// The action.
+        aid: ActionId,
+    },
+    /// Participant → coordinator: an in-doubt participant asking for the
+    /// verdict after a crash (§2.2.2).
+    QueryOutcome {
+        /// The action.
+        aid: ActionId,
+    },
+    /// Coordinator → participant: the answer to a query.
+    Outcome {
+        /// The action.
+        aid: ActionId,
+        /// `true` = committed, `false` = aborted.
+        committed: bool,
+    },
+}
+
+impl Msg {
+    /// The action the message concerns.
+    pub fn aid(&self) -> ActionId {
+        match self {
+            Msg::Prepare { aid }
+            | Msg::PrepareOk { aid }
+            | Msg::PrepareRefused { aid }
+            | Msg::Commit { aid }
+            | Msg::CommitAck { aid }
+            | Msg::Abort { aid }
+            | Msg::AbortAck { aid }
+            | Msg::QueryOutcome { aid }
+            | Msg::Outcome { aid, .. } => *aid,
+        }
+    }
+}
+
+/// A message in flight between two guardians.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender.
+    pub from: GuardianId,
+    /// Receiver.
+    pub to: GuardianId,
+    /// Payload.
+    pub msg: Msg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aid_is_extracted_from_every_variant() {
+        let aid = ActionId::new(GuardianId(1), 9);
+        for msg in [
+            Msg::Prepare { aid },
+            Msg::PrepareOk { aid },
+            Msg::PrepareRefused { aid },
+            Msg::Commit { aid },
+            Msg::CommitAck { aid },
+            Msg::Abort { aid },
+            Msg::AbortAck { aid },
+            Msg::QueryOutcome { aid },
+            Msg::Outcome {
+                aid,
+                committed: true,
+            },
+        ] {
+            assert_eq!(msg.aid(), aid);
+        }
+    }
+}

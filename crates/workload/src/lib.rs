@@ -1,0 +1,26 @@
+//! Workload generators for the experiments and examples.
+//!
+//! Three workloads, matching the application domains the thesis's
+//! introduction motivates ("banking systems, airline reservation systems,
+//! office automation systems, and database systems"):
+//!
+//! * [`Banking`] — accounts as atomic objects, transfer actions, optional
+//!   cross-guardian transfers driving two-phase commit, with a conserved
+//!   total balance as the global consistency invariant.
+//! * [`Reservations`] — flights with seat vectors plus a mutex audit trail,
+//!   exercising the mutex write/recovery path.
+//! * [`Synth`] — a parameterized synthetic object store: zipf-selected
+//!   updates, adjustable value sizes, and a probability of creating and
+//!   linking new objects (the newly-accessible-object machinery of
+//!   §3.3.3.2).
+//!
+//! All generators draw exclusively from [`argus_sim::DetRng`], so a seed
+//! pins down a run exactly.
+
+mod banking;
+mod reservations;
+mod synth;
+
+pub use banking::{Banking, BankingConfig, BankingStats};
+pub use reservations::{Reservations, ReservationsConfig, ReservationsStats};
+pub use synth::{Synth, SynthConfig};

@@ -1,0 +1,218 @@
+//! The synthetic object-store workload: the parameter knobs the experiments
+//! sweep.
+
+use argus_guardian::{Outcome, RsKind, World, WorldResult};
+use argus_objects::{GuardianId, HeapId, ObjRef, Value};
+use argus_sim::{DetRng, Zipf};
+
+/// Parameters for the synthetic workload.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of long-lived objects (the live set).
+    pub objects: usize,
+    /// Objects modified per action.
+    pub writes_per_action: usize,
+    /// Payload bytes per object version.
+    pub value_size: usize,
+    /// Probability an action also creates and links a brand-new object
+    /// (exercising the newly-accessible-object path, §3.3.3.2).
+    pub new_object_prob: f64,
+    /// Zipf skew of object selection (0 = uniform).
+    pub zipf_theta: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            objects: 64,
+            writes_per_action: 4,
+            value_size: 64,
+            new_object_prob: 0.0,
+            zipf_theta: 0.0,
+        }
+    }
+}
+
+/// A deployed synthetic store on one guardian.
+#[derive(Debug)]
+pub struct Synth {
+    cfg: SynthConfig,
+    gid: GuardianId,
+    zipf: Zipf,
+    /// Committed actions so far (for diagnostics).
+    pub committed: u64,
+}
+
+impl Synth {
+    /// Creates the guardian and the initial live set in batches, committing
+    /// as it goes.
+    pub fn setup(world: &mut World, kind: RsKind, cfg: SynthConfig) -> WorldResult<Synth> {
+        let gid = world.add_guardian(kind)?;
+        let mut created = 0usize;
+        while created < cfg.objects {
+            let aid = world.begin(gid)?;
+            // Large batches keep setup cheap for organizations whose commit
+            // cost grows with the live set (shadowing's map rewrite).
+            let batch = (cfg.objects - created).min(512);
+            for i in created..created + batch {
+                let object =
+                    world.create_atomic(gid, aid, Value::Bytes(vec![0; cfg.value_size]))?;
+                world.set_stable(gid, aid, &obj_name(i), Value::heap_ref(object))?;
+            }
+            let outcome = world.commit(aid)?;
+            debug_assert_eq!(outcome, Outcome::Committed);
+            created += batch;
+        }
+        let zipf = Zipf::new(cfg.objects.max(1), cfg.zipf_theta);
+        Ok(Synth {
+            cfg,
+            gid,
+            zipf,
+            committed: 0,
+        })
+    }
+
+    /// The guardian hosting the store.
+    pub fn guardian(&self) -> GuardianId {
+        self.gid
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SynthConfig {
+        &self.cfg
+    }
+
+    fn handle(&self, world: &World, i: usize) -> WorldResult<HeapId> {
+        match world.guardian(self.gid)?.stable_value(&obj_name(i)) {
+            Some(Value::Ref(ObjRef::Heap(h))) => Ok(h),
+            other => Err(argus_guardian::WorldError::Rs(
+                argus_core::RsError::BadState(format!("object {i} unresolved: {other:?}")),
+            )),
+        }
+    }
+
+    /// Runs one update action (optionally with an early-prepare call before
+    /// the commit, §4.4).
+    pub fn action(
+        &mut self,
+        world: &mut World,
+        rng: &mut DetRng,
+        early_prepare: bool,
+    ) -> WorldResult<Outcome> {
+        let aid = world.begin(self.gid)?;
+        let mut touched = Vec::new();
+        for _ in 0..self.cfg.writes_per_action {
+            let mut i = self.zipf.sample(rng);
+            while touched.contains(&i) {
+                i = (i + 1) % self.cfg.objects;
+            }
+            touched.push(i);
+            let h = self.handle(world, i)?;
+            let fill = (rng.next_u64() & 0xFF) as u8;
+            let size = self.cfg.value_size;
+            world.write_atomic(self.gid, aid, h, move |v| {
+                *v = Value::Bytes(vec![fill; size]);
+            })?;
+        }
+        if rng.gen_bool(self.cfg.new_object_prob) {
+            // Create a fresh object and hang it off a touched object: the
+            // new object is newly accessible at prepare time.
+            let child = world.create_atomic(self.gid, aid, Value::Int(rng.next_u64() as i64))?;
+            let parent = self.handle(world, touched[0])?;
+            world.write_atomic(self.gid, aid, parent, move |v| {
+                *v = Value::Seq(vec![Value::heap_ref(child)]);
+            })?;
+        }
+        if early_prepare {
+            world.early_prepare(self.gid, aid)?;
+        }
+        let outcome = world.commit(aid)?;
+        if outcome == Outcome::Committed {
+            self.committed += 1;
+        }
+        Ok(outcome)
+    }
+
+    /// Runs `n` update actions.
+    pub fn run(&mut self, world: &mut World, rng: &mut DetRng, n: u64) -> WorldResult<u64> {
+        let mut committed = 0;
+        for _ in 0..n {
+            if self.action(world, rng, false)? == Outcome::Committed {
+                committed += 1;
+            }
+        }
+        Ok(committed)
+    }
+}
+
+fn obj_name(i: usize) -> String {
+    format!("obj{i}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_survive_crash() {
+        let mut world = World::fast();
+        let mut synth = Synth::setup(
+            &mut world,
+            RsKind::Hybrid,
+            SynthConfig {
+                objects: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = DetRng::new(5);
+        synth.run(&mut world, &mut rng, 20).unwrap();
+        world.crash(synth.guardian());
+        world.restart(synth.guardian()).unwrap();
+        // Every object must still resolve.
+        for i in 0..16 {
+            synth.handle(&world, i).unwrap();
+        }
+    }
+
+    #[test]
+    fn new_object_creation_is_recovered() {
+        let mut world = World::fast();
+        let mut synth = Synth::setup(
+            &mut world,
+            RsKind::Hybrid,
+            SynthConfig {
+                objects: 8,
+                new_object_prob: 1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = DetRng::new(9);
+        let before = world.guardian(synth.guardian()).unwrap().heap.len();
+        synth.action(&mut world, &mut rng, false).unwrap();
+        world.crash(synth.guardian());
+        world.restart(synth.guardian()).unwrap();
+        let after = world.guardian(synth.guardian()).unwrap().heap.len();
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn early_prepare_path_commits() {
+        let mut world = World::fast();
+        let mut synth = Synth::setup(
+            &mut world,
+            RsKind::Hybrid,
+            SynthConfig {
+                objects: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = DetRng::new(13);
+        assert_eq!(
+            synth.action(&mut world, &mut rng, true).unwrap(),
+            Outcome::Committed
+        );
+    }
+}

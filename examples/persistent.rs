@@ -1,0 +1,136 @@
+//! Persistence across *real* process runs: a simple-log guardian state on a
+//! file-backed store.
+//!
+//! Run it twice (or more):
+//!
+//! ```sh
+//! cargo run --example persistent        # run 1: creates, run N: increments
+//! cargo run --example persistent -- reset
+//! ```
+//!
+//! Each run opens the same on-disk log, recovers the stable state a previous
+//! process committed, increments a counter, appends to a history list, and
+//! exits — a real restart rather than a simulated one.
+
+use argus::core::{RecoverySystem, SimpleLogRs};
+use argus::objects::{ActionId, GuardianId, Heap, ObjRef, Value};
+use argus::sim::{CostModel, SimClock};
+use argus::stable::FileStore;
+use std::path::PathBuf;
+
+fn log_path() -> PathBuf {
+    std::env::temp_dir().join("argus-persistent-demo.log")
+}
+
+fn main() {
+    let path = log_path();
+    if std::env::args().any(|a| a == "reset") {
+        let _ = std::fs::remove_file(&path);
+        println!("state at {} removed", path.display());
+        return;
+    }
+
+    let fresh = !path.exists();
+    let store = FileStore::open(&path, SimClock::new(), CostModel::fast()).expect("open store");
+    let mut heap;
+    let mut rs;
+    let run: i64;
+
+    if fresh {
+        println!("no state at {}; formatting a fresh log", path.display());
+        rs = SimpleLogRs::create(store).expect("format");
+        heap = Heap::with_stable_root();
+        run = 1;
+    } else {
+        rs = SimpleLogRs::open(store).expect("open log");
+        heap = Heap::new();
+        let outcome = rs.recover(&mut heap).expect("recover");
+        println!(
+            "recovered {} objects from {} (examined {} entries)",
+            outcome.ot.len(),
+            path.display(),
+            outcome.entries_examined
+        );
+        run = match find(&heap, "runs") {
+            Some(Value::Int(n)) => n + 1,
+            _ => 1,
+        };
+    }
+
+    // One atomic action: bump the counter and append to the history.
+    let aid = ActionId::new(GuardianId(0), run as u64);
+    let root = heap.stable_root().expect("root");
+    heap.acquire_write(root, aid).expect("lock root");
+    let mut history = match find(&heap, "history") {
+        Some(Value::Seq(items)) => items,
+        _ => Vec::new(),
+    };
+    history.push(Value::Str(format!(
+        "run #{run} by pid {}",
+        std::process::id()
+    )));
+    set(&mut heap, aid, "runs", Value::Int(run));
+    set(&mut heap, aid, "history", Value::Seq(history.clone()));
+    rs.prepare(aid, &[root], &heap).expect("prepare");
+    rs.commit(aid).expect("commit");
+    heap.commit_action(aid);
+
+    println!("committed run #{run}; history now:");
+    for entry in &history {
+        println!("  {entry}");
+    }
+    println!("run it again — the state survives this process.");
+}
+
+/// Reads a stable variable from the root's committed version.
+fn find(heap: &Heap, name: &str) -> Option<Value> {
+    let root = heap.stable_root()?;
+    if let Ok(Value::Seq(pairs)) = heap.read_value(root, None) {
+        for pair in pairs {
+            if let Value::Seq(kv) = pair {
+                if let [Value::Str(n), v] = kv.as_slice() {
+                    if n == name {
+                        return Some(v.clone());
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Binds a stable variable in the root's current version (the caller holds
+/// the write lock).
+fn set(heap: &mut Heap, aid: ActionId, name: &str, value: Value) {
+    let root = heap.stable_root().expect("root");
+    let name = name.to_owned();
+    heap.write_value(root, aid, move |v| {
+        let pairs = match v {
+            Value::Seq(pairs) => pairs,
+            other => {
+                *other = Value::Seq(Vec::new());
+                match other {
+                    Value::Seq(pairs) => pairs,
+                    _ => unreachable!(),
+                }
+            }
+        };
+        for pair in pairs.iter_mut() {
+            if let Value::Seq(kv) = pair {
+                if let [Value::Str(n), slot] = kv.as_mut_slice() {
+                    if *n == name {
+                        *slot = value;
+                        return;
+                    }
+                }
+            }
+        }
+        pairs.push(Value::Seq(vec![Value::Str(name), value]));
+    })
+    .expect("bind");
+}
+
+// Quiet the unused-import lint when the example is checked without running:
+// ObjRef is used in pattern positions through `Value`.
+#[allow(unused)]
+fn _uses(_: ObjRef) {}

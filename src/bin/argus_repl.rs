@@ -1,0 +1,205 @@
+//! An interactive shell over the guardian world — poke at atomic actions,
+//! crash nodes, and watch recovery happen.
+//!
+//! ```sh
+//! cargo run --bin argus_repl
+//! echo "spawn hybrid\nset G0 x 42\ncrash G0\nrestart G0\nget G0 x" | cargo run --bin argus_repl
+//! ```
+
+use argus::core::HousekeepingMode;
+use argus::guardian::{RsKind, World};
+use argus::objects::{ActionId, GuardianId, Value};
+use std::io::{BufRead, Write};
+
+const HELP: &str = "\
+commands:
+  spawn <simple|hybrid|shadow>     create a guardian
+  set <G> <name> <value>           bind a stable variable (auto-commits unless
+                                   inside a begin/commit block); value is an
+                                   integer or arbitrary text
+  get <G> <name>                   read the committed value
+  begin <G>                        start an explicit action (spans guardians)
+  commit                           two-phase commit the open action
+  abort                            locally abort the open action
+  crash <G>                        crash a guardian (volatile state vanishes)
+  restart <G>                      recover a guardian from its stable log
+  housekeep <G> <compact|snapshot> reorganize the log (hybrid only)
+  stats <G>                        log + device statistics
+  help                             this text
+  quit                             exit";
+
+struct Repl {
+    world: World,
+    open: Option<ActionId>,
+}
+
+impl Repl {
+    fn new() -> Self {
+        Self {
+            world: World::fast(),
+            open: None,
+        }
+    }
+
+    fn parse_gid(token: &str) -> Option<GuardianId> {
+        let digits = token.strip_prefix('G').unwrap_or(token);
+        digits.parse().ok().map(GuardianId)
+    }
+
+    fn parse_value(tokens: &[&str]) -> Value {
+        let joined = tokens.join(" ");
+        match joined.parse::<i64>() {
+            Ok(n) => Value::Int(n),
+            Err(_) => Value::Str(joined),
+        }
+    }
+
+    fn run_line(&mut self, line: &str) -> Result<Option<String>, String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let err = |msg: &str| Err(msg.to_string());
+        match tokens.as_slice() {
+            [] | ["#", ..] => Ok(None),
+            ["help"] => Ok(Some(HELP.into())),
+            ["quit"] | ["exit"] => Ok(Some("bye".into())),
+            ["spawn", kind] => {
+                let kind = match *kind {
+                    "simple" => RsKind::Simple,
+                    "hybrid" => RsKind::Hybrid,
+                    "shadow" => RsKind::Shadow,
+                    other => return err(&format!("unknown organization {other:?}")),
+                };
+                let g = self.world.add_guardian(kind).map_err(|e| e.to_string())?;
+                Ok(Some(format!("spawned {g} ({kind:?})")))
+            }
+            ["set", g, name, rest @ ..] if !rest.is_empty() => {
+                let g = Self::parse_gid(g).ok_or("bad guardian id")?;
+                let value = Self::parse_value(rest);
+                match self.open {
+                    Some(aid) => {
+                        self.world
+                            .set_stable(g, aid, name, value)
+                            .map_err(|e| e.to_string())?;
+                        Ok(Some(format!("{name} staged under {aid}")))
+                    }
+                    None => {
+                        let aid = self.world.begin(g).map_err(|e| e.to_string())?;
+                        self.world
+                            .set_stable(g, aid, name, value)
+                            .map_err(|e| e.to_string())?;
+                        let outcome = self.world.commit(aid).map_err(|e| e.to_string())?;
+                        Ok(Some(format!("{name} set; {aid} → {outcome:?}")))
+                    }
+                }
+            }
+            ["get", g, name] => {
+                let g = Self::parse_gid(g).ok_or("bad guardian id")?;
+                let guardian = self.world.guardian(g).map_err(|e| e.to_string())?;
+                Ok(Some(match guardian.stable_value(name) {
+                    Some(v) => format!("{name} = {v}"),
+                    None => format!("{name} is unset"),
+                }))
+            }
+            ["begin", g] => {
+                if self.open.is_some() {
+                    return err("an action is already open; commit or abort it first");
+                }
+                let g = Self::parse_gid(g).ok_or("bad guardian id")?;
+                let aid = self.world.begin(g).map_err(|e| e.to_string())?;
+                self.open = Some(aid);
+                Ok(Some(format!("began {aid} (coordinator {g})")))
+            }
+            ["commit"] => {
+                let aid = self.open.take().ok_or("no open action")?;
+                let outcome = self.world.commit(aid).map_err(|e| e.to_string())?;
+                Ok(Some(format!("{aid} → {outcome:?}")))
+            }
+            ["abort"] => {
+                let aid = self.open.take().ok_or("no open action")?;
+                self.world.abort_local(aid);
+                Ok(Some(format!("{aid} aborted locally")))
+            }
+            ["crash", g] => {
+                let g = Self::parse_gid(g).ok_or("bad guardian id")?;
+                self.world.crash(g);
+                Ok(Some(format!("{g} is down; its volatile state is gone")))
+            }
+            ["restart", g] => {
+                let g = Self::parse_gid(g).ok_or("bad guardian id")?;
+                let outcome = self.world.restart(g).map_err(|e| e.to_string())?;
+                Ok(Some(format!(
+                    "{g} recovered: {} objects restored, {} entries examined, {} in doubt",
+                    outcome.ot.len(),
+                    outcome.entries_examined,
+                    outcome.pt.prepared_actions().len()
+                )))
+            }
+            ["housekeep", g, mode] => {
+                let g = Self::parse_gid(g).ok_or("bad guardian id")?;
+                let mode = match *mode {
+                    "compact" | "compaction" => HousekeepingMode::Compaction,
+                    "snapshot" => HousekeepingMode::Snapshot,
+                    other => return err(&format!("unknown mode {other:?}")),
+                };
+                self.world.housekeep(g, mode).map_err(|e| e.to_string())?;
+                let stats = self
+                    .world
+                    .guardian(g)
+                    .map_err(|e| e.to_string())?
+                    .log_stats();
+                Ok(Some(format!(
+                    "housekept {g}: log is now {} entries",
+                    stats.entries
+                )))
+            }
+            ["stats", g] => {
+                let g = Self::parse_gid(g).ok_or("bad guardian id")?;
+                let stats = self
+                    .world
+                    .guardian(g)
+                    .map_err(|e| e.to_string())?
+                    .log_stats();
+                Ok(Some(format!(
+                    "{g}: {} log entries, {} bytes; device {}",
+                    stats.entries, stats.bytes, stats.device
+                )))
+            }
+            _ => err("unrecognized command; try `help`"),
+        }
+    }
+}
+
+fn main() {
+    let mut repl = Repl::new();
+    let interactive = std::io::IsTerminal::is_terminal(&std::io::stdin());
+    if interactive {
+        println!("argus repl — reliable object storage to support atomic actions");
+        println!("type `help` for commands\n");
+    }
+    let stdin = std::io::stdin();
+    loop {
+        if interactive {
+            print!("argus> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        match repl.run_line(trimmed) {
+            Ok(Some(msg)) => {
+                println!("{msg}");
+                if msg == "bye" {
+                    break;
+                }
+            }
+            Ok(None) => {}
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

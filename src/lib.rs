@@ -1,0 +1,56 @@
+//! # argus — reliable object storage to support atomic actions
+//!
+//! A full Rust reproduction of Brian M. Oki's MIT/LCS thesis *Reliable
+//! Object Storage to Support Atomic Actions* (1983): the **hybrid log**
+//! organization of stable storage for the Argus programming language, with
+//! its writing, recovery, and housekeeping algorithms — plus everything it
+//! stands on, built from scratch:
+//!
+//! * [`stable`] — simulated atomic stable storage (Lampson–Sturgis mirrored
+//!   disks, fault injection);
+//! * [`slog`] — the stable-log abstraction of §3.1;
+//! * [`objects`] — recoverable objects: atomic/mutex objects, the volatile
+//!   heap, flattening, accessibility;
+//! * [`core`] — the recovery system: simple log (ch. 3), hybrid log
+//!   (ch. 4), early prepare, housekeeping by compaction and snapshot
+//!   (ch. 5);
+//! * [`shadow`] — the shadowing baseline of §1.2.1 for head-to-head
+//!   comparison;
+//! * [`twopc`] — two-phase commit state machines (§2.2);
+//! * [`guardian`] — the Argus guardian substrate and the deterministic
+//!   distributed-system simulator;
+//! * [`workload`] — banking / reservations / synthetic workload generators;
+//! * [`sim`] — the deterministic clock, RNG, and device cost model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use argus::guardian::{Outcome, RsKind, World};
+//! use argus::objects::Value;
+//!
+//! let mut world = World::fast();
+//! let g = world.add_guardian(RsKind::Hybrid).unwrap();
+//!
+//! // An atomic action binds a stable variable and commits.
+//! let action = world.begin(g).unwrap();
+//! world.set_stable(g, action, "greeting", Value::from("hello, stable world")).unwrap();
+//! assert_eq!(world.commit(action).unwrap(), Outcome::Committed);
+//!
+//! // The node crashes; recovery rebuilds the stable state from the log.
+//! world.crash(g);
+//! world.restart(g).unwrap();
+//! assert_eq!(
+//!     world.guardian(g).unwrap().stable_value("greeting"),
+//!     Some(Value::from("hello, stable world")),
+//! );
+//! ```
+
+pub use argus_core as core;
+pub use argus_guardian as guardian;
+pub use argus_objects as objects;
+pub use argus_shadow as shadow;
+pub use argus_sim as sim;
+pub use argus_slog as slog;
+pub use argus_stable as stable;
+pub use argus_twopc as twopc;
+pub use argus_workload as workload;

@@ -1,0 +1,115 @@
+//! §3.3.3.2 — trimming the accessibility set.
+//!
+//! "As actions execute… they may make recoverable objects that were once
+//! accessible from the stable variables inaccessible. Their uids continue to
+//! remain in the accessibility set and so the set grows larger over time…
+//! If the set grows too large, then the set should be trimmed."
+
+use argus::core::providers::MemProvider;
+use argus::core::{HybridLogRs, RecoverySystem, SimpleLogRs};
+use argus::objects::{ActionId, GuardianId, Heap, Value};
+use argus::sim::{CostModel, SimClock};
+use argus::stable::MemStore;
+
+fn aid(n: u64) -> ActionId {
+    ActionId::new(GuardianId(0), n)
+}
+
+/// Commits a root update pointing at a fresh object, returning its uid.
+fn link_new_object(rs: &mut dyn RecoverySystem, heap: &mut Heap, seq: u64) -> argus::objects::Uid {
+    let a = aid(seq);
+    let obj = heap.alloc_atomic(Value::Int(seq as i64), Some(a));
+    let uid = heap.uid_of(obj).unwrap();
+    let root = heap.stable_root().unwrap();
+    heap.acquire_write(root, a).unwrap();
+    heap.write_value(root, a, |v| *v = Value::heap_ref(obj))
+        .unwrap();
+    rs.prepare(a, &[root], heap).unwrap();
+    rs.commit(a).unwrap();
+    heap.commit_action(a);
+    uid
+}
+
+#[test]
+fn trimming_drops_unreachable_uids_hybrid() {
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+    let mut heap = Heap::with_stable_root();
+    // Each update replaces the root's single reference, orphaning the
+    // previous object — the AS keeps growing anyway.
+    let uids: Vec<_> = (1..=8)
+        .map(|i| link_new_object(&mut rs, &mut heap, i))
+        .collect();
+    for uid in &uids {
+        assert!(rs.access_set().contains(uid));
+    }
+
+    rs.trim_access_set(&heap);
+    // Only the last object is still reachable.
+    for uid in &uids[..7] {
+        assert!(!rs.access_set().contains(uid), "{uid} should be trimmed");
+    }
+    assert!(rs.access_set().contains(&uids[7]));
+    assert!(rs.access_set().contains(&argus::objects::Uid::STABLE_ROOT));
+}
+
+#[test]
+fn trimming_preserves_correct_recovery() {
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+    let mut heap = Heap::with_stable_root();
+    for i in 1..=5 {
+        link_new_object(&mut rs, &mut heap, i);
+    }
+    rs.trim_access_set(&heap);
+
+    // A trimmed-away object that becomes reachable again is treated as
+    // newly accessible (written with base_committed) — still correct.
+    let last = link_new_object(&mut rs, &mut heap, 6);
+    rs.simulate_crash().unwrap();
+    let mut heap2 = Heap::new();
+    rs.recover(&mut heap2).unwrap();
+    let h = heap2.lookup(last).unwrap();
+    assert_eq!(heap2.read_value(h, None).unwrap(), &Value::Int(6));
+    let root = heap2.stable_root().unwrap();
+    assert_eq!(heap2.read_value(root, None).unwrap(), &Value::heap_ref(h));
+}
+
+#[test]
+fn trimming_works_on_the_simple_log_too() {
+    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    let mut heap = Heap::with_stable_root();
+    let uids: Vec<_> = (1..=4)
+        .map(|i| link_new_object(&mut rs, &mut heap, i))
+        .collect();
+    rs.trim_access_set(&heap);
+    assert!(!rs.access_set().contains(&uids[0]));
+    assert!(rs.access_set().contains(&uids[3]));
+}
+
+#[test]
+fn trimming_never_admits_new_uids() {
+    // The intersection rule: an object reachable in the heap but never
+    // written to the log (newly accessible, unprepared) must NOT enter the
+    // AS through trimming.
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+    let mut heap = Heap::with_stable_root();
+    link_new_object(&mut rs, &mut heap, 1);
+
+    // An in-progress action links a brand-new object but has not prepared.
+    let a = aid(99);
+    let fresh = heap.alloc_atomic(Value::Int(0), Some(a));
+    let fresh_uid = heap.uid_of(fresh).unwrap();
+    let root = heap.stable_root().unwrap();
+    heap.acquire_write(root, a).unwrap();
+    heap.write_value(root, a, |v| *v = Value::heap_ref(fresh))
+        .unwrap();
+
+    rs.trim_access_set(&heap);
+    assert!(
+        !rs.access_set().contains(&fresh_uid),
+        "unprepared newly-accessible object leaked into the AS"
+    );
+    // When the action finally prepares, the object is handled through the
+    // NAOS path and gets its base_committed entry.
+    rs.prepare(a, &[root], &heap).unwrap();
+    assert!(rs.access_set().contains(&fresh_uid));
+}

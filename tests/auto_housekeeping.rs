@@ -1,0 +1,76 @@
+//! The automatic housekeeping policy: "Whenever the Argus system has
+//! determined that enough old information has accumulated on stable storage
+//! at a guardian, it calls the housekeeping operation" (§2.3).
+
+use argus::core::HousekeepingMode;
+use argus::guardian::{RsKind, World};
+use argus::objects::Value;
+
+#[test]
+fn policy_keeps_the_log_bounded() {
+    let mut world = World::fast();
+    let g = world.add_guardian(RsKind::Hybrid).unwrap();
+    world
+        .set_housekeeping_policy(g, 60, HousekeepingMode::Snapshot)
+        .unwrap();
+
+    let mut max_entries = 0;
+    for i in 0..200i64 {
+        let a = world.begin(g).unwrap();
+        world.set_stable(g, a, "v", Value::Int(i)).unwrap();
+        world.commit(a).unwrap();
+        max_entries = max_entries.max(world.guardian(g).unwrap().log_stats().entries);
+    }
+    // The log never grows far past the threshold (one commit's worth of
+    // slack between checks).
+    assert!(
+        max_entries < 90,
+        "log reached {max_entries} entries despite the policy"
+    );
+
+    // And the state is still correct after a crash.
+    world.crash(g);
+    let outcome = world.restart(g).unwrap();
+    assert_eq!(
+        world.guardian(g).unwrap().stable_value("v"),
+        Some(Value::Int(199))
+    );
+    // Recovery is bounded too.
+    assert!(
+        outcome.entries_examined < 200,
+        "recovery examined {}",
+        outcome.entries_examined
+    );
+}
+
+#[test]
+fn policy_is_per_guardian() {
+    let mut world = World::fast();
+    let managed = world.add_guardian(RsKind::Hybrid).unwrap();
+    let unmanaged = world.add_guardian(RsKind::Hybrid).unwrap();
+    world
+        .set_housekeeping_policy(managed, 40, HousekeepingMode::Compaction)
+        .unwrap();
+
+    for i in 0..80i64 {
+        for g in [managed, unmanaged] {
+            let a = world.begin(g).unwrap();
+            world.set_stable(g, a, "v", Value::Int(i)).unwrap();
+            world.commit(a).unwrap();
+        }
+    }
+    let managed_entries = world.guardian(managed).unwrap().log_stats().entries;
+    let unmanaged_entries = world.guardian(unmanaged).unwrap().log_stats().entries;
+    assert!(
+        managed_entries * 3 < unmanaged_entries,
+        "policy had no effect: {managed_entries} vs {unmanaged_entries}"
+    );
+    assert_eq!(
+        world.guardian(managed).unwrap().stable_value("v"),
+        Some(Value::Int(79))
+    );
+    assert_eq!(
+        world.guardian(unmanaged).unwrap().stable_value("v"),
+        Some(Value::Int(79))
+    );
+}

@@ -1,0 +1,339 @@
+//! The general recovery algorithm of §3.4.4, clause by clause: each test
+//! fabricates the smallest log that exercises one clause of the thesis's
+//! pseudocode and asserts exactly the prescribed table/heap effect.
+
+use argus::core::{LogEntry, ObjState, PState, RecoverySystem, SimpleLogRs};
+use argus::objects::{ActionId, GuardianId, Heap, ObjKind, ObjectBody, Uid, Value};
+use argus::sim::{CostModel, SimClock};
+use argus::stable::MemStore;
+
+fn aid(n: u64) -> ActionId {
+    ActionId::new(GuardianId(0), n)
+}
+
+fn rs() -> SimpleLogRs<MemStore> {
+    SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap()
+}
+
+fn recover(rs: &mut SimpleLogRs<MemStore>) -> (Heap, argus::core::RecoveryOutcome) {
+    rs.simulate_crash().unwrap();
+    let mut heap = Heap::new();
+    let out = rs.recover(&mut heap).unwrap();
+    (heap, out)
+}
+
+fn data(uid: Uid, kind: ObjKind, v: i64, a: ActionId) -> LogEntry {
+    LogEntry::Data {
+        uid,
+        kind,
+        value: Value::Int(v),
+        aid: a,
+    }
+}
+
+fn prepared(a: ActionId) -> LogEntry {
+    LogEntry::Prepared {
+        aid: a,
+        pairs: vec![],
+        prev: None,
+    }
+}
+
+/// 2.a — "prepared outcome entry. If aid ∈ PT then ignore the entry."
+/// A newer `committed` is scanned first; the older `prepared` must not
+/// demote it.
+#[test]
+fn clause_2a_prepared_does_not_demote_known_state() {
+    let t = aid(1);
+    let mut rs = rs();
+    rs.append_raw(&prepared(t), true).unwrap();
+    rs.append_raw(&LogEntry::Committed { aid: t, prev: None }, true)
+        .unwrap();
+    let (_, out) = recover(&mut rs);
+    assert_eq!(out.pt.get(t), Some(PState::Committed));
+    assert_eq!(out.pt.len(), 1);
+}
+
+/// 2.b / 2.c — committed and aborted entries populate the PT.
+#[test]
+fn clauses_2b_2c_committed_and_aborted_enter_pt() {
+    let (t1, t2) = (aid(1), aid(2));
+    let mut rs = rs();
+    rs.append_raw(&prepared(t1), true).unwrap();
+    rs.append_raw(
+        &LogEntry::Committed {
+            aid: t1,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(&prepared(t2), true).unwrap();
+    rs.append_raw(
+        &LogEntry::Aborted {
+            aid: t2,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    let (_, out) = recover(&mut rs);
+    assert_eq!(out.pt.get(t1), Some(PState::Committed));
+    assert_eq!(out.pt.get(t2), Some(PState::Aborted));
+}
+
+/// 2.d — base_committed with uid ∈ OT in `prepared` state: "copy the object
+/// version to volatile memory as the base version, and set the object state
+/// to restored."
+#[test]
+fn clause_2d_bc_fills_the_base_of_a_prepared_object() {
+    let t = aid(1);
+    let o = Uid(1);
+    let mut rs = rs();
+    rs.append_raw(
+        &LogEntry::BaseCommitted {
+            uid: o,
+            value: Value::Int(5),
+            prev: None,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(&data(o, ObjKind::Atomic, 9, t), false)
+        .unwrap();
+    rs.append_raw(&prepared(t), true).unwrap();
+    let (heap, out) = recover(&mut rs);
+    let entry = out.ot.get(o).unwrap();
+    assert_eq!(entry.state, ObjState::Restored);
+    match &heap.get(entry.heap).unwrap().body {
+        ObjectBody::Atomic(obj) => {
+            assert_eq!(obj.base, Value::Int(5));
+            assert_eq!(obj.current, Some(Value::Int(9)));
+            assert_eq!(obj.writer, Some(t));
+        }
+        _ => panic!("atomic expected"),
+    }
+}
+
+/// 2.d — base_committed with uid ∉ OT: insert restored.
+#[test]
+fn clause_2d_bc_alone_restores_the_object() {
+    let o = Uid(1);
+    let mut rs = rs();
+    rs.append_raw(
+        &LogEntry::BaseCommitted {
+            uid: o,
+            value: Value::Int(5),
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    let (heap, out) = recover(&mut rs);
+    let entry = out.ot.get(o).unwrap();
+    assert_eq!(entry.state, ObjState::Restored);
+    assert_eq!(heap.read_value(entry.heap, None).unwrap(), &Value::Int(5));
+}
+
+/// 2.e.i — prepared_data whose action is known aborted: ignored.
+#[test]
+fn clause_2e_pd_of_aborted_action_is_ignored() {
+    let t = aid(1);
+    let o = Uid(1);
+    let mut rs = rs();
+    rs.append_raw(
+        &LogEntry::PreparedData {
+            uid: o,
+            value: Value::Int(9),
+            aid: t,
+            prev: None,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(&prepared(t), true).unwrap();
+    rs.append_raw(&LogEntry::Aborted { aid: t, prev: None }, true)
+        .unwrap();
+    let (heap, out) = recover(&mut rs);
+    assert!(out.ot.get(o).is_none());
+    assert!(heap.is_empty());
+}
+
+/// 2.e.i — prepared_data whose action committed: the version is restored
+/// as committed state.
+#[test]
+fn clause_2e_pd_of_committed_action_restores() {
+    let t = aid(1);
+    let o = Uid(1);
+    let mut rs = rs();
+    rs.append_raw(
+        &LogEntry::PreparedData {
+            uid: o,
+            value: Value::Int(9),
+            aid: t,
+            prev: None,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(&prepared(t), true).unwrap();
+    rs.append_raw(&LogEntry::Committed { aid: t, prev: None }, true)
+        .unwrap();
+    let (heap, out) = recover(&mut rs);
+    let entry = out.ot.get(o).unwrap();
+    assert_eq!(heap.read_value(entry.heap, None).unwrap(), &Value::Int(9));
+}
+
+/// 2.e.ii — prepared_data with aid ∉ PT: "the action must have prepared…
+/// <aid, prepared state> is entered into the PT", the version becomes the
+/// current version under the aid's write lock.
+#[test]
+fn clause_2e_pd_of_unknown_action_enters_pt_as_prepared() {
+    let t = aid(1);
+    let o = Uid(1);
+    let mut rs = rs();
+    // Only the pd entry is on the log (its real prepared entry would be
+    // earlier — here the log begins with the pd).
+    rs.append_raw(
+        &LogEntry::PreparedData {
+            uid: o,
+            value: Value::Int(9),
+            aid: t,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    let (heap, out) = recover(&mut rs);
+    assert_eq!(out.pt.get(t), Some(PState::Prepared));
+    let entry = out.ot.get(o).unwrap();
+    assert_eq!(entry.state, ObjState::Prepared);
+    match &heap.get(entry.heap).unwrap().body {
+        ObjectBody::Atomic(obj) => {
+            assert_eq!(obj.current, Some(Value::Int(9)));
+            assert_eq!(obj.writer, Some(t));
+        }
+        _ => panic!("atomic expected"),
+    }
+}
+
+/// 2.f — committing with aid ∈ CT (done seen first): ignored.
+#[test]
+fn clause_2f_committing_after_done_is_ignored() {
+    let t = aid(1);
+    let mut rs = rs();
+    rs.append_raw(
+        &LogEntry::Committing {
+            aid: t,
+            gids: vec![GuardianId(1)],
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(&LogEntry::Done { aid: t, prev: None }, true)
+        .unwrap();
+    let (_, out) = recover(&mut rs);
+    assert!(out.ct.committing_actions().is_empty());
+}
+
+/// 2.f — committing with aid ∉ CT: entered with its participant list.
+#[test]
+fn clause_2f_committing_without_done_restarts_the_coordinator() {
+    let t = aid(1);
+    let gids = vec![GuardianId(1), GuardianId(2)];
+    let mut rs = rs();
+    rs.append_raw(
+        &LogEntry::Committing {
+            aid: t,
+            gids: gids.clone(),
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    let (_, out) = recover(&mut rs);
+    assert_eq!(out.ct.committing_actions(), vec![(t, gids)]);
+}
+
+/// 2.h.i — data entry of a committed action with uid ∈ OT in restored
+/// state: ignored (a newer version was already copied).
+#[test]
+fn clause_2h_older_committed_versions_are_ignored() {
+    let (t1, t2) = (aid(1), aid(2));
+    let o = Uid(1);
+    let mut rs = rs();
+    rs.append_raw(&data(o, ObjKind::Atomic, 1, t1), false)
+        .unwrap();
+    rs.append_raw(&prepared(t1), true).unwrap();
+    rs.append_raw(
+        &LogEntry::Committed {
+            aid: t1,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(&data(o, ObjKind::Atomic, 2, t2), false)
+        .unwrap();
+    rs.append_raw(&prepared(t2), true).unwrap();
+    rs.append_raw(
+        &LogEntry::Committed {
+            aid: t2,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    let (heap, out) = recover(&mut rs);
+    let entry = out.ot.get(o).unwrap();
+    // t2's version (scanned first) wins; t1's older version was ignored.
+    assert_eq!(heap.read_value(entry.heap, None).unwrap(), &Value::Int(2));
+}
+
+/// 2.h.ii — data entry of an in-doubt action, mutex object: copied as the
+/// current version with state restored (no lock is granted for mutex).
+#[test]
+fn clause_2h_in_doubt_mutex_is_restored_without_a_lock() {
+    let t = aid(1);
+    let o = Uid(1);
+    let mut rs = rs();
+    rs.append_raw(&data(o, ObjKind::Mutex, 7, t), false)
+        .unwrap();
+    rs.append_raw(&prepared(t), true).unwrap();
+    let (heap, out) = recover(&mut rs);
+    let entry = out.ot.get(o).unwrap();
+    assert_eq!(entry.state, ObjState::Restored);
+    match &heap.get(entry.heap).unwrap().body {
+        ObjectBody::Mutex(obj) => {
+            assert_eq!(obj.value, Value::Int(7));
+            assert_eq!(obj.seized_by, None);
+        }
+        _ => panic!("mutex expected"),
+    }
+}
+
+/// Step 3 — "The stable counter (used to generate uids) is reset to the
+/// largest uid stored in the OT."
+#[test]
+fn step_3_stable_counter_resets_past_the_largest_uid() {
+    let t = aid(1);
+    let mut rs = rs();
+    rs.append_raw(
+        &LogEntry::BaseCommitted {
+            uid: Uid(41),
+            value: Value::Unit,
+            prev: None,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(&data(Uid(77), ObjKind::Atomic, 0, t), false)
+        .unwrap();
+    rs.append_raw(&prepared(t), true).unwrap();
+    rs.append_raw(&LogEntry::Committed { aid: t, prev: None }, true)
+        .unwrap();
+    let (mut heap, _) = recover(&mut rs);
+    let fresh = heap.fresh_uid();
+    assert!(fresh.0 > 77, "fresh uid {fresh} would collide");
+}

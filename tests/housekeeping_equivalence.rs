@@ -1,0 +1,165 @@
+//! S9: housekeeping preserves the recoverable state (ch. 5).
+//!
+//! Run a randomized workload, then compare the crash-recovered stable state
+//! of (a) the untouched log, (b) the compacted log, (c) the snapshotted log
+//! — all three must agree, including under traffic between the two
+//! housekeeping stages and across repeated passes.
+
+use argus::core::HousekeepingMode;
+use argus::guardian::{RsKind, World};
+use argus::objects::Value;
+use argus::sim::DetRng;
+use argus::workload::{Synth, SynthConfig};
+
+/// Runs `actions` randomized updates and returns the committed value of
+/// every stable variable after a crash+restart, with volatile references
+/// normalized to durable uids (heap addresses differ run to run).
+fn stable_snapshot(world: &World, g: argus::objects::GuardianId, objects: usize) -> Vec<Value> {
+    let guardian = world.guardian(g).unwrap();
+    (0..objects)
+        .map(|i| {
+            let name = format!("obj{i}");
+            match guardian.stable_value(&name) {
+                Some(Value::Ref(argus::objects::ObjRef::Heap(h))) => {
+                    let mut value = guardian.heap.read_value(h, None).unwrap().clone();
+                    value.map_refs(&mut |r| match r {
+                        argus::objects::ObjRef::Heap(hh) => {
+                            argus::objects::ObjRef::Uid(guardian.heap.uid_of(hh).unwrap())
+                        }
+                        uid => uid,
+                    });
+                    value
+                }
+                other => panic!("{name} unresolved: {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn run_workload(seed: u64, hk: Option<HousekeepingMode>, hk_every: u64) -> Vec<Value> {
+    let objects = 24;
+    let mut world = World::fast();
+    let mut synth = Synth::setup(
+        &mut world,
+        RsKind::Hybrid,
+        SynthConfig {
+            objects,
+            writes_per_action: 3,
+            value_size: 16,
+            new_object_prob: 0.1,
+            zipf_theta: 0.5,
+        },
+    )
+    .unwrap();
+    let g = synth.guardian();
+    let mut rng = DetRng::new(seed);
+    for i in 0..60u64 {
+        synth.action(&mut world, &mut rng, false).unwrap();
+        if let Some(mode) = hk {
+            if i % hk_every == hk_every - 1 {
+                world.housekeep(g, mode).unwrap();
+            }
+        }
+    }
+    world.crash(g);
+    world.restart(g).unwrap();
+    stable_snapshot(&world, g, objects)
+}
+
+#[test]
+fn compaction_preserves_recovered_state() {
+    let baseline = run_workload(42, None, 0);
+    let compacted = run_workload(42, Some(HousekeepingMode::Compaction), 20);
+    assert_eq!(baseline, compacted);
+}
+
+#[test]
+fn snapshot_preserves_recovered_state() {
+    let baseline = run_workload(42, None, 0);
+    let snapshotted = run_workload(42, Some(HousekeepingMode::Snapshot), 20);
+    assert_eq!(baseline, snapshotted);
+}
+
+#[test]
+fn frequent_housekeeping_is_still_correct() {
+    for mode in [HousekeepingMode::Compaction, HousekeepingMode::Snapshot] {
+        let baseline = run_workload(7, None, 0);
+        let frequent = run_workload(7, Some(mode), 5);
+        assert_eq!(baseline, frequent, "{mode:?}");
+    }
+}
+
+#[test]
+fn housekeeping_bounds_recovery_cost() {
+    // The point of ch. 5: after housekeeping, recovery examines a bounded
+    // number of entries regardless of history length.
+    let mut world = World::fast();
+    let mut synth = Synth::setup(
+        &mut world,
+        RsKind::Hybrid,
+        SynthConfig {
+            objects: 16,
+            writes_per_action: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let g = synth.guardian();
+    let mut rng = DetRng::new(9);
+    synth.run(&mut world, &mut rng, 100).unwrap();
+
+    world.crash(g);
+    let unbounded = world.restart(g).unwrap();
+
+    // Re-run the same history but housekeep at the end.
+    let mut world = World::fast();
+    let mut synth = Synth::setup(
+        &mut world,
+        RsKind::Hybrid,
+        SynthConfig {
+            objects: 16,
+            writes_per_action: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let g = synth.guardian();
+    let mut rng = DetRng::new(9);
+    synth.run(&mut world, &mut rng, 100).unwrap();
+    world.housekeep(g, HousekeepingMode::Snapshot).unwrap();
+    world.crash(g);
+    let bounded = world.restart(g).unwrap();
+
+    assert!(
+        bounded.entries_examined * 4 < unbounded.entries_examined,
+        "housekeeping did not bound recovery: {} vs {}",
+        bounded.entries_examined,
+        unbounded.entries_examined
+    );
+}
+
+#[test]
+fn interleaved_traffic_between_stages() {
+    // begin_housekeeping … more commits … finish_housekeeping, repeated, via
+    // the world's guardian — exercised at the recovery-system level in the
+    // core crate; here end-to-end with crash+restart after each pass.
+    let mut world = World::fast();
+    let g = world.add_guardian(RsKind::Hybrid).unwrap();
+    for round in 0..3i64 {
+        for i in 0..10i64 {
+            let a = world.begin(g).unwrap();
+            world
+                .set_stable(g, a, "v", Value::Int(round * 100 + i))
+                .unwrap();
+            world.commit(a).unwrap();
+        }
+        world.housekeep(g, HousekeepingMode::Compaction).unwrap();
+        world.crash(g);
+        world.restart(g).unwrap();
+        assert_eq!(
+            world.guardian(g).unwrap().stable_value("v"),
+            Some(Value::Int(round * 100 + 9)),
+            "round {round}"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! End-to-end coverage of the `prepared_data` special entry (§3.3.3.2):
+//! action B modifies an object that is inaccessible, prepares (so the object
+//! is not on the log), and then action A makes that object newly accessible.
+//! A's prepare must write both the base version (`base_committed`, needed if
+//! B aborts) and B's current version (`prepared_data`, needed if B commits).
+
+use argus::core::providers::MemProvider;
+use argus::core::{HousekeepingMode, HybridLogRs, PState, RecoverySystem, SimpleLogRs};
+use argus::objects::{ActionId, GuardianId, Heap, ObjectBody, Uid, Value};
+use argus::sim::{CostModel, SimClock};
+use argus::stable::MemStore;
+
+fn aid(n: u64) -> ActionId {
+    ActionId::new(GuardianId(0), n)
+}
+
+/// Builds the §3.3.3.2 situation on `rs` and returns (heap, x_uid, b).
+///
+/// History: X exists but is unreachable. B write-locks X, modifies it, and
+/// prepares (X is inaccessible, so nothing about X reaches the log). A then
+/// links X into the root and prepares; A commits. Crash.
+fn build(rs: &mut dyn RecoverySystem) -> (Heap, Uid, ActionId) {
+    let mut heap = Heap::with_stable_root();
+    let b = aid(2);
+    let a = aid(3);
+
+    // X: allocated and committed earlier by some action but never linked
+    // from the stable variables — i.e. inaccessible.
+    let x = heap.alloc_atomic(Value::Int(10), None);
+    let x_uid = heap.uid_of(x).unwrap();
+
+    // B modifies X and prepares. The MOS contains X but X is inaccessible:
+    // nothing is written for it; B's prepare record still lands.
+    heap.acquire_write(x, b).unwrap();
+    heap.write_value(x, b, |v| *v = Value::Int(20)).unwrap();
+    rs.prepare(b, &[x], &heap).unwrap();
+
+    // A makes X newly accessible and prepares, then commits.
+    let root = heap.stable_root().unwrap();
+    heap.acquire_write(root, a).unwrap();
+    heap.write_value(root, a, |v| *v = Value::heap_ref(x))
+        .unwrap();
+    rs.prepare(a, &[root], &heap).unwrap();
+    rs.commit(a).unwrap();
+    heap.commit_action(a);
+
+    (heap, x_uid, b)
+}
+
+fn check_in_doubt(rs: &mut dyn RecoverySystem, x_uid: Uid, b: ActionId) {
+    rs.simulate_crash().unwrap();
+    let mut heap = Heap::new();
+    let out = rs.recover(&mut heap).unwrap();
+    // B is still in doubt; X carries both versions under B's write lock.
+    assert_eq!(out.pt.get(b), Some(PState::Prepared));
+    let h = heap.lookup(x_uid).unwrap();
+    match &heap.get(h).unwrap().body {
+        ObjectBody::Atomic(obj) => {
+            assert_eq!(obj.base, Value::Int(10), "base from base_committed");
+            assert_eq!(
+                obj.current,
+                Some(Value::Int(20)),
+                "current from prepared_data"
+            );
+            assert_eq!(obj.writer, Some(b));
+        }
+        _ => panic!("X must be atomic"),
+    }
+}
+
+#[test]
+fn in_doubt_writer_simple_log() {
+    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    let (_heap, x_uid, b) = build(&mut rs);
+    check_in_doubt(&mut rs, x_uid, b);
+}
+
+#[test]
+fn in_doubt_writer_hybrid_log() {
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+    let (_heap, x_uid, b) = build(&mut rs);
+    check_in_doubt(&mut rs, x_uid, b);
+}
+
+#[test]
+fn committed_writer_installs_the_prepared_data_version() {
+    for use_hybrid in [false, true] {
+        let mut simple;
+        let mut hybrid;
+        let rs: &mut dyn RecoverySystem = if use_hybrid {
+            hybrid = HybridLogRs::create(MemProvider::fast()).unwrap();
+            &mut hybrid
+        } else {
+            simple =
+                SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+            &mut simple
+        };
+        let (mut heap, x_uid, b) = build(rs);
+        // B commits before the crash.
+        rs.commit(b).unwrap();
+        heap.commit_action(b);
+
+        rs.simulate_crash().unwrap();
+        let mut heap2 = Heap::new();
+        let out = rs.recover(&mut heap2).unwrap();
+        assert_eq!(
+            out.pt.get(b),
+            Some(PState::Committed),
+            "hybrid={use_hybrid}"
+        );
+        let h = heap2.lookup(x_uid).unwrap();
+        // The prepared_data version is now the committed state of X.
+        assert_eq!(
+            heap2.read_value(h, None).unwrap(),
+            &Value::Int(20),
+            "hybrid={use_hybrid}"
+        );
+    }
+}
+
+#[test]
+fn aborted_writer_falls_back_to_the_base_committed_version() {
+    for use_hybrid in [false, true] {
+        let mut simple;
+        let mut hybrid;
+        let rs: &mut dyn RecoverySystem = if use_hybrid {
+            hybrid = HybridLogRs::create(MemProvider::fast()).unwrap();
+            &mut hybrid
+        } else {
+            simple =
+                SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+            &mut simple
+        };
+        let (mut heap, x_uid, b) = build(rs);
+        rs.abort(b).unwrap();
+        heap.abort_action(b);
+
+        rs.simulate_crash().unwrap();
+        let mut heap2 = Heap::new();
+        let out = rs.recover(&mut heap2).unwrap();
+        assert_eq!(out.pt.get(b), Some(PState::Aborted), "hybrid={use_hybrid}");
+        let h = heap2.lookup(x_uid).unwrap();
+        // B's modification is gone; the base survives — "the base version is
+        // needed in case B aborts".
+        assert_eq!(
+            heap2.read_value(h, None).unwrap(),
+            &Value::Int(10),
+            "hybrid={use_hybrid}"
+        );
+        match &heap2.get(h).unwrap().body {
+            ObjectBody::Atomic(obj) => assert!(obj.current.is_none() && obj.writer.is_none()),
+            _ => panic!("X must be atomic"),
+        }
+    }
+}
+
+#[test]
+fn prepared_data_survives_compaction_while_in_doubt() {
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+    let (heap, x_uid, b) = build(&mut rs);
+    // Compact while B is still in doubt: the pd entry must be preserved.
+    rs.housekeeping(&heap, HousekeepingMode::Compaction)
+        .unwrap();
+    check_in_doubt(&mut rs, x_uid, b);
+}
+
+#[test]
+fn prepared_data_survives_snapshot_while_in_doubt() {
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+    let (heap, x_uid, b) = build(&mut rs);
+    rs.housekeeping(&heap, HousekeepingMode::Snapshot).unwrap();
+    check_in_doubt(&mut rs, x_uid, b);
+}
+
+#[test]
+fn compaction_folds_committed_prepared_data_into_the_checkpoint() {
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+    let (mut heap, x_uid, b) = build(&mut rs);
+    rs.commit(b).unwrap();
+    heap.commit_action(b);
+    rs.housekeeping(&heap, HousekeepingMode::Compaction)
+        .unwrap();
+
+    rs.simulate_crash().unwrap();
+    let mut heap2 = Heap::new();
+    rs.recover(&mut heap2).unwrap();
+    let h = heap2.lookup(x_uid).unwrap();
+    assert_eq!(heap2.read_value(h, None).unwrap(), &Value::Int(20));
+}

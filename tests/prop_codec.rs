@@ -1,0 +1,141 @@
+//! Property-based tests of the on-log codecs: any value and any entry must
+//! roundtrip exactly, and arbitrary bytes must never panic the decoder.
+
+use argus::core::{decode_entry, encode_entry, LogEntry};
+use argus::objects::{ActionId, GuardianId, ObjKind, Uid, Value};
+use argus::slog::LogAddress;
+use proptest::prelude::*;
+
+/// Flattened values only: references are uids (heap refs never reach a log).
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        ".{0,24}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(Value::Bytes),
+        (0u64..1000).prop_map(|u| Value::uid_ref(Uid(u))),
+    ];
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        proptest::collection::vec(inner, 0..8).prop_map(Value::Seq)
+    })
+}
+
+fn aid_strategy() -> impl Strategy<Value = ActionId> {
+    (0u32..16, 0u64..10_000).prop_map(|(g, s)| ActionId::new(GuardianId(g), s))
+}
+
+fn pairs_strategy() -> impl Strategy<Value = Vec<(Uid, LogAddress)>> {
+    proptest::collection::vec(
+        (
+            (0u64..1000).prop_map(Uid),
+            (512u64..1_000_000).prop_map(LogAddress),
+        ),
+        0..12,
+    )
+}
+
+fn kind_strategy() -> impl Strategy<Value = ObjKind> {
+    prop_oneof![Just(ObjKind::Atomic), Just(ObjKind::Mutex)]
+}
+
+fn prev_strategy() -> impl Strategy<Value = Option<LogAddress>> {
+    proptest::option::of((512u64..1_000_000).prop_map(LogAddress))
+}
+
+fn entry_strategy() -> impl Strategy<Value = LogEntry> {
+    prop_oneof![
+        (
+            0u64..1000,
+            kind_strategy(),
+            value_strategy(),
+            aid_strategy()
+        )
+            .prop_map(|(u, kind, value, aid)| LogEntry::Data {
+                uid: Uid(u),
+                kind,
+                value,
+                aid
+            }),
+        (kind_strategy(), value_strategy())
+            .prop_map(|(kind, value)| LogEntry::DataH { kind, value }),
+        (aid_strategy(), pairs_strategy(), prev_strategy())
+            .prop_map(|(aid, pairs, prev)| LogEntry::Prepared { aid, pairs, prev }),
+        (aid_strategy(), prev_strategy()).prop_map(|(aid, prev)| LogEntry::Committed { aid, prev }),
+        (aid_strategy(), prev_strategy()).prop_map(|(aid, prev)| LogEntry::Aborted { aid, prev }),
+        (0u64..1000, value_strategy(), prev_strategy()).prop_map(|(u, value, prev)| {
+            LogEntry::BaseCommitted {
+                uid: Uid(u),
+                value,
+                prev,
+            }
+        }),
+        (
+            0u64..1000,
+            value_strategy(),
+            aid_strategy(),
+            prev_strategy()
+        )
+            .prop_map(|(u, value, aid, prev)| LogEntry::PreparedData {
+                uid: Uid(u),
+                value,
+                aid,
+                prev
+            }),
+        (
+            aid_strategy(),
+            proptest::collection::vec(0u32..64, 0..8),
+            prev_strategy()
+        )
+            .prop_map(|(aid, gs, prev)| LogEntry::Committing {
+                aid,
+                gids: gs.into_iter().map(GuardianId).collect(),
+                prev,
+            }),
+        (aid_strategy(), prev_strategy()).prop_map(|(aid, prev)| LogEntry::Done { aid, prev }),
+        (pairs_strategy(), prev_strategy())
+            .prop_map(|(cssl, prev)| LogEntry::CommittedSs { cssl, prev }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn entries_roundtrip(entry in entry_strategy()) {
+        let bytes = encode_entry(&entry).unwrap();
+        prop_assert_eq!(decode_entry(&bytes).unwrap(), entry);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_junk(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_entry(&bytes); // must return, never panic
+    }
+
+    #[test]
+    fn decoder_rejects_truncations(entry in entry_strategy()) {
+        let bytes = encode_entry(&entry).unwrap();
+        // Every strict prefix either fails or (rarely) decodes to something
+        // *different* — never to a spurious copy of the original with
+        // trailing data silently dropped.
+        for cut in 0..bytes.len() {
+            if let Ok(decoded) = decode_entry(&bytes[..cut]) {
+                prop_assert_ne!(decoded, entry.clone(), "prefix {} decoded to the original", cut);
+            }
+        }
+    }
+
+    #[test]
+    fn bitflips_are_detected_or_change_the_entry(
+        entry in entry_strategy(),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let bytes = encode_entry(&entry).unwrap();
+        prop_assume!(!bytes.is_empty());
+        let mut corrupted = bytes.clone();
+        let i = flip_byte.index(corrupted.len());
+        corrupted[i] ^= 1 << flip_bit;
+        if let Ok(decoded) = decode_entry(&corrupted) {
+            prop_assert_ne!(decoded, entry, "bit flip at {}:{} went unnoticed", i, flip_bit);
+        }
+    }
+}

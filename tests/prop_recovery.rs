@@ -1,0 +1,148 @@
+//! Property-based tests of the core invariant: for any history of committed
+//! and aborted actions, crash recovery reproduces exactly the state a
+//! crash-free in-memory model would hold.
+
+use argus::guardian::{Outcome, RsKind, World};
+use argus::objects::{ObjRef, Value};
+use proptest::prelude::*;
+
+/// One scripted operation against a small key space.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Set key `k` to `v` and commit.
+    Commit { k: u8, v: i64 },
+    /// Set key `k` to `v`, then abort locally.
+    Abort { k: u8, v: i64 },
+    /// Crash and restart the guardian.
+    CrashRestart,
+    /// Run housekeeping (hybrid only; ignored elsewhere).
+    Housekeep(bool),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u8..6, any::<i64>()).prop_map(|(k, v)| Op::Commit { k, v }),
+        2 => (0u8..6, any::<i64>()).prop_map(|(k, v)| Op::Abort { k, v }),
+        1 => Just(Op::CrashRestart),
+        1 => any::<bool>().prop_map(Op::Housekeep),
+    ]
+}
+
+fn run_history(kind: RsKind, ops: &[Op]) {
+    let mut world = World::fast();
+    let g = world.add_guardian(kind).unwrap();
+    let mut model: std::collections::HashMap<u8, i64> = std::collections::HashMap::new();
+
+    for op in ops {
+        match op {
+            Op::Commit { k, v } => {
+                let a = world.begin(g).unwrap();
+                world
+                    .set_stable(g, a, &format!("k{k}"), Value::Int(*v))
+                    .unwrap();
+                assert_eq!(world.commit(a).unwrap(), Outcome::Committed);
+                model.insert(*k, *v);
+            }
+            Op::Abort { k, v } => {
+                let a = world.begin(g).unwrap();
+                world
+                    .set_stable(g, a, &format!("k{k}"), Value::Int(*v))
+                    .unwrap();
+                world.abort_local(a);
+            }
+            Op::CrashRestart => {
+                world.crash(g);
+                world.restart(g).unwrap();
+            }
+            Op::Housekeep(snapshot) => {
+                if kind == RsKind::Hybrid {
+                    let mode = if *snapshot {
+                        argus::core::HousekeepingMode::Snapshot
+                    } else {
+                        argus::core::HousekeepingMode::Compaction
+                    };
+                    world.housekeep(g, mode).unwrap();
+                }
+            }
+        }
+        // The committed view always matches the model, mid-history included.
+        for (k, v) in &model {
+            assert_eq!(
+                world.guardian(g).unwrap().stable_value(&format!("k{k}")),
+                Some(Value::Int(*v)),
+                "{kind:?}: key {k} diverged after {op:?}"
+            );
+        }
+    }
+
+    // Final crash + recovery must reproduce the model exactly.
+    world.crash(g);
+    world.restart(g).unwrap();
+    for (k, v) in &model {
+        assert_eq!(
+            world.guardian(g).unwrap().stable_value(&format!("k{k}")),
+            Some(Value::Int(*v)),
+            "{kind:?}: key {k} lost at final recovery"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn hybrid_log_matches_the_model(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        run_history(RsKind::Hybrid, &ops);
+    }
+
+    #[test]
+    fn simple_log_matches_the_model(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        run_history(RsKind::Simple, &ops);
+    }
+
+    #[test]
+    fn shadowing_matches_the_model(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        run_history(RsKind::Shadow, &ops);
+    }
+
+    /// Object-graph property: a committed linked list of arbitrary length is
+    /// fully reconstructed (every link resolved back to a pointer).
+    #[test]
+    fn linked_lists_recover_completely(len in 1usize..20, payloads in proptest::collection::vec(any::<i64>(), 20)) {
+        let mut world = World::fast();
+        let g = world.add_guardian(RsKind::Hybrid).unwrap();
+        let a = world.begin(g).unwrap();
+        let mut next = Value::Unit;
+        for payload in payloads.iter().take(len) {
+            let node = world
+                .create_atomic(g, a, Value::Seq(vec![Value::Int(*payload), next.clone()]))
+                .unwrap();
+            next = Value::heap_ref(node);
+        }
+        world.set_stable(g, a, "list", next).unwrap();
+        prop_assert_eq!(world.commit(a).unwrap(), Outcome::Committed);
+
+        world.crash(g);
+        world.restart(g).unwrap();
+        let guardian = world.guardian(g).unwrap();
+        let mut cursor = guardian.stable_value("list").unwrap();
+        let mut seen = Vec::new();
+        while let Value::Ref(ObjRef::Heap(h)) = cursor {
+            match guardian.heap.read_value(h, None).unwrap() {
+                Value::Seq(fields) => {
+                    match fields.as_slice() {
+                        [Value::Int(p), rest] => {
+                            seen.push(*p);
+                            cursor = rest.clone();
+                        }
+                        other => prop_assert!(false, "bad node {:?}", other),
+                    }
+                }
+                other => prop_assert!(false, "bad node {}", other),
+            }
+        }
+        prop_assert_eq!(seen.len(), len);
+        let expected: Vec<i64> = (0..len).rev().map(|i| payloads[i]).collect();
+        prop_assert_eq!(seen, expected);
+    }
+}

@@ -1,0 +1,164 @@
+//! Scenario 4 (Figure 3-10): recovery of a guardian that acted both as a
+//! participant and as the coordinator of action T2.
+//!
+//! Log, oldest first:
+//!
+//! `bc(O1,V1b) · data(O1,at,V1c,T1) · bc(O2,V2b) · prepared(T1) ·
+//!  committed(T1) · data(O2,at,V2c,T2) · prepared(T2) ·
+//!  committing(T2,[P1,P2,P3]) · committed(T2) · done(T2)`
+//!
+//! The thesis notes the ordering "prepared, committing, committed, done"
+//! that holds when the top-level action commits successfully. Final tables:
+//! PT = {T1 committed, T2 committed}; CT = {T2 done}; both objects restored
+//! — "Since the table contains no action identifier whose state is
+//! committing then no coordinator needs to be restarted."
+
+use argus::core::{CState, LogEntry, ObjState, PState, RecoverySystem, SimpleLogRs};
+use argus::objects::{ActionId, GuardianId, Heap, ObjKind, Uid, Value};
+use argus::sim::{CostModel, SimClock};
+use argus::stable::MemStore;
+
+fn aid(n: u64) -> ActionId {
+    ActionId::new(GuardianId(0), n)
+}
+
+fn build_log(with_done: bool) -> SimpleLogRs<MemStore> {
+    let (t1, t2) = (aid(1), aid(2));
+    let (o1, o2) = (Uid(1), Uid(2));
+    let gids = vec![GuardianId(1), GuardianId(2), GuardianId(3)];
+
+    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    rs.append_raw(
+        &LogEntry::BaseCommitted {
+            uid: o1,
+            value: Value::Int(10),
+            prev: None,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Data {
+            uid: o1,
+            kind: ObjKind::Atomic,
+            value: Value::Int(11),
+            aid: t1,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::BaseCommitted {
+            uid: o2,
+            value: Value::Int(20),
+            prev: None,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Prepared {
+            aid: t1,
+            pairs: vec![],
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Committed {
+            aid: t1,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Data {
+            uid: o2,
+            kind: ObjKind::Atomic,
+            value: Value::Int(22),
+            aid: t2,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Prepared {
+            aid: t2,
+            pairs: vec![],
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Committing {
+            aid: t2,
+            gids,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Committed {
+            aid: t2,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    if with_done {
+        rs.append_raw(
+            &LogEntry::Done {
+                aid: t2,
+                prev: None,
+            },
+            true,
+        )
+        .unwrap();
+    }
+    rs
+}
+
+#[test]
+fn figure_3_10_recovery() {
+    let (t1, t2) = (aid(1), aid(2));
+    let (o1, o2) = (Uid(1), Uid(2));
+    let mut rs = build_log(true);
+
+    rs.simulate_crash().unwrap();
+    let mut heap = Heap::new();
+    let out = rs.recover(&mut heap).unwrap();
+
+    // PT: both actions committed as participants.
+    assert_eq!(out.pt.get(t1), Some(PState::Committed));
+    assert_eq!(out.pt.get(t2), Some(PState::Committed));
+    // CT: T2 done — no coordinator restart needed.
+    assert_eq!(out.ct.get(t2), Some(&CState::Done));
+    assert!(out.ct.committing_actions().is_empty());
+
+    // OT: both restored to their committed versions.
+    assert_eq!(out.ot.get(o1).unwrap().state, ObjState::Restored);
+    assert_eq!(out.ot.get(o2).unwrap().state, ObjState::Restored);
+    let h1 = out.ot.get(o1).unwrap().heap;
+    let h2 = out.ot.get(o2).unwrap().heap;
+    assert_eq!(heap.read_value(h1, None).unwrap(), &Value::Int(11));
+    assert_eq!(heap.read_value(h2, None).unwrap(), &Value::Int(22));
+}
+
+#[test]
+fn crash_before_done_restarts_the_coordinator() {
+    // The §2.2.3 variant: the coordinator crashed after `committing` but
+    // before `done` — "upon recovery the action is still committing."
+    let t2 = aid(2);
+    let mut rs = build_log(false);
+    rs.simulate_crash().unwrap();
+    let mut heap = Heap::new();
+    let out = rs.recover(&mut heap).unwrap();
+    assert_eq!(
+        out.ct.committing_actions(),
+        vec![(t2, vec![GuardianId(1), GuardianId(2), GuardianId(3)])]
+    );
+}

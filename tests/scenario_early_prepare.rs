@@ -1,0 +1,251 @@
+//! The early-prepare scenario of Figure 4-3/§4.4: data entries of different
+//! actions interleave, and the recovery system must compare *log addresses*
+//! to keep the latest mutex version.
+//!
+//! History: T1 early-prepares mutex O1 (d1). T2 then seizes O1, writes d2,
+//! plus two more objects (d3, d4), and prepares. T1 writes d5 for another
+//! object and prepares, then commits. Crash.
+//!
+//! "On recovery we see that the earlier version, rather than the latest
+//! version, of O1 gets copied to volatile memory, which is wrong. To solve
+//! this problem we need to keep some extra information in the OT for mutex
+//! objects, namely, the log address of the 'latest' data entry…"
+
+use argus::core::providers::MemProvider;
+use argus::core::{HybridLogRs, LogEntry, PState, RecoverySystem};
+use argus::objects::{ActionId, GuardianId, Heap, ObjKind, ObjectBody, Uid, Value};
+
+fn aid(n: u64) -> ActionId {
+    ActionId::new(GuardianId(0), n)
+}
+
+#[test]
+fn figure_4_3_mutex_recency() {
+    let (t1, t2) = (aid(1), aid(2));
+    let (o1, o2, o3, o4) = (Uid(1), Uid(2), Uid(3), Uid(4));
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+
+    // Step 1: T1's early-prepared version of mutex O1.
+    let d1 = rs
+        .append_raw(
+            &LogEntry::DataH {
+                kind: ObjKind::Mutex,
+                value: Value::Str("old".into()),
+            },
+            false,
+        )
+        .unwrap();
+    // Steps 2–3: T2's newer version of O1 plus two more data entries.
+    let d2 = rs
+        .append_raw(
+            &LogEntry::DataH {
+                kind: ObjKind::Mutex,
+                value: Value::Str("new".into()),
+            },
+            false,
+        )
+        .unwrap();
+    let d3 = rs
+        .append_raw(
+            &LogEntry::DataH {
+                kind: ObjKind::Atomic,
+                value: Value::Int(3),
+            },
+            false,
+        )
+        .unwrap();
+    let d4 = rs
+        .append_raw(
+            &LogEntry::DataH {
+                kind: ObjKind::Atomic,
+                value: Value::Int(4),
+            },
+            false,
+        )
+        .unwrap();
+    // Step 4: T2 prepares.
+    let p2 = rs
+        .append_raw(
+            &LogEntry::Prepared {
+                aid: t2,
+                pairs: vec![(o1, d2), (o2, d3), (o3, d4)],
+                prev: None,
+            },
+            true,
+        )
+        .unwrap();
+    // Step 5: one more data entry for T1.
+    let d5 = rs
+        .append_raw(
+            &LogEntry::DataH {
+                kind: ObjKind::Atomic,
+                value: Value::Int(5),
+            },
+            false,
+        )
+        .unwrap();
+    // Step 6: T1 prepares — its pair for O1 points at the OLDER d1.
+    let p1 = rs
+        .append_raw(
+            &LogEntry::Prepared {
+                aid: t1,
+                pairs: vec![(o1, d1), (o4, d5)],
+                prev: Some(p2),
+            },
+            true,
+        )
+        .unwrap();
+    // Step 7: T1 commits. Step 8: crash.
+    rs.append_raw(
+        &LogEntry::Committed {
+            aid: t1,
+            prev: Some(p1),
+        },
+        true,
+    )
+    .unwrap();
+
+    rs.simulate_crash().unwrap();
+    let mut heap = Heap::new();
+    let out = rs.recover(&mut heap).unwrap();
+
+    assert_eq!(out.pt.get(t1), Some(PState::Committed));
+    assert_eq!(out.pt.get(t2), Some(PState::Prepared));
+
+    // The crux: O1 recovers to T2's later version even though the committed
+    // T1's pair is processed first during the backward walk.
+    let h1 = out.ot.get(o1).unwrap().heap;
+    assert_eq!(
+        heap.read_value(h1, None).unwrap(),
+        &Value::Str("new".into())
+    );
+    // And the OT remembers the winning address.
+    assert_eq!(out.ot.get(o1).unwrap().mutex_addr, Some(d2));
+
+    // T2's atomic objects are restored as prepared currents under its lock.
+    for (uid, expect) in [(o2, 3i64), (o3, 4)] {
+        let h = out.ot.get(uid).unwrap().heap;
+        match &heap.get(h).unwrap().body {
+            ObjectBody::Atomic(obj) => {
+                assert_eq!(obj.current, Some(Value::Int(expect)));
+                assert_eq!(obj.writer, Some(t2));
+            }
+            _ => panic!("{uid} must be atomic"),
+        }
+    }
+    // T1's committed O4.
+    let h4 = out.ot.get(o4).unwrap().heap;
+    assert_eq!(heap.read_value(h4, None).unwrap(), &Value::Int(5));
+}
+
+#[test]
+fn end_to_end_early_prepare_matches_figure_4_3() {
+    // The same interleaving produced by the real writer: T1 early-prepares
+    // a mutex, T2 modifies it and prepares, T1 prepares later and commits.
+    let mut heap = Heap::with_stable_root();
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+    let (t0, t1, t2) = (aid(10), aid(11), aid(12));
+
+    // Set up a committed mutex reachable from the root.
+    let m = heap.alloc_mutex(Value::Int(0));
+    let m_uid = heap.uid_of(m).unwrap();
+    let root = heap.stable_root().unwrap();
+    heap.acquire_write(root, t0).unwrap();
+    heap.write_value(root, t0, |v| *v = Value::heap_ref(m))
+        .unwrap();
+    rs.prepare(t0, &[root], &heap).unwrap();
+    rs.commit(t0).unwrap();
+    heap.commit_action(t0);
+
+    // T1 mutates the mutex and early-prepares.
+    heap.seize(m, t1).unwrap();
+    heap.mutate_mutex(m, t1, |v| *v = Value::Int(1)).unwrap();
+    heap.release(m, t1).unwrap();
+    let leftover = rs.write_entry(t1, &[m], &heap).unwrap();
+    assert!(leftover.is_empty());
+
+    // T2 mutates it afterwards and fully prepares.
+    heap.seize(m, t2).unwrap();
+    heap.mutate_mutex(m, t2, |v| *v = Value::Int(2)).unwrap();
+    heap.release(m, t2).unwrap();
+    rs.prepare(t2, &[m], &heap).unwrap();
+
+    // T1 prepares (its early-prepared pair points at the older entry) and
+    // commits.
+    rs.prepare(t1, &[], &heap).unwrap();
+    rs.commit(t1).unwrap();
+    heap.commit_action(t1);
+
+    rs.simulate_crash().unwrap();
+    let mut heap2 = Heap::new();
+    rs.recover(&mut heap2).unwrap();
+    let h = heap2.lookup(m_uid).unwrap();
+    // T2's version is the latest prepared one and must win.
+    assert_eq!(heap2.read_value(h, None).unwrap(), &Value::Int(2));
+}
+
+#[test]
+fn early_prepared_then_aborted_action_leaves_no_trace() {
+    // §4.4: "if it aborts then extra work has been done, but that is not a
+    // problem" — the early-prepared data entries must be inert without a
+    // prepared record.
+    let mut heap = Heap::with_stable_root();
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+    let (t0, t1) = (aid(20), aid(21));
+
+    let root = heap.stable_root().unwrap();
+    heap.acquire_write(root, t0).unwrap();
+    heap.write_value(root, t0, |v| *v = Value::Int(1)).unwrap();
+    rs.prepare(t0, &[root], &heap).unwrap();
+    rs.commit(t0).unwrap();
+    heap.commit_action(t0);
+
+    // T1 modifies the root, early-prepares, then aborts locally (no 2PC
+    // records at all). Force something else so the early-prepared data is
+    // actually durable on the device.
+    heap.acquire_write(root, t1).unwrap();
+    heap.write_value(root, t1, |v| *v = Value::Int(666))
+        .unwrap();
+    let leftover = rs.write_entry(t1, &[root], &heap).unwrap();
+    assert!(leftover.is_empty());
+    heap.abort_action(t1);
+
+    rs.simulate_crash().unwrap();
+    let mut heap2 = Heap::new();
+    rs.recover(&mut heap2).unwrap();
+    let root2 = heap2.stable_root().unwrap();
+    assert_eq!(heap2.read_value(root2, None).unwrap(), &Value::Int(1));
+}
+
+#[test]
+fn discard_drops_early_prepare_bookkeeping() {
+    // Without discard, a locally-aborted early-prepared action's pending
+    // pairs would be rewritten into every future housekept log.
+    let mut heap = Heap::with_stable_root();
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+    let (t0, t1) = (aid(30), aid(31));
+
+    let root = heap.stable_root().unwrap();
+    heap.acquire_write(root, t0).unwrap();
+    heap.write_value(root, t0, |v| *v = Value::Int(1)).unwrap();
+    rs.prepare(t0, &[root], &heap).unwrap();
+    rs.commit(t0).unwrap();
+    heap.commit_action(t0);
+
+    heap.acquire_write(root, t1).unwrap();
+    heap.write_value(root, t1, |v| *v = Value::Int(2)).unwrap();
+    rs.write_entry(t1, &[root], &heap).unwrap();
+    heap.abort_action(t1);
+    rs.discard(t1);
+
+    // Housekeeping must not resurrect t1's data entries; the compacted log
+    // holds only the committed state.
+    rs.housekeeping(&heap, argus::core::HousekeepingMode::Snapshot)
+        .unwrap();
+    rs.simulate_crash().unwrap();
+    let mut heap2 = Heap::new();
+    let out = rs.recover(&mut heap2).unwrap();
+    assert!(out.pt.get(t1).is_none());
+    let root2 = heap2.stable_root().unwrap();
+    assert_eq!(heap2.read_value(root2, None).unwrap(), &Value::Int(1));
+}

@@ -1,0 +1,245 @@
+//! The hybrid-log scenario of Figure 4-2/§4.3.2: recovery walks the backward
+//! chain of outcome entries and follows `(uid, log address)` pairs to data
+//! entries only when a version must actually be copied.
+//!
+//! Log, oldest first (O1 atomic, O2 mutex):
+//!
+//! `bc(O1,V1b | prev=nil) · d(V1,T1)@L1 · d(V2,T1)@L2 ·
+//!  prepared(T1,[(O1,L1),(O2,L2)] | prev=bc) · committed(T1 | prev) ·
+//!  d(V1',T2)@L1' · d(V2',T2)@L2' · prepared(T2,[(O1,L1'),(O2,L2')] | prev)`
+
+use argus::core::providers::MemProvider;
+use argus::core::{HybridLogRs, LogEntry, ObjState, PState, RecoverySystem};
+use argus::objects::{ActionId, GuardianId, Heap, ObjKind, ObjectBody, Uid, Value};
+
+fn aid(n: u64) -> ActionId {
+    ActionId::new(GuardianId(0), n)
+}
+
+#[test]
+fn figure_4_2_recovery() {
+    let (t1, t2) = (aid(1), aid(2));
+    let (o1, o2) = (Uid(1), Uid(2));
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+
+    let bc = rs
+        .append_raw(
+            &LogEntry::BaseCommitted {
+                uid: o1,
+                value: Value::Int(10),
+                prev: None,
+            },
+            false,
+        )
+        .unwrap();
+    let l1 = rs
+        .append_raw(
+            &LogEntry::DataH {
+                kind: ObjKind::Atomic,
+                value: Value::Int(11),
+            },
+            false,
+        )
+        .unwrap();
+    let l2 = rs
+        .append_raw(
+            &LogEntry::DataH {
+                kind: ObjKind::Mutex,
+                value: Value::Int(21),
+            },
+            false,
+        )
+        .unwrap();
+    let p1 = rs
+        .append_raw(
+            &LogEntry::Prepared {
+                aid: t1,
+                pairs: vec![(o1, l1), (o2, l2)],
+                prev: Some(bc),
+            },
+            true,
+        )
+        .unwrap();
+    let c1 = rs
+        .append_raw(
+            &LogEntry::Committed {
+                aid: t1,
+                prev: Some(p1),
+            },
+            true,
+        )
+        .unwrap();
+    let l1p = rs
+        .append_raw(
+            &LogEntry::DataH {
+                kind: ObjKind::Atomic,
+                value: Value::Int(12),
+            },
+            false,
+        )
+        .unwrap();
+    let l2p = rs
+        .append_raw(
+            &LogEntry::DataH {
+                kind: ObjKind::Mutex,
+                value: Value::Int(22),
+            },
+            false,
+        )
+        .unwrap();
+    rs.append_raw(
+        &LogEntry::Prepared {
+            aid: t2,
+            pairs: vec![(o1, l1p), (o2, l2p)],
+            prev: Some(c1),
+        },
+        true,
+    )
+    .unwrap();
+
+    rs.simulate_crash().unwrap();
+    let mut heap = Heap::new();
+    let out = rs.recover(&mut heap).unwrap();
+
+    // Thesis closing tables.
+    assert_eq!(out.pt.get(t1), Some(PState::Committed));
+    assert_eq!(out.pt.get(t2), Some(PState::Prepared));
+    assert_eq!(out.ot.get(o1).unwrap().state, ObjState::Restored);
+    assert_eq!(out.ot.get(o2).unwrap().state, ObjState::Restored);
+
+    // O1: T2's current version under its write lock, T1's committed version
+    // as the base ("Since the action also committed, this is the latest
+    // committed version… copies the object version V1 to volatile memory as
+    // the base version of O1").
+    let h1 = out.ot.get(o1).unwrap().heap;
+    match &heap.get(h1).unwrap().body {
+        ObjectBody::Atomic(obj) => {
+            assert_eq!(obj.base, Value::Int(11));
+            assert_eq!(obj.current, Some(Value::Int(12)));
+            assert_eq!(obj.writer, Some(t2));
+        }
+        _ => panic!("O1 must be atomic"),
+    }
+    // O2 (mutex): T2's version — "the object version has already been
+    // copied" when T1's pair is reached.
+    let h2 = out.ot.get(o2).unwrap().heap;
+    assert_eq!(heap.read_value(h2, None).unwrap(), &Value::Int(22));
+
+    // The hybrid win: exactly 3 data entries were read (O1 twice — current
+    // then base — O2 once); the bc entry carried its value inline.
+    assert_eq!(out.data_entries_read, 3);
+
+    // T2 stays in the PAT; the MT points at T2's mutex data entry.
+    assert!(rs.is_prepared(t2));
+    assert_eq!(rs.mutex_table().get(&o2), Some(&l2p));
+}
+
+#[test]
+fn chain_walk_skips_unneeded_history() {
+    // 50 committed updates to one object: the chain is walked (100 outcome
+    // entries) but only ONE data entry is ever read.
+    let o = Uid(1);
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+    let mut prev = None;
+    for i in 0..50u64 {
+        let t = aid(i + 1);
+        let d = rs
+            .append_raw(
+                &LogEntry::DataH {
+                    kind: ObjKind::Atomic,
+                    value: Value::Int(i as i64),
+                },
+                false,
+            )
+            .unwrap();
+        let p = rs
+            .append_raw(
+                &LogEntry::Prepared {
+                    aid: t,
+                    pairs: vec![(o, d)],
+                    prev,
+                },
+                true,
+            )
+            .unwrap();
+        let c = rs
+            .append_raw(
+                &LogEntry::Committed {
+                    aid: t,
+                    prev: Some(p),
+                },
+                true,
+            )
+            .unwrap();
+        prev = Some(c);
+    }
+    rs.simulate_crash().unwrap();
+    let mut heap = Heap::new();
+    let out = rs.recover(&mut heap).unwrap();
+    assert_eq!(out.data_entries_read, 1);
+    let h = out.ot.get(o).unwrap().heap;
+    assert_eq!(heap.read_value(h, None).unwrap(), &Value::Int(49));
+}
+
+#[test]
+fn recovery_steps_over_a_data_entry_at_the_log_top() {
+    // A housekeeping-time force can leave flushed data entries as the
+    // newest durable records; the chain walk must step back over them to
+    // the newest outcome entry.
+    let o = Uid(1);
+    let t = aid(1);
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+    let d = rs
+        .append_raw(
+            &LogEntry::DataH {
+                kind: ObjKind::Atomic,
+                value: Value::Int(5),
+            },
+            false,
+        )
+        .unwrap();
+    let p = rs
+        .append_raw(
+            &LogEntry::Prepared {
+                aid: t,
+                pairs: vec![(o, d)],
+                prev: None,
+            },
+            true,
+        )
+        .unwrap();
+    rs.append_raw(
+        &LogEntry::Committed {
+            aid: t,
+            prev: Some(p),
+        },
+        true,
+    )
+    .unwrap();
+    // Two orphaned data entries flushed after the last outcome entry.
+    rs.append_raw(
+        &LogEntry::DataH {
+            kind: ObjKind::Atomic,
+            value: Value::Int(99),
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::DataH {
+            kind: ObjKind::Mutex,
+            value: Value::Int(98),
+        },
+        true,
+    )
+    .unwrap();
+
+    rs.simulate_crash().unwrap();
+    let mut heap = Heap::new();
+    let out = rs.recover(&mut heap).unwrap();
+    assert_eq!(out.pt.get(t), Some(PState::Committed));
+    let h = out.ot.get(o).unwrap().heap;
+    assert_eq!(heap.read_value(h, None).unwrap(), &Value::Int(5));
+    // The orphaned entries were stepped over, not restored.
+    assert_eq!(out.ot.len(), 1);
+}

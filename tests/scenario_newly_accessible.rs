@@ -1,0 +1,173 @@
+//! Scenario S1 (Figure 3-5 / Figure 3-6): the *writing* side of newly
+//! accessible objects — what actually lands on the log when actions make
+//! objects reachable from the stable variables.
+
+use argus::core::providers::MemProvider;
+use argus::core::{HybridLogRs, LogEntry, RecoverySystem, SimpleLogRs};
+use argus::objects::{ActionId, GuardianId, Heap, ObjKind, Uid, Value};
+use argus::sim::{CostModel, SimClock};
+use argus::stable::MemStore;
+
+fn aid(n: u64) -> ActionId {
+    ActionId::new(GuardianId(0), n)
+}
+
+/// Builds the Figure 3-6 heap: X → O1 → O2; T1 write-locks O2 and points it
+/// at a freshly created O3 (read-locked by T1). Returns (heap, o2, uids).
+fn figure_3_6_heap(t1: ActionId) -> (Heap, argus::objects::HeapId, Uid, Uid) {
+    let mut heap = Heap::new();
+    let o3 = heap.alloc_atomic(Value::Int(3), Some(t1));
+    let o2 = heap.alloc_atomic(Value::Unit, None);
+    heap.acquire_write(o2, t1).unwrap();
+    heap.write_value(o2, t1, |v| *v = Value::heap_ref(o3))
+        .unwrap();
+    let uid2 = heap.uid_of(o2).unwrap();
+    let uid3 = heap.uid_of(o3).unwrap();
+    (heap, o2, uid2, uid3)
+}
+
+#[test]
+fn figure_3_6_simple_log_entries() {
+    let t1 = aid(1);
+    let (heap, o2, _uid2, _uid3) = figure_3_6_heap(t1);
+
+    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    // Make O2 previously accessible: pretend an earlier epoch wrote it by
+    // seeding the AS through a first prepare of O2 alone... the cleanest way
+    // is to run the scenario exactly: O2 accessible, O3 not. Achieve it by
+    // preparing a no-op action that writes O2 while it is reachable from
+    // the root.
+    // Simpler: drive the real prepare and check the emitted entries.
+    // Our AS starts with only the stable root, so bind O2 into the AS first.
+    // (The writer unit tests cover the pure-AS variant; here we check the
+    // log bytes end to end.)
+    let t0 = aid(0);
+    let mut setup_heap = Heap::with_stable_root();
+    let s_o3 = setup_heap.alloc_atomic(Value::Int(3), Some(t1));
+    let s_o2 = setup_heap.alloc_atomic(Value::Unit, None);
+    let root = setup_heap.stable_root().unwrap();
+    setup_heap.acquire_write(root, t0).unwrap();
+    setup_heap
+        .write_value(root, t0, |v| *v = Value::heap_ref(s_o2))
+        .unwrap();
+    rs.prepare(t0, &[root], &setup_heap).unwrap();
+    rs.commit(t0).unwrap();
+    setup_heap.commit_action(t0);
+
+    // Now T1 modifies O2 to point at the new O3 and prepares.
+    setup_heap.acquire_write(s_o2, t1).unwrap();
+    setup_heap
+        .write_value(s_o2, t1, |v| *v = Value::heap_ref(s_o3))
+        .unwrap();
+    let uid2 = setup_heap.uid_of(s_o2).unwrap();
+    let uid3 = setup_heap.uid_of(s_o3).unwrap();
+    rs.prepare(t1, &[s_o2], &setup_heap).unwrap();
+
+    // The T1 section of the log must be: data(O2,…,T1) · bc(O3) ·
+    // prepared(T1) — the §3.3.3.2 walkthrough's steps 4, 5 and 6.
+    let entries: Vec<LogEntry> = rs
+        .dump_entries()
+        .unwrap()
+        .into_iter()
+        .map(|(_, e)| e)
+        .collect();
+    let t1_section: Vec<&LogEntry> = entries
+        .iter()
+        .filter(|e| match e {
+            LogEntry::Data { aid, .. } => *aid == t1,
+            LogEntry::BaseCommitted { uid, .. } => *uid == uid3,
+            LogEntry::Prepared { aid, .. } => *aid == t1,
+            _ => false,
+        })
+        .collect();
+    assert_eq!(t1_section.len(), 3);
+    match t1_section[0] {
+        LogEntry::Data {
+            uid,
+            kind: ObjKind::Atomic,
+            value,
+            aid,
+        } => {
+            assert_eq!(*uid, uid2);
+            assert_eq!(*aid, t1);
+            // The copied version references O3 by uid (flattened form).
+            assert_eq!(value, &Value::uid_ref(uid3));
+        }
+        other => panic!("expected the O2 data entry, got {other:?}"),
+    }
+    match t1_section[1] {
+        LogEntry::BaseCommitted { uid, value, .. } => {
+            assert_eq!(*uid, uid3);
+            assert_eq!(value, &Value::Int(3));
+        }
+        other => panic!("expected bc(O3), got {other:?}"),
+    }
+    assert!(matches!(t1_section[2], LogEntry::Prepared { .. }));
+
+    // Step 7: "The AS now consists of object uids O1, O2, O3" — here root,
+    // O2, O3.
+    assert!(rs.access_set().contains(&Uid::STABLE_ROOT));
+    assert!(rs.access_set().contains(&uid2));
+    assert!(rs.access_set().contains(&uid3));
+
+    // Silence unused warnings from the illustrative first construction.
+    let _ = (heap, o2, uid2, uid3);
+}
+
+#[test]
+fn figure_3_6_hybrid_log_entries() {
+    // Same history on the hybrid log: the data entry is anonymous, the bc
+    // is chained, and the prepared entry carries the (uid, address) pair.
+    let (t0, t1) = (aid(0), aid(1));
+    let mut heap = Heap::with_stable_root();
+    let mut rs = HybridLogRs::create(MemProvider::fast()).unwrap();
+
+    let o3 = heap.alloc_atomic(Value::Int(3), Some(t1));
+    let o2 = heap.alloc_atomic(Value::Unit, None);
+    let root = heap.stable_root().unwrap();
+    heap.acquire_write(root, t0).unwrap();
+    heap.write_value(root, t0, |v| *v = Value::heap_ref(o2))
+        .unwrap();
+    rs.prepare(t0, &[root], &heap).unwrap();
+    rs.commit(t0).unwrap();
+    heap.commit_action(t0);
+
+    heap.acquire_write(o2, t1).unwrap();
+    heap.write_value(o2, t1, |v| *v = Value::heap_ref(o3))
+        .unwrap();
+    let uid2 = heap.uid_of(o2).unwrap();
+    let uid3 = heap.uid_of(o3).unwrap();
+    rs.prepare(t1, &[o2], &heap).unwrap();
+
+    let entries = rs.dump_entries().unwrap();
+    // Find T1's prepared entry and check its map fragment names O2 and the
+    // address of a DataH entry holding the flattened version.
+    let (_, prepared) = entries
+        .iter()
+        .find(|(_, e)| matches!(e, LogEntry::Prepared { aid, .. } if *aid == t1))
+        .expect("prepared(T1) on the log");
+    let pairs = match prepared {
+        LogEntry::Prepared { pairs, .. } => pairs.clone(),
+        _ => unreachable!(),
+    };
+    assert_eq!(pairs.len(), 1);
+    assert_eq!(pairs[0].0, uid2);
+    let data_addr = pairs[0].1;
+    let (_, data) = entries
+        .iter()
+        .find(|(a, _)| *a == data_addr)
+        .expect("pair resolves");
+    match data {
+        LogEntry::DataH {
+            kind: ObjKind::Atomic,
+            value,
+        } => {
+            assert_eq!(value, &Value::uid_ref(uid3));
+        }
+        other => panic!("expected DataH, got {other:?}"),
+    }
+    // The bc for O3 is a chained outcome entry.
+    assert!(entries.iter().any(
+        |(_, e)| matches!(e, LogEntry::BaseCommitted { uid, value, .. } if *uid == uid3 && value == &Value::Int(3))
+    ));
+}

@@ -1,0 +1,179 @@
+//! Scenario 1 (Figure 3-7): simple-log recovery of atomic objects.
+//!
+//! The log, oldest entry first:
+//!
+//! `bc(O1,V1) · bc(O2,V2) · data(O2,atomic,V2c,T1) · prepared(T1) ·
+//!  committed(T1) · data(O1,atomic,V1c,T2) · prepared(T2)` — then a crash.
+//!
+//! T1 committed; T2 prepared and is in doubt. Expected tables (thesis):
+//! PT = {T1: committed, T2: prepared}; OT = {O1 restored, O2 restored}; O1
+//! carries T2's current version under T2's write lock with the
+//! base-committed V1 as its base.
+
+use argus::core::{LogEntry, ObjState, PState, RecoverySystem, SimpleLogRs};
+use argus::objects::{ActionId, GuardianId, Heap, ObjKind, ObjectBody, Uid, Value};
+use argus::sim::{CostModel, SimClock};
+use argus::stable::MemStore;
+
+fn aid(n: u64) -> ActionId {
+    ActionId::new(GuardianId(0), n)
+}
+
+#[test]
+fn figure_3_7_recovery() {
+    let t1 = aid(1);
+    let t2 = aid(2);
+    let o1 = Uid(1);
+    let o2 = Uid(2);
+
+    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    rs.append_raw(
+        &LogEntry::BaseCommitted {
+            uid: o1,
+            value: Value::Int(1),
+            prev: None,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::BaseCommitted {
+            uid: o2,
+            value: Value::Int(2),
+            prev: None,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Data {
+            uid: o2,
+            kind: ObjKind::Atomic,
+            value: Value::Int(22),
+            aid: t1,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Prepared {
+            aid: t1,
+            pairs: vec![],
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Committed {
+            aid: t1,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Data {
+            uid: o1,
+            kind: ObjKind::Atomic,
+            value: Value::Int(11),
+            aid: t2,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Prepared {
+            aid: t2,
+            pairs: vec![],
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+
+    // Crash and recover.
+    rs.simulate_crash().unwrap();
+    let mut heap = Heap::new();
+    let out = rs.recover(&mut heap).unwrap();
+
+    // PT exactly as in the thesis's closing table.
+    assert_eq!(out.pt.get(t1), Some(PState::Committed));
+    assert_eq!(out.pt.get(t2), Some(PState::Prepared));
+    assert_eq!(out.pt.len(), 2);
+
+    // OT: both objects restored.
+    assert_eq!(out.ot.get(o1).unwrap().state, ObjState::Restored);
+    assert_eq!(out.ot.get(o2).unwrap().state, ObjState::Restored);
+    assert_eq!(out.ot.len(), 2);
+
+    // O1: base = bc version V1; current = T2's prepared version, write-locked.
+    let h1 = out.ot.get(o1).unwrap().heap;
+    match &heap.get(h1).unwrap().body {
+        ObjectBody::Atomic(obj) => {
+            assert_eq!(obj.base, Value::Int(1));
+            assert_eq!(obj.current, Some(Value::Int(11)));
+            assert_eq!(obj.writer, Some(t2));
+        }
+        _ => panic!("O1 must be atomic"),
+    }
+    // O2: T1 committed → its version is the base; the older bc(V2) ignored.
+    let h2 = out.ot.get(o2).unwrap().heap;
+    match &heap.get(h2).unwrap().body {
+        ObjectBody::Atomic(obj) => {
+            assert_eq!(obj.base, Value::Int(22));
+            assert_eq!(obj.current, None);
+        }
+        _ => panic!("O2 must be atomic"),
+    }
+
+    // T2 remains in the PAT after recovery: it must await the verdict.
+    assert!(rs.is_prepared(t2));
+    assert!(!rs.is_prepared(t1));
+
+    // The stable counter is reset past the largest restored uid (§3.2).
+    assert!(heap.next_uid() > 2);
+}
+
+#[test]
+fn figure_3_7_all_entries_are_examined_by_the_simple_scan() {
+    // The defining inefficiency of the simple log: every one of the 7
+    // entries is read.
+    let t1 = aid(1);
+    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    for _ in 0..3 {
+        rs.append_raw(
+            &LogEntry::Data {
+                uid: Uid(1),
+                kind: ObjKind::Atomic,
+                value: Value::Int(0),
+                aid: t1,
+            },
+            false,
+        )
+        .unwrap();
+    }
+    rs.append_raw(
+        &LogEntry::Prepared {
+            aid: t1,
+            pairs: vec![],
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Committed {
+            aid: t1,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+
+    rs.simulate_crash().unwrap();
+    let mut heap = Heap::new();
+    let out = rs.recover(&mut heap).unwrap();
+    assert_eq!(out.entries_examined, 5);
+    assert_eq!(out.data_entries_read, 3);
+}

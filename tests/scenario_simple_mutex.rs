@@ -1,0 +1,168 @@
+//! Scenario 2 (Figure 3-8): simple-log recovery of mutex objects.
+//!
+//! The log, oldest first:
+//!
+//! `data(O1,mx,V1,T1) · data(O2,mx,V2,T1) · prepared(T1) · committed(T1) ·
+//!  data(O1,mx,V3,T2) · prepared(T2) · aborted(T2)` — then a crash.
+//!
+//! "On recovery the current version of a mutex object is the last data entry
+//! written in the log by an action that prepared successfully… regardless of
+//! whether said action later aborted or committed." So O1 recovers to V3
+//! (T2's version, even though T2 aborted) and O2 to V2.
+
+use argus::core::{LogEntry, ObjState, PState, RecoverySystem, SimpleLogRs};
+use argus::objects::{ActionId, GuardianId, Heap, ObjKind, Uid, Value};
+use argus::sim::{CostModel, SimClock};
+use argus::stable::MemStore;
+
+fn aid(n: u64) -> ActionId {
+    ActionId::new(GuardianId(0), n)
+}
+
+#[test]
+fn figure_3_8_recovery() {
+    let t1 = aid(1);
+    let t2 = aid(2);
+    let o1 = Uid(1);
+    let o2 = Uid(2);
+
+    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    rs.append_raw(
+        &LogEntry::Data {
+            uid: o1,
+            kind: ObjKind::Mutex,
+            value: Value::Int(1),
+            aid: t1,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Data {
+            uid: o2,
+            kind: ObjKind::Mutex,
+            value: Value::Int(2),
+            aid: t1,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Prepared {
+            aid: t1,
+            pairs: vec![],
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Committed {
+            aid: t1,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Data {
+            uid: o1,
+            kind: ObjKind::Mutex,
+            value: Value::Int(3),
+            aid: t2,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Prepared {
+            aid: t2,
+            pairs: vec![],
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Aborted {
+            aid: t2,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+
+    rs.simulate_crash().unwrap();
+    let mut heap = Heap::new();
+    let out = rs.recover(&mut heap).unwrap();
+
+    // Thesis closing tables: PT = {T1 committed, T2 aborted};
+    // OT = {O1 restored, O2 restored}.
+    assert_eq!(out.pt.get(t1), Some(PState::Committed));
+    assert_eq!(out.pt.get(t2), Some(PState::Aborted));
+    assert_eq!(out.ot.get(o1).unwrap().state, ObjState::Restored);
+    assert_eq!(out.ot.get(o2).unwrap().state, ObjState::Restored);
+
+    // O1 = V3: the aborted-but-prepared T2's version wins (§2.4.2).
+    let h1 = out.ot.get(o1).unwrap().heap;
+    assert_eq!(heap.read_value(h1, None).unwrap(), &Value::Int(3));
+    // O2 = V2 from the committed T1.
+    let h2 = out.ot.get(o2).unwrap().heap;
+    assert_eq!(heap.read_value(h2, None).unwrap(), &Value::Int(2));
+}
+
+#[test]
+fn mutex_of_never_prepared_action_is_discarded() {
+    // Contrast case: a mutex data entry whose action has *no* outcome entry
+    // at all (wiped out before preparing) must not be restored.
+    let t1 = aid(1);
+    let t2 = aid(2);
+    let o1 = Uid(1);
+
+    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    rs.append_raw(
+        &LogEntry::Data {
+            uid: o1,
+            kind: ObjKind::Mutex,
+            value: Value::Int(1),
+            aid: t1,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Prepared {
+            aid: t1,
+            pairs: vec![],
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Committed {
+            aid: t1,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    // T2's data entry was flushed by a later force, but T2 never prepared.
+    rs.append_raw(
+        &LogEntry::Data {
+            uid: o1,
+            kind: ObjKind::Mutex,
+            value: Value::Int(99),
+            aid: t2,
+        },
+        true,
+    )
+    .unwrap();
+
+    rs.simulate_crash().unwrap();
+    let mut heap = Heap::new();
+    let out = rs.recover(&mut heap).unwrap();
+    assert_eq!(out.pt.get(t2), None);
+    let h1 = out.ot.get(o1).unwrap().heap;
+    assert_eq!(heap.read_value(h1, None).unwrap(), &Value::Int(1));
+}

@@ -1,0 +1,173 @@
+//! Scenario 3 (Figure 3-9): recovery with newly accessible objects — the
+//! crash follows the history of Figure 3-5.
+//!
+//! History: T1 committed O1 and O2. T2 write-locked O1, created O3, pointed
+//! O1 at it, modified O3, and prepared. T3 write-locked O2, pointed it at
+//! O3, and prepared. T2 aborted; T3 committed; crash.
+//!
+//! Log, oldest first:
+//!
+//! `bc(O1,V1) · bc(O2,V2) · prepared(T1) · committed(T1) ·
+//!  data(O1,at,V1',T2) · bc(O3,V3b) · data(O3,at,V3c,T2) · prepared(T2) ·
+//!  data(O2,at,V2',T3) · prepared(T3) · aborted(T2) · committed(T3)`
+//!
+//! Expected final state = Figure 3-5 step 8: O1 back to V1 (T2 aborted), O2
+//! pointing at O3 (T3 committed), O3 alive with its base version — "Even
+//! though T2 aborted, object O3 must be recovered after a crash because it
+//! is needed for T3."
+
+use argus::core::{LogEntry, ObjState, PState, RecoverySystem, SimpleLogRs};
+use argus::objects::{ActionId, GuardianId, Heap, ObjKind, ObjectBody, Uid, Value};
+use argus::sim::{CostModel, SimClock};
+use argus::stable::MemStore;
+
+fn aid(n: u64) -> ActionId {
+    ActionId::new(GuardianId(0), n)
+}
+
+#[test]
+fn figure_3_9_recovery() {
+    let (t1, t2, t3) = (aid(1), aid(2), aid(3));
+    let (o1, o2, o3) = (Uid(1), Uid(2), Uid(3));
+
+    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    rs.append_raw(
+        &LogEntry::BaseCommitted {
+            uid: o1,
+            value: Value::Int(1),
+            prev: None,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::BaseCommitted {
+            uid: o2,
+            value: Value::Int(2),
+            prev: None,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Prepared {
+            aid: t1,
+            pairs: vec![],
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Committed {
+            aid: t1,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    // T2 prepares: its current version of O1 points at the new O3.
+    rs.append_raw(
+        &LogEntry::Data {
+            uid: o1,
+            kind: ObjKind::Atomic,
+            value: Value::uid_ref(o3),
+            aid: t2,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::BaseCommitted {
+            uid: o3,
+            value: Value::Int(30),
+            prev: None,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Data {
+            uid: o3,
+            kind: ObjKind::Atomic,
+            value: Value::Int(33),
+            aid: t2,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Prepared {
+            aid: t2,
+            pairs: vec![],
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    // T3 prepares: its current version of O2 also points at O3.
+    rs.append_raw(
+        &LogEntry::Data {
+            uid: o2,
+            kind: ObjKind::Atomic,
+            value: Value::uid_ref(o3),
+            aid: t3,
+        },
+        false,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Prepared {
+            aid: t3,
+            pairs: vec![],
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Aborted {
+            aid: t2,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+    rs.append_raw(
+        &LogEntry::Committed {
+            aid: t3,
+            prev: None,
+        },
+        true,
+    )
+    .unwrap();
+
+    rs.simulate_crash().unwrap();
+    let mut heap = Heap::new();
+    let out = rs.recover(&mut heap).unwrap();
+
+    // Thesis closing tables.
+    assert_eq!(out.pt.get(t1), Some(PState::Committed));
+    assert_eq!(out.pt.get(t2), Some(PState::Aborted));
+    assert_eq!(out.pt.get(t3), Some(PState::Committed));
+    for uid in [o1, o2, o3] {
+        assert_eq!(out.ot.get(uid).unwrap().state, ObjState::Restored, "{uid}");
+    }
+    assert_eq!(out.ot.len(), 3);
+
+    // O1 = V1: T2's version discarded.
+    let h1 = out.ot.get(o1).unwrap().heap;
+    assert_eq!(heap.read_value(h1, None).unwrap(), &Value::Int(1));
+    // O3 = base version 30: T2's modification (33) discarded, but the object
+    // itself survives because T3 needs it.
+    let h3 = out.ot.get(o3).unwrap().heap;
+    assert_eq!(heap.read_value(h3, None).unwrap(), &Value::Int(30));
+    // O2 = T3's committed version: a pointer to O3, resolved from the uid to
+    // the volatile address by the final pass (§3.4.3).
+    let h2 = out.ot.get(o2).unwrap().heap;
+    assert_eq!(heap.read_value(h2, None).unwrap(), &Value::heap_ref(h3));
+    match &heap.get(h2).unwrap().body {
+        ObjectBody::Atomic(obj) => assert!(obj.writer.is_none() && obj.current.is_none()),
+        _ => panic!("O2 must be atomic"),
+    }
+}
