@@ -1,11 +1,11 @@
-//! Criterion bench for E6: wall-clock prepare latency with and without
-//! early prepare (§4.4).
+//! E6: prepare latency with and without early prepare (§4.4), on the
+//! bespoke `argus_obs::bench` harness.
 
 use argus_core::providers::MemProvider;
 use argus_core::{HybridLogRs, RecoverySystem};
+use argus_obs::bench::{run, BenchReport, BenchSpec};
 use argus_objects::{ActionId, GuardianId, Heap, Value};
 use argus_sim::{CostModel, SimClock};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 struct Rig {
     rs: HybridLogRs<MemProvider>,
@@ -14,9 +14,10 @@ struct Rig {
     seq: u64,
 }
 
-fn rig(writes: usize) -> Rig {
+fn make_rig(writes: usize) -> (Rig, SimClock) {
+    let clock = SimClock::new();
     let provider = MemProvider {
-        clock: SimClock::new(),
+        clock: clock.clone(),
         model: CostModel::fast(),
         plan: None,
     };
@@ -34,12 +35,15 @@ fn rig(writes: usize) -> Rig {
     rs.prepare(t0, &[root], &heap).expect("prepare");
     rs.commit(t0).expect("commit");
     heap.commit_action(t0);
-    Rig {
-        rs,
-        heap,
-        objs,
-        seq: 1,
-    }
+    (
+        Rig {
+            rs,
+            heap,
+            objs,
+            seq: 1,
+        },
+        clock,
+    )
 }
 
 impl Rig {
@@ -64,36 +68,34 @@ impl Rig {
     }
 }
 
-fn bench_early_prepare(c: &mut Criterion) {
-    let mut group = c.benchmark_group("prepare_latency");
+fn main() {
+    let mut report = BenchReport::new("prepare_latency");
     for writes in [4usize, 32] {
-        group.bench_with_input(BenchmarkId::new("plain", writes), &writes, |b, &writes| {
-            let mut rig = rig(writes);
-            b.iter(|| {
+        let (mut rig, clock) = make_rig(writes);
+        report.push(run(
+            &format!("plain/{writes}"),
+            &clock,
+            BenchSpec::default(),
+            || {
                 let (aid, mos) = rig.modify();
                 rig.rs.prepare(aid, &mos, &rig.heap).expect("prepare");
                 rig.finish(aid);
-            });
-        });
-        group.bench_with_input(
-            BenchmarkId::new("early_prepared", writes),
-            &writes,
-            |b, &writes| {
-                let mut rig = rig(writes);
-                b.iter(|| {
-                    let (aid, mos) = rig.modify();
-                    // Off the measured path in a real system; here part of
-                    // the iteration but the *prepare* only forces the
-                    // outcome entry.
-                    let leftover = rig.rs.write_entry(aid, &mos, &rig.heap).expect("early");
-                    rig.rs.prepare(aid, &leftover, &rig.heap).expect("prepare");
-                    rig.finish(aid);
-                });
             },
-        );
+        ));
+        let (mut rig, clock) = make_rig(writes);
+        report.push(run(
+            &format!("early_prepared/{writes}"),
+            &clock,
+            BenchSpec::default(),
+            || {
+                let (aid, mos) = rig.modify();
+                // Off the measured path in a real system; here part of the
+                // iteration but the *prepare* only forces the outcome entry.
+                let leftover = rig.rs.write_entry(aid, &mos, &rig.heap).expect("early");
+                rig.rs.prepare(aid, &leftover, &rig.heap).expect("prepare");
+                rig.finish(aid);
+            },
+        ));
     }
-    group.finish();
+    println!("{report}");
 }
-
-criterion_group!(benches, bench_early_prepare);
-criterion_main!(benches);

@@ -1,55 +1,53 @@
-//! Criterion bench for E4: wall-clock housekeeping cost, compaction versus
-//! snapshot. Each iteration rebuilds the workload (housekeeping consumes
-//! the long log it is measured against).
+//! E4: housekeeping cost, compaction versus snapshot, on the bespoke
+//! `argus_obs::bench` harness.
+//!
+//! Housekeeping consumes the long log it is measured against, so each
+//! iteration regrows the log in the (unmeasured) setup step and measures
+//! only the pass itself — the `run_batched` pattern.
 
 use argus_core::HousekeepingMode;
 use argus_guardian::{RsKind, World};
+use argus_obs::bench::{run_batched, BenchReport, BenchSpec};
 use argus_sim::{CostModel, DetRng};
 use argus_workload::{Synth, SynthConfig};
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::cell::RefCell;
 
-fn build(history: u64) -> (World, argus_objects::GuardianId) {
-    let mut world = World::new(CostModel::fast());
-    let mut synth = Synth::setup(
-        &mut world,
-        RsKind::Hybrid,
-        SynthConfig {
-            objects: 64,
-            writes_per_action: 4,
-            value_size: 48,
-            ..Default::default()
-        },
-    )
-    .expect("setup");
-    let g = synth.guardian();
-    let mut rng = DetRng::new(3);
-    synth.run(&mut world, &mut rng, history).expect("run");
-    (world, g)
-}
-
-fn bench_housekeeping(c: &mut Criterion) {
-    let mut group = c.benchmark_group("housekeeping");
-    group.sample_size(10);
+fn main() {
+    let mut report = BenchReport::new("housekeeping");
     for mode in [HousekeepingMode::Compaction, HousekeepingMode::Snapshot] {
         for history in [500u64, 2_000] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{mode:?}"), history),
-                &history,
-                |b, &history| {
-                    b.iter_batched(
-                        || build(history),
-                        |(mut world, g)| {
-                            world.housekeep(g, mode).expect("housekeeping");
-                            world
-                        },
-                        BatchSize::LargeInput,
-                    );
+            let mut world = World::new(CostModel::fast());
+            let synth = Synth::setup(
+                &mut world,
+                RsKind::Hybrid,
+                SynthConfig {
+                    objects: 64,
+                    writes_per_action: 4,
+                    value_size: 48,
+                    ..Default::default()
                 },
-            );
+            )
+            .expect("setup");
+            let g = synth.guardian();
+            let clock = world.clock.clone();
+            let world = RefCell::new(world);
+            let synth = RefCell::new(synth);
+            let rng = RefCell::new(DetRng::new(3));
+            report.push(run_batched(
+                &format!("{mode:?}/{history}"),
+                &clock,
+                BenchSpec::iters(10),
+                || {
+                    synth
+                        .borrow_mut()
+                        .run(&mut world.borrow_mut(), &mut rng.borrow_mut(), history)
+                        .expect("run");
+                },
+                |()| {
+                    world.borrow_mut().housekeep(g, mode).expect("housekeeping");
+                },
+            ));
         }
     }
-    group.finish();
+    println!("{report}");
 }
-
-criterion_group!(benches, bench_housekeeping);
-criterion_main!(benches);

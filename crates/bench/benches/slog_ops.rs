@@ -1,53 +1,59 @@
-//! Criterion bench for the stable-log primitives: buffered append, force,
-//! and backward iteration — the costs everything above is built from.
+//! Stable-log primitives — buffered append, force, and backward iteration,
+//! the costs everything above is built from — on the bespoke
+//! `argus_obs::bench` harness.
 
+use argus_obs::bench::{run, BenchReport, BenchSpec};
 use argus_sim::{CostModel, SimClock};
 use argus_slog::StableLog;
 use argus_stable::MemStore;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn new_log() -> StableLog<MemStore> {
-    StableLog::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap()
+fn new_log(clock: &SimClock) -> StableLog<MemStore> {
+    StableLog::create(MemStore::new(clock.clone(), CostModel::fast())).unwrap()
 }
 
-fn bench_slog(c: &mut Criterion) {
-    let mut group = c.benchmark_group("slog");
+fn main() {
+    let mut report = BenchReport::new("slog");
 
     for size in [64usize, 1024] {
         let payload = vec![0xA5u8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(
-            BenchmarkId::new("write_buffered", size),
-            &payload,
-            |b, p| {
-                let mut log = new_log();
-                b.iter(|| log.write(p));
+
+        let clock = SimClock::new();
+        let mut log = new_log(&clock);
+        report.push(run(
+            &format!("write_buffered/{size}"),
+            &clock,
+            BenchSpec::default(),
+            || {
+                log.write(&payload);
             },
-        );
-        group.bench_with_input(BenchmarkId::new("force_write", size), &payload, |b, p| {
-            let mut log = new_log();
-            b.iter(|| log.force_write(p).unwrap());
-        });
+        ));
+
+        let clock = SimClock::new();
+        let mut log = new_log(&clock);
+        report.push(run(
+            &format!("force_write/{size}"),
+            &clock,
+            BenchSpec::default(),
+            || {
+                log.force_write(&payload).unwrap();
+            },
+        ));
     }
 
-    group.bench_function("read_backward_1000", |b| {
-        let mut log = new_log();
-        for i in 0..1000u32 {
-            log.write(&i.to_le_bytes());
+    let clock = SimClock::new();
+    let mut log = new_log(&clock);
+    for i in 0..1000u32 {
+        log.write(&i.to_le_bytes());
+    }
+    log.force().unwrap();
+    report.push(run("read_backward_1000", &clock, BenchSpec::default(), || {
+        let mut n = 0u32;
+        for item in log.read_backward(None) {
+            item.unwrap();
+            n += 1;
         }
-        log.force().unwrap();
-        b.iter(|| {
-            let mut n = 0u32;
-            for item in log.read_backward(None) {
-                item.unwrap();
-                n += 1;
-            }
-            assert_eq!(n, 1000);
-        });
-    });
+        assert_eq!(n, 1000);
+    }));
 
-    group.finish();
+    println!("{report}");
 }
-
-criterion_group!(benches, bench_slog);
-criterion_main!(benches);

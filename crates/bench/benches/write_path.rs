@@ -1,41 +1,38 @@
-//! Criterion bench for E1: wall-clock write cost per committed action
-//! across the three storage organizations.
+//! E1: write cost per committed action across the three storage
+//! organizations, on the bespoke `argus_obs::bench` harness.
 
 use argus_guardian::{RsKind, World};
+use argus_obs::bench::{run, BenchReport, BenchSpec};
 use argus_sim::{CostModel, DetRng};
 use argus_workload::{Synth, SynthConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_write_path(c: &mut Criterion) {
-    let mut group = c.benchmark_group("write_path");
+fn main() {
+    let mut report = BenchReport::new("write_path");
     for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow] {
         for writes in [1usize, 16] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{kind:?}"), writes),
-                &writes,
-                |b, &writes| {
-                    let mut world = World::new(CostModel::fast());
-                    let mut synth = Synth::setup(
-                        &mut world,
-                        kind,
-                        SynthConfig {
-                            objects: 256,
-                            writes_per_action: writes,
-                            value_size: 48,
-                            ..Default::default()
-                        },
-                    )
-                    .expect("setup");
-                    let mut rng = DetRng::new(1);
-                    b.iter(|| {
-                        synth.action(&mut world, &mut rng, false).expect("action");
-                    });
+            let mut world = World::new(CostModel::fast());
+            let mut synth = Synth::setup(
+                &mut world,
+                kind,
+                SynthConfig {
+                    objects: 256,
+                    writes_per_action: writes,
+                    value_size: 48,
+                    ..Default::default()
                 },
-            );
+            )
+            .expect("setup");
+            let mut rng = DetRng::new(1);
+            let clock = world.clock.clone();
+            report.push(run(
+                &format!("{kind:?}/{writes}"),
+                &clock,
+                BenchSpec::default(),
+                || {
+                    synth.action(&mut world, &mut rng, false).expect("action");
+                },
+            ));
         }
     }
-    group.finish();
+    println!("{report}");
 }
-
-criterion_group!(benches, bench_write_path);
-criterion_main!(benches);

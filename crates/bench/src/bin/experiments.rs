@@ -1,6 +1,10 @@
 //! Regenerates every experiment table (E1–E8). See DESIGN.md for the
 //! experiment index and EXPERIMENTS.md for recorded results.
 //!
+//! Each experiment runs under its own `argus_obs::Registry` scope, so the
+//! table is followed by that run's metrics report — counters and phase
+//! timings recorded by the instrumented layers (slog, core, twopc, world).
+//!
 //! ```sh
 //! cargo run --release -p argus-bench --bin experiments            # all
 //! cargo run --release -p argus-bench --bin experiments -- E2 E3  # subset
@@ -11,6 +15,23 @@ use argus_bench::{
     e5_checkpoint_bounds_recovery, e6_early_prepare, e7_map_scaling, e8_crash_matrix,
     e9_device_sensitivity,
 };
+use argus_obs::Registry;
+
+/// Runs `f` under a fresh registry scope and returns its result plus the
+/// run's metrics report.
+fn scoped<T>(f: impl FnOnce() -> T) -> (T, argus_obs::Report) {
+    let reg = Registry::new();
+    let out = {
+        let _scope = reg.enter();
+        f()
+    };
+    (out, reg.report())
+}
+
+fn print_metrics(id: &str, report: &argus_obs::Report) {
+    println!("#### {id} run metrics\n");
+    println!("{}", report.to_text_compact());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_uppercase()).collect();
@@ -19,36 +40,53 @@ fn main() {
     println!("# Experiments — Reliable Object Storage to Support Atomic Actions\n");
 
     if want("E1") {
-        println!("{}", e1_write_cost(200));
+        let (table, metrics) = scoped(|| e1_write_cost(200));
+        println!("{table}");
+        print_metrics("E1", &metrics);
     }
     if want("E2") || want("E3") {
-        let (e2, e3) = e2_recovery_cost(&[250, 1_000, 4_000, 16_000]);
+        let ((e2, e3), metrics) = scoped(|| e2_recovery_cost(&[250, 1_000, 4_000, 16_000]));
         if want("E2") {
             println!("{e2}");
         }
         if want("E3") {
             println!("{e3}");
         }
+        print_metrics("E2/E3", &metrics);
     }
     if want("E4") {
-        println!("{}", e4_housekeeping_cost());
+        let (table, metrics) = scoped(e4_housekeeping_cost);
+        println!("{table}");
+        print_metrics("E4", &metrics);
     }
     if want("E5") {
-        println!("{}", e5_checkpoint_bounds_recovery());
+        let (table, metrics) = scoped(e5_checkpoint_bounds_recovery);
+        println!("{table}");
+        print_metrics("E5", &metrics);
     }
     if want("E6") {
-        println!("{}", e6_early_prepare());
+        let (table, metrics) = scoped(e6_early_prepare);
+        println!("{table}");
+        print_metrics("E6", &metrics);
     }
     if want("E7") {
-        println!("{}", e7_map_scaling());
+        let (table, metrics) = scoped(e7_map_scaling);
+        println!("{table}");
+        print_metrics("E7", &metrics);
     }
     if want("E8") {
-        println!("{}", e8_crash_matrix());
+        let (table, metrics) = scoped(e8_crash_matrix);
+        println!("{table}");
+        print_metrics("E8", &metrics);
     }
     if want("E9") {
-        println!("{}", e9_device_sensitivity());
+        let (table, metrics) = scoped(e9_device_sensitivity);
+        println!("{table}");
+        print_metrics("E9", &metrics);
     }
     if want("E10") {
-        println!("{}", e10_abort_rate());
+        let (table, metrics) = scoped(e10_abort_rate);
+        println!("{table}");
+        print_metrics("E10", &metrics);
     }
 }

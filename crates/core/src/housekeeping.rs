@@ -52,6 +52,9 @@ pub(crate) struct HkState<S: PageStore> {
     /// Snapshot only: the accessibility set rebuilt by the traversal.
     new_access: Option<HashSet<Uid>>,
     ot: HashMap<Uid, HkObj>,
+    /// Stable entries on the old log when the pass started (for the
+    /// compaction metrics).
+    old_entries_at_begin: u64,
 }
 
 impl<S: PageStore> HkState<S> {
@@ -130,6 +133,7 @@ impl<P: StoreProvider> HybridLogRs<P> {
         if self.hk.is_some() {
             return Err(RsError::BadState("housekeeping already in progress".into()));
         }
+        let _timer = self.obs.reg.phase("core.hk.begin_us");
         // Flush buffered entries so the marker covers a readable prefix.
         self.log.force()?;
         let marker = self.last_outcome;
@@ -142,6 +146,7 @@ impl<P: StoreProvider> HybridLogRs<P> {
             new_mt: MutexTable::new(),
             new_access: None,
             ot: HashMap::new(),
+            old_entries_at_begin: self.log.stable_count(),
         };
 
         match mode {
@@ -397,6 +402,7 @@ impl<P: StoreProvider> HybridLogRs<P> {
     }
 
     pub(crate) fn finish_housekeeping_impl(&mut self) -> RsResult<()> {
+        let _timer = self.obs.reg.phase("core.hk.finish_us");
         let mut hk = self
             .hk
             .take()
@@ -474,6 +480,30 @@ impl<P: StoreProvider> HybridLogRs<P> {
         }
 
         hk.new_log.force()?;
+
+        let old_entries = self.log.stable_count();
+        let new_entries = hk.new_log.stable_count();
+        let new_bytes = hk.new_log.stable_bytes();
+        match hk.mode {
+            HousekeepingMode::Compaction => self.obs.reg.event(argus_obs::Event::CompactionPass {
+                entries_in: hk.old_entries_at_begin,
+                entries_out: new_entries,
+            }),
+            HousekeepingMode::Snapshot => self.obs.reg.event(argus_obs::Event::SnapshotTaken {
+                entries: new_entries,
+                bytes: new_bytes,
+            }),
+        }
+        let reclaimed = old_entries.saturating_sub(new_entries);
+        self.obs.hk_passes.inc();
+        self.obs.hk_reclaimed.add(reclaimed);
+        self.obs.reg.event(argus_obs::Event::HousekeepingDone {
+            mode: match hk.mode {
+                HousekeepingMode::Compaction => "compaction",
+                HousekeepingMode::Snapshot => "snapshot",
+            },
+            entries_reclaimed: reclaimed,
+        });
 
         // "In one atomic step, the new log supplants the old log."
         self.log = hk.new_log;

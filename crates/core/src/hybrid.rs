@@ -10,6 +10,7 @@
 use crate::api::{HousekeepingMode, LogStats, RecoverySystem, StoreProvider};
 use crate::entry::{decode_entry, encode_entry, LogEntry};
 use crate::housekeeping::HkState;
+use crate::metrics::CoreObs;
 use crate::restore::RecoverCtx;
 use crate::tables::{MutexTable, ObjState, PState, RecoveryOutcome};
 use crate::writer::{process_mos, EntrySink};
@@ -36,12 +37,15 @@ struct HybridSink<'a, S: argus_stable::PageStore> {
     pairs: &'a mut Vec<PendingPair>,
     last_outcome: &'a mut Option<LogAddress>,
     oel: &'a mut Option<Vec<LogAddress>>,
+    obs: &'a CoreObs,
 }
 
 impl<S: argus_stable::PageStore> HybridSink<'_, S> {
     fn chain(&mut self, mut entry: LogEntry) -> RsResult<LogAddress> {
+        let prev = self.last_outcome.map(|a| a.0);
         entry.set_prev(*self.last_outcome);
         let addr = self.log.write(&encode_entry(&entry)?);
+        self.obs.outcome(entry.name(), prev);
         *self.last_outcome = Some(addr);
         if let Some(oel) = self.oel {
             oel.push(addr);
@@ -52,9 +56,9 @@ impl<S: argus_stable::PageStore> HybridSink<'_, S> {
 
 impl<S: argus_stable::PageStore> EntrySink for HybridSink<'_, S> {
     fn data(&mut self, uid: Uid, kind: ObjKind, value: Value, _aid: ActionId) -> RsResult<()> {
-        let addr = self
-            .log
-            .write(&encode_entry(&LogEntry::DataH { kind, value })?);
+        let bytes = encode_entry(&LogEntry::DataH { kind, value })?;
+        let addr = self.log.write(&bytes);
+        self.obs.data_entry(bytes.len() as u64);
         self.pairs.push(PendingPair { uid, addr, kind });
         Ok(())
     }
@@ -131,6 +135,8 @@ pub struct HybridLogRs<P: StoreProvider> {
     pub(crate) oel: Option<Vec<LogAddress>>,
     /// In-progress housekeeping state.
     pub(crate) hk: Option<HkState<P::Store>>,
+    /// Cached metric handles.
+    pub(crate) obs: CoreObs,
 }
 
 impl<P: StoreProvider> HybridLogRs<P> {
@@ -147,6 +153,7 @@ impl<P: StoreProvider> HybridLogRs<P> {
             mt: MutexTable::new(),
             oel: None,
             hk: None,
+            obs: CoreObs::resolve(),
         })
     }
 
@@ -163,6 +170,7 @@ impl<P: StoreProvider> HybridLogRs<P> {
             mt: MutexTable::new(),
             oel: None,
             hk: None,
+            obs: CoreObs::resolve(),
         })
     }
 
@@ -216,8 +224,10 @@ impl<P: StoreProvider> HybridLogRs<P> {
         mut entry: LogEntry,
         force: bool,
     ) -> RsResult<LogAddress> {
+        let prev = self.last_outcome.map(|a| a.0);
         entry.set_prev(self.last_outcome);
         let addr = self.log.write(&encode_entry(&entry)?);
+        self.obs.outcome(entry.name(), prev);
         if force {
             self.log.force()?;
         }
@@ -348,6 +358,9 @@ impl<P: StoreProvider> HybridLogRs<P> {
     ) -> RsResult<(ObjKind, Value)> {
         ctx.entries_examined += 1;
         ctx.data_entries_read += 1;
+        self.obs
+            .reg
+            .event(argus_obs::Event::RecoveryDataRead { addr: addr.0 });
         self.read_data(addr)
     }
 
@@ -377,6 +390,7 @@ impl<P: StoreProvider> HybridLogRs<P> {
 
 impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
     fn prepare(&mut self, aid: ActionId, mos: &[HeapId], heap: &Heap) -> RsResult<()> {
+        let _timer = self.obs.reg.phase("core.prepare_us");
         let mut fresh = Vec::new();
         {
             let mut sink = HybridSink {
@@ -384,6 +398,7 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
                 pairs: &mut fresh,
                 last_outcome: &mut self.last_outcome,
                 oel: &mut self.oel,
+                obs: &self.obs,
             };
             process_mos(aid, mos, heap, &mut self.access, &self.pat, &mut sink)?;
         }
@@ -406,6 +421,7 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
             }
         }
         self.pat.insert(aid);
+        self.obs.prepares.inc();
         Ok(())
     }
 
@@ -417,6 +433,7 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
                 pairs: &mut fresh,
                 last_outcome: &mut self.last_outcome,
                 oel: &mut self.oel,
+                obs: &self.obs,
             };
             process_mos(aid, mos, heap, &mut self.access, &self.pat, &mut sink)?
         };
@@ -425,6 +442,7 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
         // entries to the device now so the eventual prepare only has to
         // force the prepared outcome entry.
         self.log.flush()?;
+        self.obs.early_prepares.inc();
         Ok(leftover)
     }
 
@@ -432,6 +450,7 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
         self.append_outcome(LogEntry::Committed { aid, prev: None }, true)?;
         self.pat.remove(&aid);
         self.pending.remove(&aid);
+        self.obs.commits.inc();
         Ok(())
     }
 
@@ -439,6 +458,7 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
         self.append_outcome(LogEntry::Aborted { aid, prev: None }, true)?;
         self.pat.remove(&aid);
         self.pending.remove(&aid);
+        self.obs.aborts.inc();
         Ok(())
     }
 
@@ -451,15 +471,18 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
             },
             true,
         )?;
+        self.obs.committings.inc();
         Ok(())
     }
 
     fn done(&mut self, aid: ActionId) -> RsResult<()> {
         self.append_outcome(LogEntry::Done { aid, prev: None }, true)?;
+        self.obs.dones.inc();
         Ok(())
     }
 
     fn recover(&mut self, heap: &mut Heap) -> RsResult<RecoveryOutcome> {
+        let timer = self.obs.reg.phase("core.recover_us");
         let mut ctx = RecoverCtx::new(heap);
         let head = self.find_chain_head(&mut ctx)?;
 
@@ -467,6 +490,8 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
         while let Some(addr) = cursor {
             let (_seq, payload) = self.log.read(addr)?;
             ctx.entries_examined += 1;
+            ctx.chain_hops += 1;
+            self.obs.reg.event(argus_obs::Event::ChainHop { addr: addr.0 });
             let entry = decode_entry(&payload)?;
             cursor = entry.prev();
             match entry {
@@ -511,10 +536,13 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
         let outcome = RecoveryOutcome {
             entries_examined: ctx.entries_examined,
             data_entries_read: ctx.data_entries_read,
+            chain_hops: ctx.chain_hops,
             ot: ctx.ot,
             pt: ctx.pt,
             ct: ctx.ct,
         };
+        self.obs.recovery_pass(&outcome);
+        timer.stop();
 
         // Rebuild the volatile tables.
         self.access = heap.accessible_uids();

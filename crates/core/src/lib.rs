@@ -30,6 +30,7 @@ mod entry;
 mod error;
 mod housekeeping;
 mod hybrid;
+mod metrics;
 mod restore;
 mod simple;
 mod tables;

@@ -21,6 +21,7 @@ pub(crate) struct RecoverCtx<'h> {
     pub ct: CoordinatorTable,
     pub entries_examined: u64,
     pub data_entries_read: u64,
+    pub chain_hops: u64,
 }
 
 impl<'h> RecoverCtx<'h> {
@@ -32,6 +33,7 @@ impl<'h> RecoverCtx<'h> {
             ct: CoordinatorTable::new(),
             entries_examined: 0,
             data_entries_read: 0,
+            chain_hops: 0,
         }
     }
 

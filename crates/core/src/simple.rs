@@ -2,6 +2,7 @@
 
 use crate::api::{HousekeepingMode, LogStats, RecoverySystem};
 use crate::entry::{decode_entry, encode_entry, LogEntry};
+use crate::metrics::CoreObs;
 use crate::restore::RecoverCtx;
 use crate::tables::RecoveryOutcome;
 use crate::writer::{process_mos, EntrySink};
@@ -15,6 +16,7 @@ use std::collections::HashSet;
 /// (Figure 3-1); nothing is chained.
 struct SimpleSink<'a, S: PageStore> {
     log: &'a mut StableLog<S>,
+    obs: &'a CoreObs,
 }
 
 impl<S: PageStore> EntrySink for SimpleSink<'_, S> {
@@ -26,6 +28,7 @@ impl<S: PageStore> EntrySink for SimpleSink<'_, S> {
             aid,
         })?;
         self.log.write(&bytes);
+        self.obs.data_entry(bytes.len() as u64);
         Ok(())
     }
 
@@ -36,6 +39,7 @@ impl<S: PageStore> EntrySink for SimpleSink<'_, S> {
             prev: None,
         })?;
         self.log.write(&bytes);
+        self.obs.entry_written("base_committed", bytes.len() as u64);
         Ok(())
     }
 
@@ -47,6 +51,7 @@ impl<S: PageStore> EntrySink for SimpleSink<'_, S> {
             prev: None,
         })?;
         self.log.write(&bytes);
+        self.obs.entry_written("prepared_data", bytes.len() as u64);
         Ok(())
     }
 }
@@ -61,6 +66,8 @@ pub struct SimpleLogRs<S: PageStore> {
     access: HashSet<Uid>,
     /// The prepared-actions table (PAT, §3.3.3.2).
     pat: HashSet<ActionId>,
+    /// Cached metric handles.
+    obs: CoreObs,
 }
 
 impl<S: PageStore> SimpleLogRs<S> {
@@ -71,6 +78,7 @@ impl<S: PageStore> SimpleLogRs<S> {
             log: StableLog::create(store)?,
             access: [Uid::STABLE_ROOT].into_iter().collect(),
             pat: HashSet::new(),
+            obs: CoreObs::resolve(),
         })
     }
 
@@ -81,6 +89,7 @@ impl<S: PageStore> SimpleLogRs<S> {
             log: StableLog::open(store)?,
             access: HashSet::new(),
             pat: HashSet::new(),
+            obs: CoreObs::resolve(),
         })
     }
 
@@ -123,8 +132,12 @@ impl<S: PageStore> SimpleLogRs<S> {
 
 impl<S: PageStore> RecoverySystem for SimpleLogRs<S> {
     fn prepare(&mut self, aid: ActionId, mos: &[HeapId], heap: &Heap) -> RsResult<()> {
+        let _timer = self.obs.reg.phase("core.prepare_us");
         {
-            let mut sink = SimpleSink { log: &mut self.log };
+            let mut sink = SimpleSink {
+                log: &mut self.log,
+                obs: &self.obs,
+            };
             process_mos(aid, mos, heap, &mut self.access, &self.pat, &mut sink)?;
         }
         let bytes = encode_entry(&LogEntry::Prepared {
@@ -133,8 +146,10 @@ impl<S: PageStore> RecoverySystem for SimpleLogRs<S> {
             prev: None,
         })?;
         self.log.write(&bytes);
+        self.obs.outcome("prepared", None);
         self.log.force()?;
         self.pat.insert(aid);
+        self.obs.prepares.inc();
         Ok(())
     }
 
@@ -152,16 +167,20 @@ impl<S: PageStore> RecoverySystem for SimpleLogRs<S> {
     fn commit(&mut self, aid: ActionId) -> RsResult<()> {
         let bytes = encode_entry(&LogEntry::Committed { aid, prev: None })?;
         self.log.write(&bytes);
+        self.obs.outcome("committed", None);
         self.log.force()?;
         self.pat.remove(&aid);
+        self.obs.commits.inc();
         Ok(())
     }
 
     fn abort(&mut self, aid: ActionId) -> RsResult<()> {
         let bytes = encode_entry(&LogEntry::Aborted { aid, prev: None })?;
         self.log.write(&bytes);
+        self.obs.outcome("aborted", None);
         self.log.force()?;
         self.pat.remove(&aid);
+        self.obs.aborts.inc();
         Ok(())
     }
 
@@ -172,18 +191,23 @@ impl<S: PageStore> RecoverySystem for SimpleLogRs<S> {
             prev: None,
         })?;
         self.log.write(&bytes);
+        self.obs.outcome("committing", None);
         self.log.force()?;
+        self.obs.committings.inc();
         Ok(())
     }
 
     fn done(&mut self, aid: ActionId) -> RsResult<()> {
         let bytes = encode_entry(&LogEntry::Done { aid, prev: None })?;
         self.log.write(&bytes);
+        self.obs.outcome("done", None);
         self.log.force()?;
+        self.obs.dones.inc();
         Ok(())
     }
 
     fn recover(&mut self, heap: &mut Heap) -> RsResult<RecoveryOutcome> {
+        let timer = self.obs.reg.phase("core.recover_us");
         let mut ctx = RecoverCtx::new(heap);
         // Deferred committed_ss pairs (only present if someone recovers a
         // compacted hybrid log with the simple algorithm).
@@ -252,10 +276,13 @@ impl<S: PageStore> RecoverySystem for SimpleLogRs<S> {
         let outcome = RecoveryOutcome {
             entries_examined: ctx.entries_examined,
             data_entries_read: ctx.data_entries_read,
+            chain_hops: ctx.chain_hops,
             ot: ctx.ot,
             pt: ctx.pt,
             ct: ctx.ct,
         };
+        self.obs.recovery_pass(&outcome);
+        timer.stop();
 
         // Step 4: rebuild the accessibility set from the restored state.
         self.access = heap.accessible_uids();

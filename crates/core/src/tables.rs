@@ -228,6 +228,9 @@ pub struct RecoveryOutcome {
     pub entries_examined: u64,
     /// Data entries whose payloads were read and copied.
     pub data_entries_read: u64,
+    /// Backward outcome-chain hops followed (hybrid log only; zero for the
+    /// simple log's flat scan and the shadow scheme).
+    pub chain_hops: u64,
 }
 
 #[cfg(test)]

@@ -33,6 +33,26 @@ impl NetFaults {
     }
 }
 
+/// Cached metric handles mirroring the network's internal tallies into the
+/// ambient observability registry.
+#[derive(Debug, Clone)]
+struct NetObs {
+    sent: argus_obs::Counter,
+    delivered: argus_obs::Counter,
+    dropped: argus_obs::Counter,
+}
+
+impl Default for NetObs {
+    fn default() -> Self {
+        let reg = argus_obs::current();
+        Self {
+            sent: reg.counter("net.sent"),
+            delivered: reg.counter("net.delivered"),
+            dropped: reg.counter("net.dropped"),
+        }
+    }
+}
+
 /// A deterministic store-and-forward network.
 ///
 /// Messages are delivered in FIFO order, one at a time, by the world's event
@@ -49,6 +69,7 @@ pub struct SimNetwork {
     dropped: u64,
     duplicated: u64,
     deferred: u64,
+    obs: NetObs,
 }
 
 impl SimNetwork {
@@ -64,6 +85,7 @@ impl SimNetwork {
 
     /// Enqueues a message.
     pub fn send(&mut self, envelope: Envelope) {
+        self.obs.sent.inc();
         self.queue.push_back((envelope, 0));
     }
 
@@ -73,6 +95,7 @@ impl SimNetwork {
         while let Some((envelope, deferrals)) = self.queue.pop_front() {
             if self.down.contains(&envelope.to) {
                 self.dropped += 1;
+                self.obs.dropped.inc();
                 continue;
             }
             if let Some(faults) = &mut self.faults {
@@ -90,6 +113,7 @@ impl SimNetwork {
                 }
             }
             self.delivered += 1;
+            self.obs.delivered.inc();
             return Some(envelope);
         }
         None

@@ -53,6 +53,9 @@ pub struct World {
     /// The shared logical clock.
     pub clock: SimClock,
     model: CostModel,
+    /// The ambient observability registry, bound to `clock` so phase timers
+    /// measure simulated time.
+    obs: argus_obs::Registry,
     guardians: BTreeMap<GuardianId, Guardian>,
     net: SimNetwork,
     /// Guardians an action has modified objects at.
@@ -77,9 +80,13 @@ impl std::fmt::Debug for World {
 impl World {
     /// Creates an empty world with the given device cost profile.
     pub fn new(model: CostModel) -> Self {
+        let clock = SimClock::new();
+        let obs = argus_obs::current();
+        obs.set_clock(clock.clone());
         Self {
-            clock: SimClock::new(),
+            clock,
             model,
+            obs,
             guardians: BTreeMap::new(),
             net: SimNetwork::new(),
             touched: HashMap::new(),
@@ -106,6 +113,11 @@ impl World {
     /// Borrows a guardian.
     pub fn guardian(&self, g: GuardianId) -> WorldResult<&Guardian> {
         self.guardians.get(&g).ok_or(WorldError::NoGuardian(g))
+    }
+
+    /// The registry this world's instrumentation records into.
+    pub fn obs(&self) -> &argus_obs::Registry {
+        &self.obs
     }
 
     fn guardian_mut(&mut self, g: GuardianId) -> WorldResult<&mut Guardian> {
@@ -286,7 +298,14 @@ impl World {
     /// Commits a top-level action: the full two-phase commit of §2.2, driven
     /// to quiescence.
     pub fn commit(&mut self, aid: ActionId) -> WorldResult<Outcome> {
+        let timer = self.obs.phase("twopc.commit_round_us");
         let outcome = self.commit_inner(aid)?;
+        timer.stop();
+        self.obs.inc(match outcome {
+            Outcome::Committed => "world.commits",
+            Outcome::Aborted => "world.aborts",
+            Outcome::Pending => "world.pending",
+        });
         // Apply any automatic housekeeping policies now that the log grew
         // ("as frequently as needed", ch. 5).
         let gids: Vec<GuardianId> = self.guardians.keys().copied().collect();
@@ -359,6 +378,9 @@ impl World {
 
     fn mark_crashed(&mut self, g: GuardianId) {
         if let Some(guardian) = self.guardians.get_mut(&g) {
+            if guardian.up {
+                self.obs.inc("world.crashes");
+            }
             guardian.up = false;
         }
         self.net.mark_down(g);
@@ -386,6 +408,7 @@ impl World {
     /// coordinators (they re-send commits), then drives the network to
     /// quiescence. Returns the recovery outcome for inspection.
     pub fn restart(&mut self, g: GuardianId) -> WorldResult<RecoveryOutcome> {
+        let timer = self.obs.phase("world.restart_us");
         let guardian = self.guardian_mut(g)?;
         guardian.plan.heal();
         guardian.rs.simulate_crash()?;
@@ -442,6 +465,8 @@ impl World {
         // in-doubt participant is waiting on; model the periodic query of
         // §2.2.2 by a world-wide re-query sweep.
         self.requery_in_doubt()?;
+        timer.stop();
+        self.obs.inc("world.restarts");
         Ok(outcome)
     }
 
@@ -600,6 +625,7 @@ impl World {
                     self.net.send(Envelope { from: g, to, msg });
                 }
                 CoordEffect::ForceCommitting => {
+                    let _timer = self.obs.phase("twopc.committing_us");
                     let guardian = self.guardian_mut(g)?;
                     let gids: Vec<GuardianId> = guardian
                         .coordinators
@@ -668,6 +694,7 @@ impl World {
                     self.net.send(Envelope { from: g, to, msg });
                 }
                 PartEffect::PrepareLocally => {
+                    let _timer = self.obs.phase("twopc.prepare_us");
                     let guardian = self.guardian_mut(g)?;
                     let mos = guardian.mos.remove(&aid).unwrap_or_default();
                     let Guardian { rs, heap, .. } = guardian;
@@ -695,6 +722,7 @@ impl World {
                     }
                 }
                 PartEffect::ForceCommit => {
+                    let _timer = self.obs.phase("twopc.commit_us");
                     let guardian = self.guardian_mut(g)?;
                     match guardian.rs.commit(aid) {
                         Ok(()) => {
@@ -715,6 +743,7 @@ impl World {
                     }
                 }
                 PartEffect::ForceAbort => {
+                    let _timer = self.obs.phase("twopc.abort_us");
                     let guardian = self.guardian_mut(g)?;
                     match guardian.rs.abort(aid) {
                         Ok(()) => {

@@ -1,0 +1,246 @@
+//! A bespoke benchmark harness: warmup, N measured iterations, and
+//! min/median/p95 summaries over the **simulated** clock (with wall-clock
+//! nanoseconds as a secondary column).
+//!
+//! The workspace's costs are dominated by the simulated device model
+//! (`argus_sim::CostModel`), so the interesting latency of an operation is
+//! how far it advances the [`SimClock`] — a quantity that is exactly
+//! reproducible run to run. Wall time is reported too, for the real CPU cost
+//! of the code itself.
+
+use crate::table::Table;
+use argus_sim::SimClock;
+use std::fmt;
+use std::time::Instant;
+
+/// How many warmup and measured iterations to run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchSpec {
+    /// Unmeasured iterations run first (fills caches, triggers lazy init).
+    pub warmup: u64,
+    /// Measured iterations.
+    pub iters: u64,
+}
+
+impl Default for BenchSpec {
+    fn default() -> Self {
+        Self { warmup: 3, iters: 30 }
+    }
+}
+
+impl BenchSpec {
+    /// A spec with `iters` measured iterations and a small warmup.
+    pub fn iters(iters: u64) -> Self {
+        Self {
+            warmup: (iters / 10).clamp(1, 5),
+            iters: iters.max(1),
+        }
+    }
+}
+
+/// Order statistics over one sample set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Smallest sample.
+    pub min: u64,
+    /// Exact median (lower of the two middle samples for even counts).
+    pub median: u64,
+    /// Exact 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: u64,
+}
+
+impl Summary {
+    /// Computes exact order statistics from the raw samples.
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let rank = |q: f64| -> u64 {
+            let i = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            samples[i]
+        };
+        Self {
+            min: samples[0],
+            median: rank(0.5),
+            p95: rank(0.95),
+            max: samples[n - 1],
+            mean: samples.iter().sum::<u64>() / n as u64,
+        }
+    }
+}
+
+/// The outcome of one benchmark: summaries of simulated µs and wall ns.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Measured iterations.
+    pub iters: u64,
+    /// Per-iteration simulated microseconds.
+    pub sim_us: Summary,
+    /// Per-iteration wall-clock nanoseconds.
+    pub wall_ns: Summary,
+}
+
+/// Runs `f` for `spec.warmup` unmeasured plus `spec.iters` measured
+/// iterations, timing each against `clock` and the wall.
+pub fn run<F>(name: &str, clock: &SimClock, spec: BenchSpec, mut f: F) -> BenchResult
+where
+    F: FnMut(),
+{
+    run_batched(name, clock, spec, || (), |()| f())
+}
+
+/// Like [`run`], but each iteration first builds an input with `setup`,
+/// which is *excluded* from the measurement (the `iter_batched` pattern).
+pub fn run_batched<S, I, F>(
+    name: &str,
+    clock: &SimClock,
+    spec: BenchSpec,
+    mut setup: S,
+    mut f: F,
+) -> BenchResult
+where
+    S: FnMut() -> I,
+    F: FnMut(I),
+{
+    for _ in 0..spec.warmup {
+        let input = setup();
+        f(input);
+    }
+    let mut sim = Vec::with_capacity(spec.iters as usize);
+    let mut wall = Vec::with_capacity(spec.iters as usize);
+    for _ in 0..spec.iters {
+        let input = setup();
+        let s0 = clock.now();
+        let w0 = Instant::now();
+        f(input);
+        sim.push(clock.now() - s0);
+        wall.push(w0.elapsed().as_nanos() as u64);
+    }
+    BenchResult {
+        name: name.to_string(),
+        iters: spec.iters,
+        sim_us: Summary::from_samples(sim),
+        wall_ns: Summary::from_samples(wall),
+    }
+}
+
+/// Collects [`BenchResult`]s and renders one markdown table.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    title: String,
+    results: Vec<BenchResult>,
+}
+
+impl BenchReport {
+    /// An empty report titled `title`.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Appends one result.
+    pub fn push(&mut self, result: BenchResult) {
+        self.results.push(result);
+    }
+
+    /// The collected results.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+impl fmt::Display for BenchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(self.title.clone());
+        t.header([
+            "benchmark",
+            "iters",
+            "sim min (µs)",
+            "sim p50 (µs)",
+            "sim p95 (µs)",
+            "wall p50 (ns)",
+        ]);
+        for r in &self.results {
+            t.row([
+                r.name.clone(),
+                r.iters.to_string(),
+                r.sim_us.min.to_string(),
+                r.sim_us.median.to_string(),
+                r.sim_us.p95.to_string(),
+                r.wall_ns.median.to_string(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_order_statistics_are_exact() {
+        let s = Summary::from_samples((1..=100).rev().collect());
+        assert_eq!(s.min, 1);
+        assert_eq!(s.median, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean, 50);
+        assert_eq!(Summary::from_samples(vec![]), Summary::default());
+        assert_eq!(Summary::from_samples(vec![7]).median, 7);
+    }
+
+    #[test]
+    fn run_measures_sim_clock_per_iteration() {
+        let clock = SimClock::new();
+        let result = run(
+            "advance",
+            &clock,
+            BenchSpec { warmup: 2, iters: 10 },
+            || {
+                clock.advance(100);
+            },
+        );
+        assert_eq!(result.iters, 10);
+        assert_eq!(result.sim_us.min, 100);
+        assert_eq!(result.sim_us.max, 100);
+        // Warmup ran too but was not measured.
+        assert_eq!(clock.now(), 12 * 100);
+    }
+
+    #[test]
+    fn setup_cost_is_excluded() {
+        let clock = SimClock::new();
+        let result = run_batched(
+            "batched",
+            &clock,
+            BenchSpec { warmup: 0, iters: 5 },
+            || clock.advance(1_000), // expensive setup, excluded
+            |_start| {
+                clock.advance(10);
+            },
+        );
+        assert_eq!(result.sim_us.max, 10);
+    }
+
+    #[test]
+    fn report_renders_a_table() {
+        let clock = SimClock::new();
+        let mut report = BenchReport::new("demo");
+        report.push(run("noop", &clock, BenchSpec::iters(5), || {}));
+        let text = report.to_string();
+        assert!(text.contains("### demo"));
+        assert!(text.contains("| noop"));
+        assert_eq!(report.results().len(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Fixed-bucket histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of buckets: one for zero plus one per power-of-two magnitude.
+const BUCKETS: usize = 65;
+
+/// Upper bound (inclusive) of bucket `i`: bucket 0 holds exactly zero,
+/// bucket `i >= 1` holds values in `[2^(i-1), 2^i - 1]`.
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+#[derive(Debug)]
+struct HistInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A lock-free histogram over `u64` values with fixed power-of-two buckets.
+///
+/// Quantiles are therefore approximate: a reported quantile is the upper
+/// bound of the bucket the rank falls in, clamped to the observed maximum.
+/// That is plenty for the microsecond-scale phase timings this workspace
+/// records, and it keeps `record` to a handful of relaxed atomic ops.
+///
+/// Cloning yields a handle to the same histogram, like [`crate::Counter`].
+///
+/// # Examples
+///
+/// ```
+/// use argus_obs::Histogram;
+///
+/// let h = Histogram::new();
+/// for v in [1u64, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// let s = h.snapshot();
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.min, 1);
+/// assert_eq!(s.max, 100);
+/// assert!(s.quantile(0.5) >= 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(HistInner {
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+                buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let inner = &self.inner;
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.min.fetch_min(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+        inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram contents.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let inner = &self.inner;
+        HistSnapshot {
+            count: inner.count.load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Relaxed),
+            min: inner.min.load(Ordering::Relaxed),
+            max: inner.max.load(Ordering::Relaxed),
+            buckets: inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Resets all buckets and summary fields.
+    pub fn reset(&self) {
+        let inner = &self.inner;
+        inner.count.store(0, Ordering::Relaxed);
+        inner.sum.store(0, Ordering::Relaxed);
+        inner.min.store(u64::MAX, Ordering::Relaxed);
+        inner.max.store(0, Ordering::Relaxed);
+        for b in &inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts; bucket `i >= 1` covers `[2^(i-1), 2^i - 1]`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Arithmetic mean, zero when empty.
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Smallest observation, zero when empty (for display).
+    pub fn min_or_zero(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// the rank falls in, clamped to the observed min/max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn summary_fields_track_observations() {
+        let h = Histogram::new();
+        for v in [5u64, 10, 15, 0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 30);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 15);
+        assert_eq!(s.mean(), 7);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // p50 of 1..=100 lands in the bucket holding 50 → bound 63.
+        let p50 = s.quantile(0.5);
+        assert!((32..=63).contains(&p50), "p50 = {p50}");
+        let p95 = s.quantile(0.95);
+        assert!((64..=100).contains(&p95), "p95 = {p95}");
+        assert_eq!(s.quantile(1.0), 100);
+        assert_eq!(s.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.min_or_zero(), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(42);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        assert!(s.buckets.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,349 @@
+//! A bounded, structured event journal.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One typed event, mirroring the milestones of the thesis's algorithms.
+///
+/// Variants carry only small scalar fields so pushing an event is cheap and
+/// the ring buffer stays bounded in memory, not just in length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A log entry was appended to the volatile buffer (§3.2 `write`).
+    EntryWritten {
+        /// Entry kind, e.g. `"data"`, `"prepared"`.
+        kind: &'static str,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// An outcome entry was chained onto the backward outcome-entry chain
+    /// (§4.2).
+    OutcomeChained {
+        /// Outcome kind, e.g. `"prepared"`, `"committed"`.
+        kind: &'static str,
+        /// Log address of the previous outcome entry, if any.
+        prev: Option<u64>,
+    },
+    /// A force completed: buffered entries became stable (§3.2 `force`).
+    ForceCompleted {
+        /// Entries published by this force.
+        entries: u64,
+        /// Total stable bytes after the force.
+        stable_bytes: u64,
+    },
+    /// Recovery followed one hop of the backward outcome-entry chain (§4.3).
+    ChainHop {
+        /// Log address of the outcome entry visited.
+        addr: u64,
+    },
+    /// Recovery read a data entry's payload from the log (§4.3 step 3).
+    RecoveryDataRead {
+        /// Log address of the data entry.
+        addr: u64,
+    },
+    /// One full recovery pass finished (§3.4 / §4.3).
+    RecoveryPass {
+        /// Log entries examined.
+        entries_examined: u64,
+        /// Data entries whose payloads were read.
+        data_entries_read: u64,
+        /// Backward outcome-chain hops followed.
+        chain_hops: u64,
+        /// Participant-table entries reconstructed.
+        pt_size: u64,
+        /// Object-table entries reconstructed.
+        ot_size: u64,
+        /// Coordinator-table entries reconstructed.
+        ct_size: u64,
+    },
+    /// Housekeeping stage one took a snapshot of the stable state (§5.2).
+    SnapshotTaken {
+        /// Entries written to the new log.
+        entries: u64,
+        /// Bytes written to the new log.
+        bytes: u64,
+    },
+    /// Housekeeping stage one compacted the old log (§5.1).
+    CompactionPass {
+        /// Stable entries on the old log when the pass started.
+        entries_in: u64,
+        /// Entries copied to the new log by stage one.
+        entries_out: u64,
+    },
+    /// A housekeeping pass finished and the new log supplanted the old.
+    HousekeepingDone {
+        /// `"compaction"` or `"snapshot"`.
+        mode: &'static str,
+        /// Stable entries reclaimed by the switch.
+        entries_reclaimed: u64,
+    },
+    /// An injected fault fired and crashed the node (`FaultPlan`).
+    CrashFired {
+        /// Total crashes fired by this plan so far.
+        crash_count: u64,
+    },
+    /// A mirrored-disk read fell back to the good copy and repaired the bad
+    /// one (Lampson–Sturgis §2.1).
+    MirrorRepair {
+        /// Page number repaired.
+        page: u64,
+    },
+}
+
+impl Event {
+    /// Short machine-readable event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::EntryWritten { .. } => "entry_written",
+            Event::OutcomeChained { .. } => "outcome_chained",
+            Event::ForceCompleted { .. } => "force_completed",
+            Event::ChainHop { .. } => "chain_hop",
+            Event::RecoveryDataRead { .. } => "recovery_data_read",
+            Event::RecoveryPass { .. } => "recovery_pass",
+            Event::SnapshotTaken { .. } => "snapshot_taken",
+            Event::CompactionPass { .. } => "compaction_pass",
+            Event::HousekeepingDone { .. } => "housekeeping_done",
+            Event::CrashFired { .. } => "crash_fired",
+            Event::MirrorRepair { .. } => "mirror_repair",
+        }
+    }
+
+    /// Field names and rendered values, for the text and JSON exporters.
+    pub fn fields(&self) -> Vec<(&'static str, String)> {
+        match self {
+            Event::EntryWritten { kind, bytes } => vec![
+                ("kind", (*kind).to_string()),
+                ("bytes", bytes.to_string()),
+            ],
+            Event::OutcomeChained { kind, prev } => vec![
+                ("kind", (*kind).to_string()),
+                (
+                    "prev",
+                    prev.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+                ),
+            ],
+            Event::ForceCompleted {
+                entries,
+                stable_bytes,
+            } => vec![
+                ("entries", entries.to_string()),
+                ("stable_bytes", stable_bytes.to_string()),
+            ],
+            Event::ChainHop { addr } => vec![("addr", addr.to_string())],
+            Event::RecoveryDataRead { addr } => vec![("addr", addr.to_string())],
+            Event::RecoveryPass {
+                entries_examined,
+                data_entries_read,
+                chain_hops,
+                pt_size,
+                ot_size,
+                ct_size,
+            } => vec![
+                ("entries_examined", entries_examined.to_string()),
+                ("data_entries_read", data_entries_read.to_string()),
+                ("chain_hops", chain_hops.to_string()),
+                ("pt_size", pt_size.to_string()),
+                ("ot_size", ot_size.to_string()),
+                ("ct_size", ct_size.to_string()),
+            ],
+            Event::SnapshotTaken { entries, bytes } => vec![
+                ("entries", entries.to_string()),
+                ("bytes", bytes.to_string()),
+            ],
+            Event::CompactionPass {
+                entries_in,
+                entries_out,
+            } => vec![
+                ("entries_in", entries_in.to_string()),
+                ("entries_out", entries_out.to_string()),
+            ],
+            Event::HousekeepingDone {
+                mode,
+                entries_reclaimed,
+            } => vec![
+                ("mode", (*mode).to_string()),
+                ("entries_reclaimed", entries_reclaimed.to_string()),
+            ],
+            Event::CrashFired { crash_count } => {
+                vec![("crash_count", crash_count.to_string())]
+            }
+            Event::MirrorRepair { page } => vec![("page", page.to_string())],
+        }
+    }
+}
+
+/// An [`Event`] stamped with the simulated time and a monotonic sequence
+/// number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Simulated microseconds when the event was recorded.
+    pub at_us: u64,
+    /// Journal-wide monotonic sequence number (counts evicted events too).
+    pub seq: u64,
+    /// The event.
+    pub event: Event,
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<EventRecord>,
+}
+
+/// A bounded ring buffer of [`EventRecord`]s.
+///
+/// When full, pushing evicts the oldest record; `dropped()` reports how many
+/// were lost, so a report can say "last N of M events" honestly.
+///
+/// # Examples
+///
+/// ```
+/// use argus_obs::{Event, Journal};
+///
+/// let j = Journal::new(2);
+/// j.push(10, Event::ChainHop { addr: 512 });
+/// j.push(20, Event::ChainHop { addr: 1024 });
+/// j.push(30, Event::ChainHop { addr: 2048 });
+/// let events = j.snapshot();
+/// assert_eq!(events.len(), 2);
+/// assert_eq!(events[0].at_us, 20); // the oldest was evicted
+/// assert_eq!(j.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Journal {
+    inner: Arc<Mutex<JournalInner>>,
+}
+
+impl Journal {
+    /// Creates a journal holding at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(JournalInner {
+                cap: cap.max(1),
+                next_seq: 0,
+                dropped: 0,
+                events: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Appends an event stamped `at_us`, evicting the oldest when full.
+    pub fn push(&self, at_us: u64, event: Event) {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() == inner.cap {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(EventRecord { at_us, seq, event });
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<EventRecord> {
+        self.inner.lock().unwrap().events.iter().cloned().collect()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().events.len()
+    }
+
+    /// Whether the journal holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Total events ever pushed (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+
+    /// Clears the journal and its counters.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.events.clear();
+        inner.next_seq = 0;
+        inner.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_in_order_under_capacity() {
+        let j = Journal::new(8);
+        j.push(1, Event::ChainHop { addr: 1 });
+        j.push(2, Event::ChainHop { addr: 2 });
+        let events = j.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(j.dropped(), 0);
+        assert_eq!(j.total(), 2);
+    }
+
+    #[test]
+    fn eviction_keeps_the_newest() {
+        let j = Journal::new(3);
+        for i in 0..10u64 {
+            j.push(i, Event::ChainHop { addr: i });
+        }
+        let events = j.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.at_us).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        assert_eq!(j.dropped(), 7);
+        assert_eq!(j.total(), 10);
+    }
+
+    #[test]
+    fn every_event_renders_name_and_fields() {
+        let all = [
+            Event::EntryWritten { kind: "data", bytes: 8 },
+            Event::OutcomeChained { kind: "prepared", prev: Some(512) },
+            Event::OutcomeChained { kind: "committed", prev: None },
+            Event::ForceCompleted { entries: 1, stable_bytes: 64 },
+            Event::ChainHop { addr: 512 },
+            Event::RecoveryDataRead { addr: 1024 },
+            Event::RecoveryPass {
+                entries_examined: 4,
+                data_entries_read: 3,
+                chain_hops: 4,
+                pt_size: 2,
+                ot_size: 3,
+                ct_size: 0,
+            },
+            Event::SnapshotTaken { entries: 5, bytes: 400 },
+            Event::CompactionPass { entries_in: 9, entries_out: 4 },
+            Event::HousekeepingDone { mode: "snapshot", entries_reclaimed: 5 },
+            Event::CrashFired { crash_count: 1 },
+            Event::MirrorRepair { page: 7 },
+        ];
+        for e in all {
+            assert!(!e.name().is_empty());
+            assert!(!e.fields().is_empty(), "{} has no fields", e.name());
+        }
+    }
+
+    #[test]
+    fn reset_restarts_sequence_numbers() {
+        let j = Journal::new(2);
+        j.push(0, Event::ChainHop { addr: 0 });
+        j.reset();
+        assert!(j.is_empty());
+        j.push(5, Event::ChainHop { addr: 5 });
+        assert_eq!(j.snapshot()[0].seq, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # argus-obs — observability for the argus workspace
+//!
+//! The thesis's evaluation artifacts are comparative *claims* (log ⇒ fast
+//! write / slow recovery; shadowing ⇒ the reverse; hybrid in between), so
+//! every path must be measurable. This crate is the std-only substrate the
+//! experiments report against:
+//!
+//! * [`Counter`] / [`Histogram`] — atomic counters and fixed power-of-two
+//!   bucket histograms behind a named [`Registry`];
+//! * [`PhaseTimer`] — span-like guards measuring 2PC phases, log forces,
+//!   recovery passes, and housekeeping runs against the simulated
+//!   [`argus_sim::SimClock`];
+//! * [`Journal`] / [`Event`] — a bounded ring buffer of typed events (entry
+//!   written, outcome chained, chain hop followed, data entry read during
+//!   recovery, snapshot taken, compaction pass, crash fired, mirror repair);
+//! * [`Report`] — text (markdown tables) and JSON exporters over one
+//!   registry snapshot;
+//! * [`bench`] — a zero-dependency benchmark harness (warmup, N iterations,
+//!   min/median/p95 over the sim clock) replacing `criterion`.
+//!
+//! ## Global or injected
+//!
+//! Instrumented code records into [`current()`]: the registry installed on
+//! the calling thread via [`Registry::enter`], falling back to the
+//! process-wide [`global()`] registry. Tests and experiments that want an
+//! isolated view enter their own registry; everything else just works.
+//!
+//! ```
+//! use argus_obs::{current, Registry};
+//!
+//! let reg = Registry::new();
+//! let _scope = reg.enter();
+//! current().inc("core.commits");
+//! println!("{}", reg.report().to_text());
+//! ```
+
+pub mod bench;
+mod counter;
+mod hist;
+mod journal;
+mod registry;
+mod report;
+mod table;
+
+pub use counter::Counter;
+pub use hist::{HistSnapshot, Histogram};
+pub use journal::{Event, EventRecord, Journal};
+pub use registry::{current, global, PhaseTimer, Registry, ScopedRegistry};
+pub use report::Report;
+pub use table::Table;

@@ -1,0 +1,344 @@
+//! The metric registry: named counters, histograms, phase timers, and the
+//! event journal, resolvable globally or per-scope.
+
+use crate::counter::Counter;
+use crate::hist::Histogram;
+use crate::journal::{Event, Journal};
+use crate::report::Report;
+use argus_sim::SimClock;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default event-journal capacity.
+const JOURNAL_CAP: usize = 4096;
+
+#[derive(Debug)]
+struct Inner {
+    clock: Mutex<SimClock>,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    hists: Mutex<BTreeMap<String, Histogram>>,
+    journal: Journal,
+}
+
+/// A registry of named [`Counter`]s and [`Histogram`]s plus one [`Journal`].
+///
+/// Cloning is cheap (one `Arc`). Instrumented structs resolve handles by
+/// name once, at construction, and bump plain atomics afterwards.
+///
+/// Resolution is **global-or-injected**: [`crate::current()`] returns the
+/// registry installed on the calling thread by [`Registry::enter`], falling
+/// back to the process-wide [`crate::global()`] registry. Each `#[test]`
+/// runs on its own thread, so a test that wants isolated metrics does
+///
+/// ```
+/// use argus_obs::Registry;
+///
+/// let reg = Registry::new();
+/// let _scope = reg.enter();
+/// // everything constructed here records into `reg`
+/// argus_obs::current().counter("demo").inc();
+/// assert_eq!(reg.counter("demo").get(), 1);
+/// ```
+///
+/// Phase timers measure **simulated** time: the registry holds a [`SimClock`]
+/// (replaceable via [`Registry::set_clock`], which `World::new` does), and a
+/// [`PhaseTimer`] guard records `clock.now()` deltas into a histogram when
+/// dropped.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry with its own (zeroed) clock.
+    pub fn new() -> Self {
+        Self::with_clock(SimClock::new())
+    }
+
+    /// Creates an empty registry reading simulated time from `clock`.
+    pub fn with_clock(clock: SimClock) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                clock: Mutex::new(clock),
+                counters: Mutex::new(BTreeMap::new()),
+                hists: Mutex::new(BTreeMap::new()),
+                journal: Journal::new(JOURNAL_CAP),
+            }),
+        }
+    }
+
+    /// Replaces the clock that phase timers and journal stamps read.
+    /// Existing [`PhaseTimer`] guards keep their original clock.
+    pub fn set_clock(&self, clock: SimClock) {
+        *self.inner.clock.lock().unwrap() = clock;
+    }
+
+    /// A handle to the registry's clock.
+    pub fn clock(&self) -> SimClock {
+        self.inner.clock.lock().unwrap().clone()
+    }
+
+    /// Resolves (creating on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.inner.counters.lock().unwrap();
+        match counters.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Counter::new();
+                counters.insert(name.to_string(), c.clone());
+                c
+            }
+        }
+    }
+
+    /// Resolves (creating on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut hists = self.inner.hists.lock().unwrap();
+        match hists.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = Histogram::new();
+                hists.insert(name.to_string(), h.clone());
+                h
+            }
+        }
+    }
+
+    /// Convenience: `counter(name).add(n)`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Convenience: `counter(name).inc()`.
+    pub fn inc(&self, name: &str) {
+        self.counter(name).inc();
+    }
+
+    /// Convenience: `histogram(name).record(v)`.
+    pub fn observe(&self, name: &str, v: u64) {
+        self.histogram(name).record(v);
+    }
+
+    /// Starts a phase timer recording into the histogram `name` (by
+    /// convention suffixed `_us`) when the guard drops.
+    pub fn phase(&self, name: &str) -> PhaseTimer {
+        let clock = self.clock();
+        let start = clock.now();
+        PhaseTimer {
+            clock,
+            hist: self.histogram(name),
+            start,
+            stopped: false,
+        }
+    }
+
+    /// Appends `event` to the journal, stamped with the registry clock.
+    pub fn event(&self, event: Event) {
+        let at = self.clock().now();
+        self.inner.journal.push(at, event);
+    }
+
+    /// A handle to the event journal.
+    pub fn journal(&self) -> Journal {
+        self.inner.journal.clone()
+    }
+
+    /// Snapshots every counter, histogram, and the journal into a [`Report`].
+    pub fn report(&self) -> Report {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let hists = self
+            .inner
+            .hists
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        Report {
+            counters,
+            hists,
+            events: self.inner.journal.snapshot(),
+            dropped_events: self.inner.journal.dropped(),
+        }
+    }
+
+    /// Resets every counter, histogram, and the journal (names persist, so
+    /// already-cached handles stay live).
+    pub fn reset(&self) {
+        for c in self.inner.counters.lock().unwrap().values() {
+            c.reset();
+        }
+        for h in self.inner.hists.lock().unwrap().values() {
+            h.reset();
+        }
+        self.inner.journal.reset();
+    }
+
+    /// Installs this registry as the calling thread's current registry until
+    /// the returned guard drops. Nests: the innermost scope wins.
+    pub fn enter(&self) -> ScopedRegistry {
+        CURRENT.with(|stack| stack.borrow_mut().push(self.clone()));
+        ScopedRegistry { _priv: () }
+    }
+}
+
+/// A span-like guard measuring one phase against the simulated clock.
+///
+/// Records `clock.now() - start` into its histogram when dropped (or
+/// explicitly via [`PhaseTimer::stop`], which also returns the elapsed µs).
+#[derive(Debug)]
+pub struct PhaseTimer {
+    clock: SimClock,
+    hist: Histogram,
+    start: u64,
+    stopped: bool,
+}
+
+impl PhaseTimer {
+    /// Stops the timer now, records the elapsed simulated µs, and returns it.
+    pub fn stop(mut self) -> u64 {
+        let elapsed = self.clock.now().saturating_sub(self.start);
+        self.hist.record(elapsed);
+        self.stopped = true;
+        elapsed
+    }
+}
+
+impl Drop for PhaseTimer {
+    fn drop(&mut self) {
+        if !self.stopped {
+            self.hist
+                .record(self.clock.now().saturating_sub(self.start));
+        }
+    }
+}
+
+/// Guard returned by [`Registry::enter`]; uninstalls the scope on drop.
+#[derive(Debug)]
+pub struct ScopedRegistry {
+    _priv: (),
+}
+
+impl Drop for ScopedRegistry {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Registry>> = const { RefCell::new(Vec::new()) };
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide default registry.
+pub fn global() -> Registry {
+    GLOBAL.get_or_init(Registry::new).clone()
+}
+
+/// The registry instrumented code should record into: the innermost registry
+/// [`Registry::enter`]ed on this thread, else [`global()`].
+pub fn current() -> Registry {
+    CURRENT.with(|stack| stack.borrow().last().cloned()).unwrap_or_else(global)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_counters_are_shared_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.counter("x").get(), 2);
+        assert_eq!(reg.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn scoped_registry_overrides_global() {
+        let reg = Registry::new();
+        {
+            let _scope = reg.enter();
+            current().counter("scoped").inc();
+            // Nested scope wins, then restores.
+            let inner = Registry::new();
+            {
+                let _s2 = inner.enter();
+                current().counter("scoped").inc();
+            }
+            current().counter("scoped").inc();
+            assert_eq!(inner.counter("scoped").get(), 1);
+        }
+        assert_eq!(reg.counter("scoped").get(), 2);
+        assert_eq!(global().counter("scoped").get(), 0);
+    }
+
+    #[test]
+    fn phase_timer_records_sim_elapsed() {
+        let clock = SimClock::new();
+        let reg = Registry::with_clock(clock.clone());
+        {
+            let _t = reg.phase("demo_us");
+            clock.advance(250);
+        }
+        let t2 = reg.phase("demo_us");
+        clock.advance(50);
+        assert_eq!(t2.stop(), 50);
+        let s = reg.histogram("demo_us").snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 300);
+        assert_eq!(s.max, 250);
+    }
+
+    #[test]
+    fn set_clock_rebinds_timers_and_events() {
+        let reg = Registry::new();
+        let clock = SimClock::new();
+        clock.advance(77);
+        reg.set_clock(clock.clone());
+        reg.event(Event::ChainHop { addr: 1 });
+        assert_eq!(reg.journal().snapshot()[0].at_us, 77);
+    }
+
+    #[test]
+    fn report_collects_everything() {
+        let reg = Registry::new();
+        reg.inc("c1");
+        reg.observe("h1_us", 9);
+        reg.event(Event::CrashFired { crash_count: 1 });
+        let report = reg.report();
+        assert_eq!(report.counters, vec![("c1".to_string(), 1)]);
+        assert_eq!(report.hists.len(), 1);
+        assert_eq!(report.events.len(), 1);
+    }
+
+    #[test]
+    fn reset_keeps_cached_handles_live() {
+        let reg = Registry::new();
+        let c = reg.counter("keep");
+        c.add(5);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(reg.counter("keep").get(), 1);
+    }
+}

@@ -491,6 +491,8 @@ impl<P: StoreProvider> RecoverySystem for ShadowRs<P> {
             ct,
             entries_examined,
             data_entries_read,
+            // Shadowing recovers from the version map, not a backward chain.
+            chain_hops: 0,
         })
     }
 

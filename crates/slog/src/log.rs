@@ -173,6 +173,35 @@ pub struct StableLog<S: PageStore> {
     pending_count: u64,
     pending_last: u64,
     next_seq: u64,
+    obs: SlogObs,
+}
+
+/// Cached metric handles for one log (resolved once from the scope's
+/// registry so the append path stays a plain atomic bump).
+#[derive(Debug, Clone)]
+struct SlogObs {
+    appends: argus_obs::Counter,
+    append_bytes: argus_obs::Counter,
+    flushes: argus_obs::Counter,
+    forces: argus_obs::Counter,
+    entry_reads: argus_obs::Counter,
+    backward_hops: argus_obs::Counter,
+    reg: argus_obs::Registry,
+}
+
+impl SlogObs {
+    fn resolve() -> Self {
+        let reg = argus_obs::current();
+        Self {
+            appends: reg.counter("slog.appends"),
+            append_bytes: reg.counter("slog.append_bytes"),
+            flushes: reg.counter("slog.flushes"),
+            forces: reg.counter("slog.forces"),
+            entry_reads: reg.counter("slog.entry_reads"),
+            backward_hops: reg.counter("slog.backward_hops"),
+            reg,
+        }
+    }
 }
 
 impl<S: PageStore> fmt::Debug for StableLog<S> {
@@ -204,6 +233,7 @@ impl<S: PageStore> StableLog<S> {
             pending_count: 0,
             pending_last: 0,
             next_seq: 0,
+            obs: SlogObs::resolve(),
         })
     }
 
@@ -221,6 +251,7 @@ impl<S: PageStore> StableLog<S> {
             pending_count: 0,
             pending_last: 0,
             next_seq: sb.count,
+            obs: SlogObs::resolve(),
         })
     }
 
@@ -253,6 +284,8 @@ impl<S: PageStore> StableLog<S> {
     /// Appends `payload` to the volatile buffer and returns the address the
     /// entry will have once forced.
     pub fn write(&mut self, payload: &[u8]) -> LogAddress {
+        self.obs.appends.inc();
+        self.obs.append_bytes.add(payload.len() as u64);
         let addr = self.sb.tail + self.pending.len() as u64;
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -278,6 +311,7 @@ impl<S: PageStore> StableLog<S> {
         if self.flushed == self.pending.len() {
             return Ok(());
         }
+        self.obs.flushes.inc();
         self.dev.write_at(
             self.sb.tail + self.flushed as u64,
             &self.pending[self.flushed..],
@@ -292,6 +326,8 @@ impl<S: PageStore> StableLog<S> {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let timer = self.obs.reg.phase("slog.force_us");
+        let published = self.pending_count;
         self.flush()?;
         self.dev.sync()?;
         // Publication point: one atomic superblock write.
@@ -306,6 +342,12 @@ impl<S: PageStore> StableLog<S> {
         self.pending.clear();
         self.flushed = 0;
         self.pending_count = 0;
+        self.obs.forces.inc();
+        self.obs.reg.event(argus_obs::Event::ForceCompleted {
+            entries: published,
+            stable_bytes: self.stable_bytes(),
+        });
+        timer.stop();
         Ok(())
     }
 
@@ -319,6 +361,7 @@ impl<S: PageStore> StableLog<S> {
 
     /// Reads the forced entry at `addr`, returning `(sequence, payload)`.
     pub fn read(&mut self, addr: LogAddress) -> LogResult<(u64, Vec<u8>)> {
+        self.obs.entry_reads.inc();
         let off = addr.offset();
         if off < DATA_START || off + HEADER_LEN > self.sb.tail {
             return Err(LogError::BadAddress(addr));
@@ -432,6 +475,7 @@ impl<S: PageStore> Iterator for BackwardIter<'_, S> {
 
     fn next(&mut self) -> Option<Self::Item> {
         let addr = self.cursor?;
+        self.log.obs.backward_hops.inc();
         match self.log.read(addr) {
             Ok((seq, payload)) => {
                 match self.log.prev_record(addr) {

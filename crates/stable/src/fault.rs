@@ -1,8 +1,7 @@
 //! Crash and decay injection.
 
 use crate::{StorageError, StorageResult};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A shared fault plan for one simulated node's device stack.
 ///
@@ -52,13 +51,13 @@ impl FaultPlan {
     /// Arms the plan to crash when the `n + 1`-th subsequent low-level write
     /// begins (i.e. `n` more writes complete, the next one tears).
     pub fn arm_after_writes(&self, n: u64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         inner.writes_until_crash = Some(n);
     }
 
     /// Disarms a pending crash without healing an already-fired one.
     pub fn disarm(&self) {
-        self.inner.lock().writes_until_crash = None;
+        self.inner.lock().unwrap().writes_until_crash = None;
     }
 
     /// Called by devices before every low-level page write.
@@ -66,7 +65,7 @@ impl FaultPlan {
     /// Returns `Err(Crashed)` when the crash fires on this write (the caller
     /// must tear the page) or when the node is already down.
     pub fn note_write(&self) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         if inner.crashed {
             return Err(StorageError::Crashed);
         }
@@ -75,6 +74,11 @@ impl FaultPlan {
                 inner.writes_until_crash = None;
                 inner.crashed = true;
                 inner.crash_count += 1;
+                let crash_count = inner.crash_count;
+                drop(inner);
+                let obs = argus_obs::current();
+                obs.inc("stable.crashes_fired");
+                obs.event(argus_obs::Event::CrashFired { crash_count });
                 Err(StorageError::Crashed)
             }
             Some(n) => {
@@ -87,7 +91,7 @@ impl FaultPlan {
 
     /// Called by devices before reads; a down node cannot read either.
     pub fn note_read(&self) -> StorageResult<()> {
-        if self.inner.lock().crashed {
+        if self.inner.lock().unwrap().crashed {
             Err(StorageError::Crashed)
         } else {
             Ok(())
@@ -96,19 +100,19 @@ impl FaultPlan {
 
     /// Returns whether the node is currently down.
     pub fn is_crashed(&self) -> bool {
-        self.inner.lock().crashed
+        self.inner.lock().unwrap().crashed
     }
 
     /// Restarts the node: clears the crashed flag. Volatile state above the
     /// device layer must be discarded by the caller; the media keep whatever
     /// the crash left behind.
     pub fn heal(&self) {
-        self.inner.lock().crashed = false;
+        self.inner.lock().unwrap().crashed = false;
     }
 
     /// Total crashes fired so far.
     pub fn crash_count(&self) -> u64 {
-        self.inner.lock().crash_count
+        self.inner.lock().unwrap().crash_count
     }
 }
 

@@ -26,6 +26,31 @@ pub struct MirroredDisk {
     clock: SimClock,
     model: CostModel,
     tracker: SeqTracker,
+    obs: MirrorObs,
+}
+
+/// Cached metric handles for one mirrored disk.
+#[derive(Debug, Clone)]
+struct MirrorObs {
+    repairs: argus_obs::Counter,
+    scrubs: argus_obs::Counter,
+    reg: argus_obs::Registry,
+}
+
+impl MirrorObs {
+    fn resolve() -> Self {
+        let reg = argus_obs::current();
+        Self {
+            repairs: reg.counter("stable.mirror.repairs"),
+            scrubs: reg.counter("stable.mirror.scrubs"),
+            reg,
+        }
+    }
+
+    fn repaired(&self, page: PageNo) {
+        self.repairs.inc();
+        self.reg.event(argus_obs::Event::MirrorRepair { page });
+    }
 }
 
 impl MirroredDisk {
@@ -39,6 +64,7 @@ impl MirroredDisk {
             clock,
             model,
             tracker: SeqTracker::default(),
+            obs: MirrorObs::resolve(),
         }
     }
 
@@ -62,6 +88,7 @@ impl MirroredDisk {
             clock,
             model,
             tracker: SeqTracker::default(),
+            obs: MirrorObs::resolve(),
         }
     }
 
@@ -79,6 +106,7 @@ impl MirroredDisk {
     /// latent faults do not accumulate (the background task a real
     /// Lampson–Sturgis deployment runs periodically).
     pub fn scrub(&mut self) -> StorageResult<()> {
+        self.obs.scrubs.inc();
         for pno in 0..self.page_count() {
             self.read_page(pno)?;
         }
@@ -117,6 +145,7 @@ impl PageStore for MirroredDisk {
                 // Lazily repair a decayed B copy so the pair stays redundant.
                 if !self.b.is_good(pno) && pno < self.b.page_count() {
                     self.b.repair(pno, &page);
+                    self.obs.repaired(pno);
                 }
                 Ok(page)
             }
@@ -126,6 +155,7 @@ impl PageStore for MirroredDisk {
                 match self.b.read(pno) {
                     Ok(page) => {
                         self.a.repair(pno, &page);
+                        self.obs.repaired(pno);
                         Ok(page)
                     }
                     Err(StorageError::BadPage { .. }) => {

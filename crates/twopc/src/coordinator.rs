@@ -57,6 +57,7 @@ pub struct Coordinator {
 impl Coordinator {
     /// Creates a coordinator about to run the preparing phase.
     pub fn new(aid: ActionId, participants: Vec<GuardianId>) -> Self {
+        argus_obs::current().inc("twopc.coord.started");
         let waiting = participants.iter().copied().collect();
         Self {
             aid,
@@ -72,6 +73,7 @@ impl Coordinator {
         aid: ActionId,
         participants: Vec<GuardianId>,
     ) -> (Self, Vec<CoordEffect>) {
+        argus_obs::current().inc("twopc.coord.resumed");
         let waiting: BTreeSet<GuardianId> = participants.iter().copied().collect();
         let coord = Self {
             aid,
@@ -171,6 +173,7 @@ impl Coordinator {
     /// The guardian forced the `committing` record; the action is now
     /// committed and phase two begins.
     pub fn committing_forced(&mut self) -> Vec<CoordEffect> {
+        argus_obs::current().inc("twopc.coord.committed");
         self.phase = CoordPhase::Committing;
         self.waiting = self.participants.iter().copied().collect();
         self.commit_msgs()
@@ -178,6 +181,7 @@ impl Coordinator {
 
     /// The guardian forced the `done` record; two-phase commit is complete.
     pub fn done_forced(&mut self) -> Vec<CoordEffect> {
+        argus_obs::current().inc("twopc.coord.done");
         vec![CoordEffect::Finished { committed: true }]
     }
 
@@ -188,6 +192,7 @@ impl Coordinator {
             // Past the commit point: aborting is no longer possible.
             return Vec::new();
         }
+        argus_obs::current().inc("twopc.coord.aborted");
         self.phase = CoordPhase::Aborting;
         self.waiting = self.participants.iter().copied().collect();
         self.abort_msgs()

@@ -58,6 +58,7 @@ pub struct Participant {
 impl Participant {
     /// Creates a participant that has just received the prepare message.
     pub fn on_prepare(aid: ActionId, coordinator: GuardianId) -> (Self, Vec<PartEffect>) {
+        argus_obs::current().inc("twopc.part.prepares");
         let p = Self {
             aid,
             coordinator,
@@ -69,6 +70,7 @@ impl Participant {
     /// Resumes an in-doubt participant after recovery: it must query its
     /// coordinator for the verdict (§2.2.2).
     pub fn resume_in_doubt(aid: ActionId, coordinator: GuardianId) -> (Self, Vec<PartEffect>) {
+        argus_obs::current().inc("twopc.part.resumed_in_doubt");
         let p = Self {
             aid,
             coordinator,
@@ -89,6 +91,7 @@ impl Participant {
     /// The local prepare finished: data entries and `prepared` record are on
     /// stable storage.
     pub fn prepare_succeeded(&mut self) -> Vec<PartEffect> {
+        argus_obs::current().inc("twopc.part.prepare_ok");
         self.phase = PartPhase::Prepared;
         vec![PartEffect::Send {
             to: self.coordinator,
@@ -99,6 +102,7 @@ impl Participant {
     /// The local prepare could not run (lock conflict, unknown action, …):
     /// reply aborted (§2.2.2).
     pub fn prepare_failed(&mut self) -> Vec<PartEffect> {
+        argus_obs::current().inc("twopc.part.prepare_refused");
         self.phase = PartPhase::Aborted;
         vec![PartEffect::Send {
             to: self.coordinator,
@@ -146,6 +150,7 @@ impl Participant {
 
     /// The `committed` record is forced.
     pub fn commit_forced(&mut self) -> Vec<PartEffect> {
+        argus_obs::current().inc("twopc.part.commits");
         self.phase = PartPhase::Committed;
         vec![
             PartEffect::Send {
@@ -158,6 +163,7 @@ impl Participant {
 
     /// The `aborted` record is forced.
     pub fn abort_forced(&mut self) -> Vec<PartEffect> {
+        argus_obs::current().inc("twopc.part.aborts");
         self.phase = PartPhase::Aborted;
         vec![
             PartEffect::Send {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Offline tier-1 gate: everything a clean checkout must pass with no network.
+#
+#   scripts/verify.sh          # build + default test suite
+#   scripts/verify.sh --full   # + property suites, benches, experiments smoke
+#
+# The workspace has zero external dependencies, so --offline is enforced —
+# any accidental registry dependency fails here rather than in CI.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline
+run cargo test -q --offline
+
+if [[ "${1:-}" == "--full" ]]; then
+    run cargo test -q --offline --features proptest
+    run cargo build --offline --benches -p argus-bench
+    run cargo run -q --release --offline -p argus-bench --bin experiments -- E1
+fi
+
+echo "verify: OK"

@@ -20,7 +20,10 @@
 //! * [`guardian`] — the Argus guardian substrate and the deterministic
 //!   distributed-system simulator;
 //! * [`workload`] — banking / reservations / synthetic workload generators;
-//! * [`sim`] — the deterministic clock, RNG, and device cost model.
+//! * [`sim`] — the deterministic clock, RNG, and device cost model;
+//! * [`obs`] — the zero-dependency observability layer: counters,
+//!   histograms, phase timers on the simulated clock, the bounded event
+//!   journal, and the bench harness.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@
 
 pub use argus_core as core;
 pub use argus_guardian as guardian;
+pub use argus_obs as obs;
 pub use argus_objects as objects;
 pub use argus_shadow as shadow;
 pub use argus_sim as sim;

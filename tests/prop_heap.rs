@@ -1,8 +1,12 @@
-//! Property-based tests of the volatile heap: two-phase-locking invariants
-//! hold under arbitrary interleavings of lock / write / commit / abort.
+//! Randomized tests of the volatile heap: two-phase-locking invariants hold
+//! under arbitrary interleavings of lock / write / commit / abort.
+//!
+//! Driven by the in-tree deterministic RNG (`argus::sim::DetRng`) with fixed
+//! seeds, so every "random" case is exactly reproducible. Gated behind the
+//! off-by-default `proptest` feature: `cargo test --features proptest`.
 
 use argus::objects::{ActionId, GuardianId, Heap, HeapId, ObjectBody, Value};
-use proptest::prelude::*;
+use argus::sim::DetRng;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -14,29 +18,35 @@ enum HeapOp {
     Abort { actor: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = HeapOp> {
-    prop_oneof![
-        (0u8..4, 0u8..4).prop_map(|(actor, obj)| HeapOp::AcquireRead { actor, obj }),
-        (0u8..4, 0u8..4).prop_map(|(actor, obj)| HeapOp::AcquireWrite { actor, obj }),
-        (0u8..4, 0u8..4, any::<i64>()).prop_map(|(actor, obj, v)| HeapOp::Write { actor, obj, v }),
-        (0u8..4).prop_map(|actor| HeapOp::Commit { actor }),
-        (0u8..4).prop_map(|actor| HeapOp::Abort { actor }),
-    ]
+fn gen_op(rng: &mut DetRng) -> HeapOp {
+    let actor = rng.gen_range(4) as u8;
+    let obj = rng.gen_range(4) as u8;
+    match rng.gen_range(5) {
+        0 => HeapOp::AcquireRead { actor, obj },
+        1 => HeapOp::AcquireWrite { actor, obj },
+        2 => HeapOp::Write {
+            actor,
+            obj,
+            v: rng.next_u64() as i64,
+        },
+        3 => HeapOp::Commit { actor },
+        _ => HeapOp::Abort { actor },
+    }
 }
 
 fn aid(n: u8) -> ActionId {
     ActionId::new(GuardianId(0), n as u64)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    /// The serializability core: a committed value is only ever replaced by
-    /// the committing writer's own version; aborts always restore the last
-    /// committed value; lock invariants (≤1 writer, writer excludes other
-    /// readers) hold throughout.
-    #[test]
-    fn locking_model_invariants(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+/// The serializability core: a committed value is only ever replaced by the
+/// committing writer's own version; aborts always restore the last committed
+/// value; lock invariants (≤1 writer, writer excludes other readers) hold
+/// throughout.
+#[test]
+fn locking_model_invariants() {
+    let mut rng = DetRng::new(0x4EA9);
+    for case in 0..128 {
+        let ops: Vec<HeapOp> = (0..rng.gen_between(1, 60)).map(|_| gen_op(&mut rng)).collect();
         let mut heap = Heap::new();
         let objs: Vec<HeapId> = (0..4).map(|i| heap.alloc_atomic(Value::Int(i), None)).collect();
         // Model: committed value + the pending write per (actor, obj).
@@ -49,7 +59,7 @@ proptest! {
                 HeapOp::AcquireRead { actor, obj } => {
                     let allowed = holds_write.get(&obj).map(|w| *w == actor).unwrap_or(true);
                     let result = heap.acquire_read(objs[obj as usize], aid(actor));
-                    prop_assert_eq!(result.is_ok(), allowed, "read lock {:?}", op);
+                    assert_eq!(result.is_ok(), allowed, "case {case}: read lock {op:?}");
                 }
                 HeapOp::AcquireWrite { actor, obj } => {
                     let result = heap.acquire_write(objs[obj as usize], aid(actor));
@@ -58,18 +68,18 @@ proptest! {
                         // sets make exact grant prediction tedious — we
                         // check the *invariant* instead: no second writer.)
                         if let Some(existing) = holds_write.get(&obj) {
-                            prop_assert_eq!(*existing, actor, "two writers on {}", obj);
+                            assert_eq!(*existing, actor, "case {case}: two writers on {obj}");
                         }
                         holds_write.insert(obj, actor);
                     } else if holds_write.get(&obj) == Some(&actor) {
-                        prop_assert!(false, "re-acquisition by the holder failed");
+                        panic!("case {case}: re-acquisition by the holder failed");
                     }
                 }
                 HeapOp::Write { actor, obj, v } => {
                     let result =
                         heap.write_value(objs[obj as usize], aid(actor), |val| *val = Value::Int(v));
                     let holds = holds_write.get(&obj) == Some(&actor);
-                    prop_assert_eq!(result.is_ok(), holds, "write without lock");
+                    assert_eq!(result.is_ok(), holds, "case {case}: write without lock");
                     if holds {
                         pending.insert((actor, obj), v);
                     }
@@ -99,30 +109,36 @@ proptest! {
                     ObjectBody::Atomic(o) => o.base.clone(),
                     _ => unreachable!(),
                 };
-                prop_assert_eq!(
+                assert_eq!(
                     base,
                     Value::Int(committed[&obj]),
-                    "committed value diverged after {:?}", op
+                    "case {case}: committed value diverged after {op:?}"
                 );
             }
         }
     }
+}
 
-    /// Uids are never reused, even across interleaved allocation and
-    /// recovery-style insertion.
-    #[test]
-    fn uids_are_never_reused(allocs in 1usize..40, preset in 1u64..200) {
+/// Uids are never reused, even across interleaved allocation and
+/// recovery-style insertion.
+#[test]
+fn uids_are_never_reused() {
+    let mut rng = DetRng::new(0x01D5);
+    for case in 0..64 {
+        let allocs = rng.gen_between(1, 40) as usize;
+        let preset = rng.gen_between(1, 200);
         let mut heap = Heap::new();
         heap.insert_with_uid(
             argus::objects::Uid(preset),
             ObjectBody::Atomic(argus::objects::AtomicObject::new(Value::Unit)),
-        ).unwrap();
+        )
+        .unwrap();
         let mut seen = std::collections::HashSet::new();
         seen.insert(preset);
         for _ in 0..allocs {
             let h = heap.alloc_atomic(Value::Unit, None);
             let uid = heap.uid_of(h).unwrap();
-            prop_assert!(seen.insert(uid.0), "uid {} reused", uid);
+            assert!(seen.insert(uid.0), "case {case}: uid {uid} reused");
         }
     }
 }

@@ -1,10 +1,13 @@
-//! Property-based tests of the stable-log substrate: arbitrary write /
-//! force / crash sequences against a reference model.
+//! Randomized tests of the stable-log substrate: arbitrary write / force /
+//! crash sequences against a reference model.
+//!
+//! Driven by the in-tree deterministic RNG (`argus::sim::DetRng`) with fixed
+//! seeds, so every "random" case is exactly reproducible. Gated behind the
+//! off-by-default `proptest` feature: `cargo test --features proptest`.
 
-use argus::sim::{CostModel, SimClock};
+use argus::sim::{CostModel, DetRng, SimClock};
 use argus::slog::StableLog;
 use argus::stable::{FaultPlan, MemStore};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum LogOp {
@@ -16,12 +19,13 @@ enum LogOp {
     Crash,
 }
 
-fn logop_strategy() -> impl Strategy<Value = LogOp> {
-    prop_oneof![
-        6 => (0u16..2000).prop_map(LogOp::Write),
-        2 => Just(LogOp::Force),
-        1 => Just(LogOp::Crash),
-    ]
+/// Weighted draw: writes 6, forces 2, crashes 1 (of 9).
+fn gen_op(rng: &mut DetRng) -> LogOp {
+    match rng.gen_range(9) {
+        0..=5 => LogOp::Write(rng.gen_range(2000) as u16),
+        6 | 7 => LogOp::Force,
+        _ => LogOp::Crash,
+    }
 }
 
 fn payload(i: usize, len: u16) -> Vec<u8> {
@@ -32,14 +36,14 @@ fn payload(i: usize, len: u16) -> Vec<u8> {
     bytes
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// After any sequence of writes, forces, and crashes, the log contains
-    /// exactly the forced prefix, in order, readable both forwards (by
-    /// address) and backwards (by iteration).
-    #[test]
-    fn log_equals_forced_prefix(ops in proptest::collection::vec(logop_strategy(), 1..40)) {
+/// After any sequence of writes, forces, and crashes, the log contains
+/// exactly the forced prefix, in order, readable both forwards (by address)
+/// and backwards (by iteration).
+#[test]
+fn log_equals_forced_prefix() {
+    let mut rng = DetRng::new(0x5106);
+    for case in 0..64 {
+        let ops: Vec<LogOp> = (0..rng.gen_between(1, 40)).map(|_| gen_op(&mut rng)).collect();
         let mut log =
             StableLog::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
         let mut durable: Vec<(argus::slog::LogAddress, Vec<u8>)> = Vec::new();
@@ -67,28 +71,31 @@ proptest! {
         log.force().unwrap();
         durable.append(&mut buffered);
 
-        prop_assert_eq!(log.stable_count(), durable.len() as u64);
+        assert_eq!(log.stable_count(), durable.len() as u64, "case {case}");
         // Forward reads by address.
         for (addr, bytes) in &durable {
             let (_seq, got) = log.read(*addr).unwrap();
-            prop_assert_eq!(&got, bytes);
+            assert_eq!(&got, bytes, "case {case}");
         }
         // Backward iteration covers exactly the durable entries, newest
         // first.
-        let walked: Vec<Vec<u8>> =
-            log.read_backward(None).map(|r| r.unwrap().2).collect();
-        let expected: Vec<Vec<u8>> =
-            durable.iter().rev().map(|(_, b)| b.clone()).collect();
-        prop_assert_eq!(walked, expected);
+        let walked: Vec<Vec<u8>> = log.read_backward(None).map(|r| r.unwrap().2).collect();
+        let expected: Vec<Vec<u8>> = durable.iter().rev().map(|(_, b)| b.clone()).collect();
+        assert_eq!(walked, expected, "case {case}");
     }
+}
 
-    /// A crash at ANY point inside a force leaves the log equal to either
-    /// the pre-force or the post-force state — never something in between.
-    #[test]
-    fn force_is_atomic_under_crashes(
-        entries in proptest::collection::vec(0u16..600, 1..6),
-        crash_after in 0u64..40,
-    ) {
+/// A crash at ANY point inside a force leaves the log equal to either the
+/// pre-force or the post-force state — never something in between.
+#[test]
+fn force_is_atomic_under_crashes() {
+    let mut rng = DetRng::new(0xA70_FC);
+    for case in 0..64 {
+        let entries: Vec<u16> = (0..rng.gen_between(1, 6))
+            .map(|_| rng.gen_range(600) as u16)
+            .collect();
+        let crash_after = rng.gen_range(40);
+
         let plan = FaultPlan::new();
         let store = MemStore::with_fault_plan(plan.clone(), SimClock::new(), CostModel::fast());
         let mut log = StableLog::create(store).unwrap();
@@ -106,10 +113,10 @@ proptest! {
 
         let count = log.stable_count();
         match result {
-            Ok(()) => prop_assert_eq!(count, 1 + entries.len() as u64),
-            Err(_) => prop_assert!(
+            Ok(()) => assert_eq!(count, 1 + entries.len() as u64, "case {case}"),
+            Err(_) => assert!(
                 count == 1 || count == 1 + entries.len() as u64,
-                "partial force became visible: {} entries", count
+                "case {case}: partial force became visible: {count} entries"
             ),
         }
         // Whatever survived is internally consistent.
