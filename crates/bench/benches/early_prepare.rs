@@ -3,8 +3,8 @@
 
 use argus_core::providers::MemProvider;
 use argus_core::{HybridLogRs, RecoverySystem};
-use argus_obs::bench::{run, BenchReport, BenchSpec};
 use argus_objects::{ActionId, GuardianId, Heap, Value};
+use argus_obs::bench::{run, BenchReport, BenchSpec};
 use argus_sim::{CostModel, SimClock};
 
 struct Rig {

@@ -46,14 +46,19 @@ fn main() {
         log.write(&i.to_le_bytes());
     }
     log.force().unwrap();
-    report.push(run("read_backward_1000", &clock, BenchSpec::default(), || {
-        let mut n = 0u32;
-        for item in log.read_backward(None) {
-            item.unwrap();
-            n += 1;
-        }
-        assert_eq!(n, 1000);
-    }));
+    report.push(run(
+        "read_backward_1000",
+        &clock,
+        BenchSpec::default(),
+        || {
+            let mut n = 0u32;
+            for item in log.read_backward(None) {
+                item.unwrap();
+                n += 1;
+            }
+            assert_eq!(n, 1000);
+        },
+    ));
 
     println!("{report}");
 }

@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E8). See DESIGN.md for the
+//! Regenerates every experiment table (E1–E11). See DESIGN.md for the
 //! experiment index and EXPERIMENTS.md for recorded results.
 //!
 //! Each experiment runs under its own `argus_obs::Registry` scope, so the
@@ -11,7 +11,7 @@
 //! ```
 
 use argus_bench::{
-    e10_abort_rate, e1_write_cost, e2_recovery_cost, e4_housekeeping_cost,
+    e10_abort_rate, e11_explore_coverage, e1_write_cost, e2_recovery_cost, e4_housekeeping_cost,
     e5_checkpoint_bounds_recovery, e6_early_prepare, e7_map_scaling, e8_crash_matrix,
     e9_device_sensitivity,
 };
@@ -88,5 +88,10 @@ fn main() {
         let (table, metrics) = scoped(e10_abort_rate);
         println!("{table}");
         print_metrics("E10", &metrics);
+    }
+    if want("E11") {
+        let (table, metrics) = scoped(e11_explore_coverage);
+        println!("{table}");
+        print_metrics("E11", &metrics);
     }
 }

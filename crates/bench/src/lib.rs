@@ -577,6 +577,70 @@ pub fn e9_device_sensitivity() -> Table {
     table
 }
 
+/// E11 — bounded model check of two-phase commit (DESIGN.md § Checking).
+///
+/// Runs the `argus-check` interleaving explorer over the real `twopc` state
+/// machines across a sweep of crash/drop budgets and reports its coverage:
+/// distinct states visited, crash points injected, messages dropped, and
+/// per-state log lints — all of which must find **zero** atomicity
+/// violations. The same counters are exported through `argus-obs`
+/// (`check.explore.*`), so the harness's per-run metrics report shows them
+/// alongside every other layer's.
+pub fn e11_explore_coverage() -> Table {
+    use argus_check::{ExploreConfig, Explorer};
+
+    let mut table = Table::new(
+        "E11",
+        "Bounded 2PC interleaving exploration: coverage vs. fault budget",
+        "required: zero atomicity violations (A1-A4 + termination) in every configuration; eager restarts re-check the stale-vote race class",
+    );
+    table.header(vec![
+        "participants".into(),
+        "crashes".into(),
+        "drops".into(),
+        "eager restarts".into(),
+        "states".into(),
+        "crash points".into(),
+        "dropped msgs".into(),
+        "lints".into(),
+        "terminal".into(),
+        "violations".into(),
+    ]);
+    for (participants, max_crashes, max_drops, eager_restarts) in [
+        (2usize, 0u32, 0u32, false),
+        (2, 1, 0, false),
+        (2, 1, 1, false),
+        (2, 2, 1, false),
+        (3, 1, 0, false),
+        (2, 1, 0, true),
+    ] {
+        let report = Explorer::new(ExploreConfig {
+            participants,
+            max_crashes,
+            max_drops,
+            max_states: 200_000,
+            allow_refusal: true,
+            eager_restarts,
+        })
+        .run();
+        report.assert_ok();
+        let s = report.stats;
+        table.row(vec![
+            participants.to_string(),
+            max_crashes.to_string(),
+            max_drops.to_string(),
+            if eager_restarts { "yes" } else { "no" }.into(),
+            s.states_visited.to_string(),
+            s.crash_points.to_string(),
+            s.drops.to_string(),
+            s.lint_runs.to_string(),
+            s.terminal_states.to_string(),
+            report.violations.len().to_string(),
+        ]);
+    }
+    table
+}
+
 /// E10 — the early-prepare assumption: "if it aborts then extra work has
 /// been done, but that is not a problem because we assume that aborts are
 /// not as frequent as commits" (§4.4).

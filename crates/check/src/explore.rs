@@ -1,0 +1,1066 @@
+//! The bounded 2PC interleaving explorer.
+//!
+//! A deterministic DFS over the *real* `twopc` coordinator/participant state
+//! machines (the same code `argus-guardian` drives) that enumerates every
+//! message reordering, message drop, and crash point up to a configurable
+//! budget, and checks atomicity at every reachable state:
+//!
+//! * **A1** — a participant only logs `committed` after the coordinator
+//!   logged `committing` (the commit point, §2.2.1).
+//! * **A2** — no two participants resolve the same action differently: a
+//!   `committed` record at one guardian and an `aborted` record at another
+//!   is the canonical atomicity violation.
+//! * **A3** — every node's log passes the static linter ([`crate::lint_log`])
+//!   at every reachable state, crash states included.
+//! * **A4** — past the commit point no participant aborts: abort
+//!   instructions are only ever issued before the coordinator forces
+//!   `committing`, so a `committing` record and a participant `aborted`
+//!   record for the same action can never coexist.
+//! * **Termination** — in every quiescent terminal state no participant is
+//!   prepared-forever: each either resolved or never passed its prepare
+//!   point.
+//!
+//! Each node keeps a *model log* of real [`LogEntry`] values at synthesized
+//! addresses: forced records survive crashes, machine state does not.
+//! Restart rebuilds PT/CT exactly the way `core`'s recovery does
+//! (first-insertion-wins over a backward scan) and resumes the machines the
+//! way `argus-guardian`'s `World::restart` does — including the
+//! presumed-abort rule: a coordinator with no `committing` record answers
+//! queries with "aborted".
+
+use crate::image::LogImage;
+use crate::lint::lint_log;
+use crate::obs::ExploreObs;
+use argus_core::LogEntry;
+use argus_objects::{ActionId, GuardianId, ObjKind, Uid, Value};
+use argus_slog::LogAddress;
+use argus_twopc::{
+    CoordEffect, CoordPhase, Coordinator, Envelope, Msg, PartEffect, PartPhase, Participant,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// Exploration budgets.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Number of participant guardians (the coordinator is a separate node).
+    pub participants: usize,
+    /// How many crashes may be injected along one schedule.
+    pub max_crashes: u32,
+    /// How many messages may be dropped along one schedule.
+    pub max_drops: u32,
+    /// Hard cap on distinct states visited; hitting it is reported in
+    /// [`ExploreStats::depth_limited`], not an error.
+    pub max_states: usize,
+    /// Whether a fresh participant may refuse the prepare (exercises the
+    /// abort side of the protocol).
+    pub allow_refusal: bool,
+    /// Whether a crashed node may restart while messages are still in
+    /// flight. Eager restarts race recovery against stale traffic — the
+    /// schedule class that exposed the stale-vote atomicity bug (a restarted
+    /// participant's query answered "aborted" while its pre-crash vote was
+    /// still in flight) — but they multiply the state space by orders of
+    /// magnitude. When off, nodes restart only once the network is quiet
+    /// (always reachable: delivery to a down node consumes the message).
+    pub eager_restarts: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        Self {
+            participants: 2,
+            max_crashes: 1,
+            max_drops: 1,
+            max_states: 200_000,
+            allow_refusal: true,
+            eager_restarts: false,
+        }
+    }
+}
+
+/// Coverage counters for one exploration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExploreStats {
+    /// Distinct states visited.
+    pub states_visited: u64,
+    /// Successor states pruned because they were already visited.
+    pub dedup_pruned: u64,
+    /// Crash points injected (mid-delivery and idle).
+    pub crash_points: u64,
+    /// Messages delivered.
+    pub deliveries: u64,
+    /// Messages dropped.
+    pub drops: u64,
+    /// Quiescent fully-resolved terminal states reached.
+    pub terminal_states: u64,
+    /// Per-node log lints run.
+    pub lint_runs: u64,
+    /// Expansions cut off by the state cap.
+    pub depth_limited: u64,
+}
+
+/// The explorer's verdict.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Coverage counters.
+    pub stats: ExploreStats,
+    /// Every atomicity/lint violation found, with the state that exhibits it.
+    pub violations: Vec<String>,
+}
+
+impl ExploreReport {
+    /// Whether every reachable state satisfied A1–A3 and termination.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with the violation list if the protocol misbehaved.
+    #[track_caller]
+    pub fn assert_ok(&self) {
+        assert!(
+            self.ok(),
+            "2PC exploration found {} violation(s):\n{}",
+            self.violations.len(),
+            self.violations.join("\n")
+        );
+    }
+}
+
+// ---- model state ---------------------------------------------------------
+
+const DATA_START: u64 = 512;
+const ENTRY_SPACING: u64 = 64;
+
+/// One node's durable side: the model log.
+///
+/// The entry vector sits behind an [`Rc`] so cloning a state (which the DFS
+/// does once per successor, tens of millions of times) is a refcount bump;
+/// the rare append copies-on-write. The content hash is maintained on append
+/// and shared by the state fingerprint and the lint memo table.
+#[derive(Debug, Clone)]
+struct ModelLog {
+    entries: Rc<Vec<(LogAddress, LogEntry)>>,
+    last_outcome: Option<LogAddress>,
+    next_addr: u64,
+    content_hash: u64,
+}
+
+impl ModelLog {
+    fn new() -> Self {
+        Self {
+            entries: Rc::new(Vec::new()),
+            last_outcome: None,
+            next_addr: DATA_START,
+            content_hash: Self::hash_entries(&[]),
+        }
+    }
+
+    fn hash_entries(entries: &[(LogAddress, LogEntry)]) -> u64 {
+        let mut h = DefaultHasher::new();
+        entries.hash(&mut h);
+        h.finish()
+    }
+
+    fn append(&mut self, mut entry: LogEntry) -> LogAddress {
+        let addr = LogAddress(self.next_addr);
+        self.next_addr += ENTRY_SPACING;
+        if entry.is_outcome() {
+            entry.set_prev(self.last_outcome);
+            self.last_outcome = Some(addr);
+        }
+        Rc::make_mut(&mut self.entries).push((addr, entry));
+        self.content_hash = Self::hash_entries(&self.entries);
+        addr
+    }
+
+    fn has_committed(&self, aid: ActionId) -> bool {
+        self.entries
+            .iter()
+            .any(|(_, e)| matches!(e, LogEntry::Committed { aid: a, .. } if *a == aid))
+    }
+
+    fn has_aborted(&self, aid: ActionId) -> bool {
+        self.entries
+            .iter()
+            .any(|(_, e)| matches!(e, LogEntry::Aborted { aid: a, .. } if *a == aid))
+    }
+
+    fn has_committing(&self, aid: ActionId) -> bool {
+        self.entries
+            .iter()
+            .any(|(_, e)| matches!(e, LogEntry::Committing { aid: a, .. } if *a == aid))
+    }
+
+    /// Rebuilds this node's participant verdict the way recovery does:
+    /// newest entry first, first insertion wins.
+    fn recovered_pstate(&self, aid: ActionId) -> Option<argus_core::PState> {
+        for (_, entry) in self.entries.iter().rev() {
+            match entry {
+                LogEntry::Committed { aid: a, .. } if *a == aid => {
+                    return Some(argus_core::PState::Committed)
+                }
+                LogEntry::Aborted { aid: a, .. } if *a == aid => {
+                    return Some(argus_core::PState::Aborted)
+                }
+                LogEntry::Prepared { aid: a, .. } if *a == aid => {
+                    return Some(argus_core::PState::Prepared)
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Rebuilds the coordinator's state: `Some(true)` = done, `Some(false)` =
+    /// committing (phase two restartable), `None` = no trace (presumed
+    /// abort).
+    fn recovered_cstate(&self, aid: ActionId) -> Option<(bool, Vec<GuardianId>)> {
+        for (_, entry) in self.entries.iter().rev() {
+            match entry {
+                LogEntry::Done { aid: a, .. } if *a == aid => return Some((true, Vec::new())),
+                LogEntry::Committing { aid: a, gids, .. } if *a == aid => {
+                    return Some((false, gids.clone()))
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// The coordinator node.
+#[derive(Debug, Clone)]
+struct CoordNode {
+    up: bool,
+    log: ModelLog,
+    machine: Option<Coordinator>,
+    /// The `done` record is on the log (survives the machine).
+    done: bool,
+    /// The protocol finished at the coordinator with this verdict.
+    finished: Option<bool>,
+}
+
+/// One participant node.
+#[derive(Debug, Clone)]
+struct PartNode {
+    up: bool,
+    log: ModelLog,
+    machine: Option<Participant>,
+    /// Locally resolved verdict (from a forced record or a refusal).
+    resolved: Option<bool>,
+}
+
+/// One global state of the protocol.
+#[derive(Debug, Clone)]
+struct State {
+    coord: CoordNode,
+    parts: Vec<PartNode>,
+    inflight: Vec<Envelope>,
+    crashes_left: u32,
+    drops_left: u32,
+}
+
+impl State {
+    /// A canonical fingerprint: machine phases, logs, and the in-flight
+    /// multiset (order-insensitive). Hashed with [`DefaultHasher`], which is
+    /// deterministic — it is built with fixed keys, never seeded.
+    fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.coord.up.hash(&mut h);
+        self.coord.done.hash(&mut h);
+        self.coord.finished.hash(&mut h);
+        match &self.coord.machine {
+            Some(c) => {
+                c.phase().hash(&mut h);
+                c.awaiting().hash(&mut h);
+            }
+            None => 0xffu8.hash(&mut h),
+        }
+        self.coord.log.content_hash.hash(&mut h);
+        for p in &self.parts {
+            p.up.hash(&mut h);
+            p.resolved.hash(&mut h);
+            match &p.machine {
+                Some(m) => m.phase().hash(&mut h),
+                None => 0xffu8.hash(&mut h),
+            }
+            p.log.content_hash.hash(&mut h);
+        }
+        // The in-flight multiset: hash each envelope on its own, then fold
+        // the sorted hashes in, so delivery order within the bag is
+        // canonical.
+        let mut envs: Vec<u64> = self
+            .inflight
+            .iter()
+            .map(|e| {
+                let mut eh = DefaultHasher::new();
+                e.hash(&mut eh);
+                eh.finish()
+            })
+            .collect();
+        envs.sort_unstable();
+        envs.hash(&mut h);
+        self.crashes_left.hash(&mut h);
+        self.drops_left.hash(&mut h);
+        h.finish()
+    }
+}
+
+// ---- the explorer --------------------------------------------------------
+
+/// The coordinator's guardian id (node 0); participants are 1..=n.
+const COORD: GuardianId = GuardianId(0);
+
+/// The bounded interleaving explorer. See the module docs.
+#[derive(Debug)]
+pub struct Explorer {
+    cfg: ExploreConfig,
+    aid: ActionId,
+    stats: ExploreStats,
+    violations: Vec<String>,
+    seen_violations: HashSet<String>,
+    /// Lint verdicts keyed by log-content hash: logs repeat across millions
+    /// of interleavings, so each distinct log is linted once.
+    lint_cache: HashMap<u64, Option<String>>,
+}
+
+impl Explorer {
+    /// Creates an explorer for one top-level action under `cfg`.
+    pub fn new(cfg: ExploreConfig) -> Self {
+        Self {
+            cfg,
+            aid: ActionId::new(COORD, 1),
+            stats: ExploreStats::default(),
+            violations: Vec::new(),
+            seen_violations: HashSet::new(),
+            lint_cache: HashMap::new(),
+        }
+    }
+
+    /// Runs the DFS to exhaustion (or the state cap) and reports.
+    pub fn run(mut self) -> ExploreReport {
+        let obs = ExploreObs::resolve();
+        let root = self.initial_state();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<State> = Vec::new();
+        visited.insert(root.fingerprint());
+        stack.push(root);
+        while let Some(state) = stack.pop() {
+            self.stats.states_visited += 1;
+            self.check_state(&state);
+            if visited.len() >= self.cfg.max_states {
+                self.stats.depth_limited += 1;
+                continue;
+            }
+            for next in self.successors(&state) {
+                let fp = next.fingerprint();
+                if visited.insert(fp) {
+                    stack.push(next);
+                } else {
+                    self.stats.dedup_pruned += 1;
+                }
+            }
+        }
+        obs.states_visited.add(self.stats.states_visited);
+        obs.dedup_pruned.add(self.stats.dedup_pruned);
+        obs.crash_points.add(self.stats.crash_points);
+        obs.deliveries.add(self.stats.deliveries);
+        obs.drops.add(self.stats.drops);
+        obs.terminal_states.add(self.stats.terminal_states);
+        obs.lint_runs.add(self.stats.lint_runs);
+        obs.depth_limited.add(self.stats.depth_limited);
+        ExploreReport {
+            stats: self.stats,
+            violations: self.violations,
+        }
+    }
+
+    fn initial_state(&self) -> State {
+        let gids: Vec<GuardianId> = (1..=self.cfg.participants as u32).map(GuardianId).collect();
+        let coord = Coordinator::new(self.aid, gids.clone());
+        let mut inflight = Vec::new();
+        for effect in coord.start() {
+            if let CoordEffect::Send { to, msg } = effect {
+                inflight.push(Envelope {
+                    from: COORD,
+                    to,
+                    msg,
+                });
+            }
+        }
+        State {
+            coord: CoordNode {
+                up: true,
+                log: ModelLog::new(),
+                machine: Some(coord),
+                done: false,
+                finished: None,
+            },
+            parts: (0..self.cfg.participants)
+                .map(|_| PartNode {
+                    up: true,
+                    log: ModelLog::new(),
+                    machine: None,
+                    resolved: None,
+                })
+                .collect(),
+            inflight,
+            crashes_left: self.cfg.max_crashes,
+            drops_left: self.cfg.max_drops,
+        }
+    }
+
+    // ---- safety ----------------------------------------------------------
+
+    fn violation(&mut self, kind: &str, detail: String) {
+        let text = format!("[{kind}] {detail}");
+        if self.seen_violations.insert(text.clone()) {
+            self.violations.push(text);
+        }
+    }
+
+    fn check_state(&mut self, state: &State) {
+        let aid = self.aid;
+        // A1: a committed participant implies a logged commit point.
+        for (i, p) in state.parts.iter().enumerate() {
+            if p.log.has_committed(aid) && !state.coord.log.has_committing(aid) {
+                self.violation(
+                    "A1",
+                    format!(
+                        "participant {} committed without a coordinator committing record",
+                        i + 1
+                    ),
+                );
+            }
+        }
+        // A2: no mixed verdicts across participant logs.
+        let committed = state.parts.iter().position(|p| p.log.has_committed(aid));
+        let aborted = state.parts.iter().position(|p| p.log.has_aborted(aid));
+        if let (Some(c), Some(a)) = (committed, aborted) {
+            self.violation(
+                "A2",
+                format!(
+                    "participant {} committed while participant {} aborted",
+                    c + 1,
+                    a + 1
+                ),
+            );
+        }
+        // A4: past the commit point no participant may abort. A participant
+        // only forces `aborted` on instruction, and abort instructions
+        // (verdicts, presumed-abort answers) are only issued before the
+        // coordinator forces `committing`.
+        if state.coord.log.has_committing(aid) {
+            for (i, p) in state.parts.iter().enumerate() {
+                if p.log.has_aborted(aid) {
+                    self.violation(
+                        "A4",
+                        format!(
+                            "participant {} aborted after the coordinator passed the commit point",
+                            i + 1
+                        ),
+                    );
+                }
+            }
+        }
+        // A3: every node's log lints clean. Identical logs recur across huge
+        // numbers of interleavings, so verdicts are memoized by content.
+        let mut lint_failures = Vec::new();
+        {
+            let logs = std::iter::once((0usize, &state.coord.log))
+                .chain(state.parts.iter().enumerate().map(|(i, p)| (i + 1, &p.log)));
+            for (node, log) in logs {
+                let key = log.content_hash;
+                let verdict = match self.lint_cache.get(&key) {
+                    Some(v) => v.clone(),
+                    None => {
+                        self.stats.lint_runs += 1;
+                        let report =
+                            lint_log(&LogImage::from_entries(log.entries.as_ref().clone()));
+                        let v = if report.is_clean() {
+                            None
+                        } else {
+                            let details: Vec<String> =
+                                report.violations.iter().map(|v| v.to_string()).collect();
+                            Some(details.join("; "))
+                        };
+                        self.lint_cache.insert(key, v.clone());
+                        v
+                    }
+                };
+                if let Some(detail) = verdict {
+                    lint_failures.push((node, detail));
+                }
+            }
+        }
+        for (node, detail) in lint_failures {
+            self.violation("A3", format!("node {node} log fails lint: {detail}"));
+        }
+        // Termination check on quiescent, all-up, no-move states.
+        if state.inflight.is_empty()
+            && state.coord.up
+            && state.parts.iter().all(|p| p.up)
+            && !self.has_quiescent_move(state)
+        {
+            self.stats.terminal_states += 1;
+            for (i, p) in state.parts.iter().enumerate() {
+                let prepared_forever = match &p.machine {
+                    Some(m) => m.phase() == PartPhase::Prepared,
+                    None => {
+                        p.resolved.is_none()
+                            && p.log.recovered_pstate(aid) == Some(argus_core::PState::Prepared)
+                    }
+                };
+                if prepared_forever {
+                    self.violation(
+                        "TERM",
+                        format!(
+                            "terminal state leaves participant {} prepared forever",
+                            i + 1
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whether any quiescent recovery move applies (used to decide
+    /// terminality; mirrors [`Explorer::quiesce`]).
+    fn has_quiescent_move(&self, state: &State) -> bool {
+        if !state.inflight.is_empty() {
+            return false;
+        }
+        if state.coord.up {
+            if let Some(c) = &state.coord.machine {
+                match c.phase() {
+                    CoordPhase::Preparing => return true,
+                    CoordPhase::Committing | CoordPhase::Aborting if !c.awaiting().is_empty() => {
+                        return true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        state.parts.iter().any(|p| {
+            p.up && p
+                .machine
+                .as_ref()
+                .is_some_and(|m| m.phase() == PartPhase::Prepared)
+        })
+    }
+
+    // ---- successor generation --------------------------------------------
+
+    fn successors(&mut self, state: &State) -> Vec<State> {
+        let mut out = Vec::new();
+        // Deliveries (every reordering; this is where the fan-out lives).
+        for idx in 0..state.inflight.len() {
+            let votes: &[bool] = if self.is_fresh_prepare(state, idx) && self.cfg.allow_refusal {
+                &[true, false]
+            } else {
+                &[true]
+            };
+            for &prepare_ok in votes {
+                let (next, steps) = self.deliver(state.clone(), idx, prepare_ok, None);
+                self.stats.deliveries += 1;
+                out.push(next);
+                if state.crashes_left > 0 {
+                    // Crash the destination after each effect micro-step
+                    // (0 = crash before any effect ran; the message is lost
+                    // with the machine).
+                    for k in 0..steps {
+                        let (crashed, _) = self.deliver(state.clone(), idx, prepare_ok, Some(k));
+                        self.stats.crash_points += 1;
+                        out.push(crashed);
+                    }
+                }
+            }
+        }
+        // Drops.
+        if state.drops_left > 0 {
+            for idx in 0..state.inflight.len() {
+                let mut next = state.clone();
+                next.inflight.remove(idx);
+                next.drops_left -= 1;
+                self.stats.drops += 1;
+                out.push(next);
+            }
+        }
+        // Idle crashes.
+        if state.crashes_left > 0 {
+            if state.coord.up {
+                let mut next = state.clone();
+                next.coord.up = false;
+                next.coord.machine = None;
+                next.crashes_left -= 1;
+                self.stats.crash_points += 1;
+                out.push(next);
+            }
+            for i in 0..state.parts.len() {
+                if state.parts[i].up {
+                    let mut next = state.clone();
+                    next.parts[i].up = false;
+                    next.parts[i].machine = None;
+                    next.parts[i].resolved = None;
+                    next.crashes_left -= 1;
+                    self.stats.crash_points += 1;
+                    out.push(next);
+                }
+            }
+        }
+        // Restarts. By default a node comes back only once the network is
+        // quiet (delivery to a down node consumes the message, so the queue
+        // can always drain); with `eager_restarts` recovery races the stale
+        // in-flight traffic too.
+        if self.cfg.eager_restarts || state.inflight.is_empty() {
+            if !state.coord.up {
+                out.push(self.restart_coord(state.clone()));
+            }
+            for i in 0..state.parts.len() {
+                if !state.parts[i].up {
+                    out.push(self.restart_part(state.clone(), i));
+                }
+            }
+        }
+        // Quiescent recovery moves (timeouts / re-sends / re-queries) — only
+        // when nothing is in flight, so they model "the network went quiet".
+        if self.has_quiescent_move(state) {
+            out.push(self.quiesce(state.clone()));
+        }
+        out
+    }
+
+    /// Is `inflight[idx]` a prepare arriving at a participant that has no
+    /// machine, no resolution, and no log trace (i.e. the vote is free)?
+    fn is_fresh_prepare(&self, state: &State, idx: usize) -> bool {
+        let env = &state.inflight[idx];
+        if !matches!(env.msg, Msg::Prepare { .. }) || env.to == COORD {
+            return false;
+        }
+        let Some(p) = state.parts.get((env.to.0 - 1) as usize) else {
+            return false;
+        };
+        p.up && p.machine.is_none() && p.resolved.is_none() && p.log.entries.is_empty()
+    }
+
+    // ---- delivery --------------------------------------------------------
+
+    /// Delivers `inflight[idx]`, executing the destination machine's effects
+    /// one micro-step at a time. With `crash_after = Some(k)` the
+    /// destination crashes after `k` micro-steps: durable log appends and
+    /// already-sent messages survive, the machine and the rest of its
+    /// effect queue do not. Returns the next state and the number of
+    /// micro-steps a full delivery takes.
+    fn deliver(
+        &self,
+        mut state: State,
+        idx: usize,
+        prepare_ok: bool,
+        crash_after: Option<usize>,
+    ) -> (State, usize) {
+        let env = state.inflight.remove(idx);
+        let steps = if env.to == COORD {
+            self.deliver_to_coord(&mut state, &env, crash_after)
+        } else {
+            self.deliver_to_part(&mut state, &env, prepare_ok, crash_after)
+        };
+        (state, steps)
+    }
+
+    fn deliver_to_coord(
+        &self,
+        state: &mut State,
+        env: &Envelope,
+        crash_after: Option<usize>,
+    ) -> usize {
+        let coord = &mut state.coord;
+        if !coord.up {
+            // Delivery to a crashed node: the message evaporates.
+            return 0;
+        }
+        let effects: VecDeque<CoordEffect> = match &mut coord.machine {
+            Some(machine) => machine.on_msg(env.from, &env.msg).into(),
+            None => {
+                // Machine-less coordinator: `done` answers queries with its
+                // durable verdict; with no trace at all the presumed-abort
+                // rule of §2.2.3 applies.
+                match env.msg {
+                    Msg::QueryOutcome { aid } => [CoordEffect::Send {
+                        to: env.from,
+                        msg: Msg::Outcome {
+                            aid,
+                            committed: coord.done,
+                        },
+                    }]
+                    .into(),
+                    _ => VecDeque::new(),
+                }
+            }
+        };
+        self.run_coord_effects(state, effects, crash_after)
+    }
+
+    /// Executes coordinator effects micro-step by micro-step. Returns steps
+    /// taken.
+    fn run_coord_effects(
+        &self,
+        state: &mut State,
+        mut queue: VecDeque<CoordEffect>,
+        crash_after: Option<usize>,
+    ) -> usize {
+        let mut steps = 0usize;
+        while let Some(effect) = queue.pop_front() {
+            if crash_after == Some(steps) {
+                state.coord.up = false;
+                state.coord.machine = None;
+                return steps;
+            }
+            steps += 1;
+            match effect {
+                CoordEffect::Send { to, msg } => state.inflight.push(Envelope {
+                    from: COORD,
+                    to,
+                    msg,
+                }),
+                CoordEffect::ForceCommitting => {
+                    let machine = state.coord.machine.as_mut().expect("machine forced");
+                    let gids = machine.participants.clone();
+                    state.coord.log.append(LogEntry::Committing {
+                        aid: self.aid,
+                        gids,
+                        prev: None,
+                    });
+                    let more = machine.committing_forced();
+                    queue.extend(more);
+                }
+                CoordEffect::ForceDone => {
+                    state.coord.log.append(LogEntry::Done {
+                        aid: self.aid,
+                        prev: None,
+                    });
+                    state.coord.done = true;
+                    let machine = state.coord.machine.as_mut().expect("machine forced");
+                    let more = machine.done_forced();
+                    queue.extend(more);
+                }
+                CoordEffect::Finished { committed } => {
+                    state.coord.finished = Some(committed);
+                }
+            }
+        }
+        if crash_after == Some(steps) {
+            state.coord.up = false;
+            state.coord.machine = None;
+        }
+        steps
+    }
+
+    fn deliver_to_part(
+        &self,
+        state: &mut State,
+        env: &Envelope,
+        prepare_ok: bool,
+        crash_after: Option<usize>,
+    ) -> usize {
+        let i = (env.to.0 - 1) as usize;
+        if !state.parts[i].up {
+            return 0;
+        }
+        let part = &mut state.parts[i];
+        let effects: VecDeque<PartEffect> = match (&mut part.machine, &env.msg) {
+            (Some(machine), msg) => machine.on_msg(msg).into(),
+            (None, Msg::Prepare { aid }) => {
+                match part.log.recovered_pstate(*aid) {
+                    // Fresh participant: start the protocol.
+                    None if part.resolved.is_none() => {
+                        let (machine, effects) = Participant::on_prepare(*aid, env.from);
+                        part.machine = Some(machine);
+                        effects.into()
+                    }
+                    // A resolved or restarted participant re-votes from its
+                    // durable state (§2.2.2: an unknown action is refused).
+                    Some(argus_core::PState::Committed) => [PartEffect::Send {
+                        to: env.from,
+                        msg: Msg::PrepareOk { aid: *aid },
+                    }]
+                    .into(),
+                    _ => [PartEffect::Send {
+                        to: env.from,
+                        msg: Msg::PrepareRefused { aid: *aid },
+                    }]
+                    .into(),
+                }
+            }
+            // Verdicts for a machine-less participant: re-acknowledge from
+            // the durable verdict so a re-sent commit/abort converges.
+            (None, Msg::Commit { aid }) => match part.log.recovered_pstate(*aid) {
+                Some(argus_core::PState::Committed) => [PartEffect::Send {
+                    to: env.from,
+                    msg: Msg::CommitAck { aid: *aid },
+                }]
+                .into(),
+                _ => VecDeque::new(),
+            },
+            (None, Msg::Abort { aid }) => match part.log.recovered_pstate(*aid) {
+                Some(argus_core::PState::Aborted) | None => [PartEffect::Send {
+                    to: env.from,
+                    msg: Msg::AbortAck { aid: *aid },
+                }]
+                .into(),
+                _ => VecDeque::new(),
+            },
+            (None, _) => VecDeque::new(),
+        };
+        self.run_part_effects(state, i, effects, prepare_ok, crash_after)
+    }
+
+    /// Executes participant effects micro-step by micro-step.
+    fn run_part_effects(
+        &self,
+        state: &mut State,
+        i: usize,
+        mut queue: VecDeque<PartEffect>,
+        prepare_ok: bool,
+        crash_after: Option<usize>,
+    ) -> usize {
+        let aid = self.aid;
+        let mut steps = 0usize;
+        while let Some(effect) = queue.pop_front() {
+            if crash_after == Some(steps) {
+                state.parts[i].up = false;
+                state.parts[i].machine = None;
+                state.parts[i].resolved = None;
+                return steps;
+            }
+            steps += 1;
+            let part = &mut state.parts[i];
+            match effect {
+                PartEffect::Send { to, msg } => state.inflight.push(Envelope {
+                    from: GuardianId(i as u32 + 1),
+                    to,
+                    msg,
+                }),
+                PartEffect::PrepareLocally => {
+                    let machine = part.machine.as_mut().expect("machine preparing");
+                    if prepare_ok {
+                        // The local prepare: one data entry plus the forced
+                        // `prepared` record carrying its shadow pair.
+                        let daddr = part.log.append(LogEntry::DataH {
+                            kind: ObjKind::Atomic,
+                            value: Value::Int(i as i64),
+                        });
+                        part.log.append(LogEntry::Prepared {
+                            aid,
+                            pairs: vec![(Uid(i as u64 + 1), daddr)],
+                            prev: None,
+                        });
+                        queue.extend(machine.prepare_succeeded());
+                    } else {
+                        // Refusal: nothing reaches the log.
+                        queue.extend(machine.prepare_failed());
+                        part.resolved = Some(false);
+                    }
+                }
+                PartEffect::ForceCommit => {
+                    part.log.append(LogEntry::Committed { aid, prev: None });
+                    let machine = part.machine.as_mut().expect("machine resolving");
+                    queue.extend(machine.commit_forced());
+                }
+                PartEffect::ForceAbort => {
+                    part.log.append(LogEntry::Aborted { aid, prev: None });
+                    let machine = part.machine.as_mut().expect("machine resolving");
+                    queue.extend(machine.abort_forced());
+                }
+                PartEffect::Finished { committed } => {
+                    part.resolved = Some(committed);
+                }
+            }
+        }
+        if crash_after == Some(steps) {
+            state.parts[i].up = false;
+            state.parts[i].machine = None;
+            state.parts[i].resolved = None;
+        }
+        steps
+    }
+
+    // ---- restart ---------------------------------------------------------
+
+    /// Restarts the coordinator: rebuild the CT from the log, resume phase
+    /// two if a `committing` record survives (§2.2.3), presume abort
+    /// otherwise.
+    fn restart_coord(&self, mut state: State) -> State {
+        state.coord.up = true;
+        match state.coord.log.recovered_cstate(self.aid) {
+            Some((true, _)) => {
+                state.coord.done = true;
+                state.coord.machine = None;
+                state.coord.finished = Some(true);
+            }
+            Some((false, gids)) => {
+                let (machine, effects) = Coordinator::resume_committing(self.aid, gids);
+                state.coord.machine = Some(machine);
+                for effect in effects {
+                    if let CoordEffect::Send { to, msg } = effect {
+                        state.inflight.push(Envelope {
+                            from: COORD,
+                            to,
+                            msg,
+                        });
+                    }
+                }
+            }
+            None => {
+                // No trace: the action is forgotten; queries get "aborted".
+                state.coord.machine = None;
+                state.coord.done = false;
+            }
+        }
+        state
+    }
+
+    /// Restarts a participant: rebuild the PT from the log; an in-doubt
+    /// prepare resumes by querying the coordinator (§2.2.2).
+    fn restart_part(&self, mut state: State, i: usize) -> State {
+        state.parts[i].up = true;
+        match state.parts[i].log.recovered_pstate(self.aid) {
+            Some(argus_core::PState::Prepared) => {
+                let (machine, effects) = Participant::resume_in_doubt(self.aid, COORD);
+                state.parts[i].machine = Some(machine);
+                for effect in effects {
+                    if let PartEffect::Send { to, msg } = effect {
+                        state.inflight.push(Envelope {
+                            from: GuardianId(i as u32 + 1),
+                            to,
+                            msg,
+                        });
+                    }
+                }
+            }
+            Some(argus_core::PState::Committed) => {
+                state.parts[i].machine = None;
+                state.parts[i].resolved = Some(true);
+            }
+            Some(argus_core::PState::Aborted) => {
+                state.parts[i].machine = None;
+                state.parts[i].resolved = Some(false);
+            }
+            None => {
+                state.parts[i].machine = None;
+                state.parts[i].resolved = None;
+            }
+        }
+        state
+    }
+
+    // ---- quiescent recovery ----------------------------------------------
+
+    /// When the network is quiet, the timeout-driven moves fire: a preparing
+    /// coordinator aborts unilaterally, a committing/aborting coordinator
+    /// re-sends its verdict to the participants it is still awaiting, and an
+    /// in-doubt participant re-queries the coordinator.
+    fn quiesce(&self, mut state: State) -> State {
+        if state.coord.up {
+            if let Some(machine) = &mut state.coord.machine {
+                match machine.phase() {
+                    CoordPhase::Preparing => {
+                        let effects: VecDeque<CoordEffect> = machine.abort_unilaterally().into();
+                        self.run_coord_effects(&mut state, effects, None);
+                    }
+                    CoordPhase::Committing | CoordPhase::Aborting => {
+                        let verdict_commit = machine.phase() == CoordPhase::Committing;
+                        for to in machine.awaiting() {
+                            state.inflight.push(Envelope {
+                                from: COORD,
+                                to,
+                                msg: if verdict_commit {
+                                    Msg::Commit { aid: self.aid }
+                                } else {
+                                    Msg::Abort { aid: self.aid }
+                                },
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for i in 0..state.parts.len() {
+            let in_doubt = state.parts[i]
+                .machine
+                .as_ref()
+                .is_some_and(|m| m.phase() == PartPhase::Prepared);
+            if state.parts[i].up && in_doubt {
+                state.inflight.push(Envelope {
+                    from: GuardianId(i as u32 + 1),
+                    to: COORD,
+                    msg: Msg::QueryOutcome { aid: self.aid },
+                });
+            }
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_exploration_is_clean_and_deterministic() {
+        let cfg = ExploreConfig {
+            participants: 2,
+            max_crashes: 1,
+            max_drops: 0,
+            max_states: 50_000,
+            allow_refusal: false,
+            eager_restarts: false,
+        };
+        let a = Explorer::new(cfg).run();
+        a.assert_ok();
+        assert!(a.stats.states_visited > 10);
+        assert!(a.stats.terminal_states > 0);
+        let b = Explorer::new(cfg).run();
+        assert_eq!(a.stats.states_visited, b.stats.states_visited);
+        assert_eq!(a.stats.dedup_pruned, b.stats.dedup_pruned);
+    }
+
+    #[test]
+    fn refusal_schedules_abort_cleanly() {
+        let cfg = ExploreConfig {
+            participants: 2,
+            max_crashes: 0,
+            max_drops: 0,
+            max_states: 50_000,
+            allow_refusal: true,
+            eager_restarts: false,
+        };
+        let report = Explorer::new(cfg).run();
+        report.assert_ok();
+        assert!(report.stats.terminal_states > 0);
+    }
+
+    #[test]
+    fn eager_restart_schedules_are_clean() {
+        // Eager restarts race recovery against stale in-flight messages —
+        // the schedule class that exposed the stale-vote bug (an in-doubt
+        // query answered "aborted" while the pre-crash vote was still in
+        // flight, letting the coordinator commit afterwards). With the
+        // coordinator fixed this must exhaust with zero violations.
+        let cfg = ExploreConfig {
+            participants: 1,
+            max_crashes: 2,
+            max_drops: 1,
+            max_states: 50_000,
+            allow_refusal: true,
+            eager_restarts: true,
+        };
+        let report = Explorer::new(cfg).run();
+        report.assert_ok();
+        assert_eq!(report.stats.depth_limited, 0, "space must be exhausted");
+        assert!(report.stats.crash_points > 0);
+        assert!(report.stats.terminal_states > 0);
+    }
+}

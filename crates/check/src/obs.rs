@@ -1,0 +1,61 @@
+//! Cached metric handles for the checker, resolved against the ambient
+//! [`argus_obs`] registry — the explorer coverage counters feed experiment
+//! E11 in `bin/experiments`.
+
+use argus_obs::Counter;
+
+/// Linter counters.
+#[derive(Debug, Clone)]
+pub(crate) struct LintObs {
+    /// Lint passes run.
+    pub runs: Counter,
+    /// Violations reported across all passes.
+    pub violations: Counter,
+}
+
+impl LintObs {
+    pub fn resolve() -> Self {
+        let reg = argus_obs::current();
+        Self {
+            runs: reg.counter("check.lint.runs"),
+            violations: reg.counter("check.lint.violations"),
+        }
+    }
+}
+
+/// Explorer coverage counters.
+#[derive(Debug, Clone)]
+pub(crate) struct ExploreObs {
+    /// Distinct states visited.
+    pub states_visited: Counter,
+    /// Interleavings pruned because the successor state was already seen.
+    pub dedup_pruned: Counter,
+    /// Crash points injected.
+    pub crash_points: Counter,
+    /// Messages delivered.
+    pub deliveries: Counter,
+    /// Messages dropped.
+    pub drops: Counter,
+    /// Terminal (quiescent, fully-recovered) states reached.
+    pub terminal_states: Counter,
+    /// Per-node log lints run on visited states.
+    pub lint_runs: Counter,
+    /// Branches cut by the step budget.
+    pub depth_limited: Counter,
+}
+
+impl ExploreObs {
+    pub fn resolve() -> Self {
+        let reg = argus_obs::current();
+        Self {
+            states_visited: reg.counter("check.explore.states_visited"),
+            dedup_pruned: reg.counter("check.explore.dedup_pruned"),
+            crash_points: reg.counter("check.explore.crash_points"),
+            deliveries: reg.counter("check.explore.deliveries"),
+            drops: reg.counter("check.explore.drops"),
+            terminal_states: reg.counter("check.explore.terminal_states"),
+            lint_runs: reg.counter("check.explore.lint_runs"),
+            depth_limited: reg.counter("check.explore.depth_limited"),
+        }
+    }
+}

@@ -1,8 +1,9 @@
 //! The recovery-system interface (§2.3).
 
-use crate::{RecoveryOutcome, RsResult};
+use crate::{LogEntry, RecoveryOutcome, RsResult};
 use argus_objects::{ActionId, GuardianId, Heap, HeapId};
 use argus_sim::StatsSnapshot;
+use argus_slog::LogAddress;
 use argus_stable::PageStore;
 
 /// Which housekeeping technique to run (ch. 5).
@@ -99,6 +100,14 @@ pub trait RecoverySystem {
     /// *intersecting* with the old set (newly-accessible objects discovered
     /// mid-traversal must stay out, so a plain replacement would be wrong).
     fn trim_access_set(&mut self, heap: &Heap);
+
+    /// Every forced, decoded log entry, oldest first — so external auditors
+    /// (the `argus-check` linter) can inspect the log without knowing the
+    /// organization. Organizations that keep no log (the shadowing baseline)
+    /// return `Ok(None)`.
+    fn dump_log(&mut self) -> RsResult<Option<Vec<(LogAddress, LogEntry)>>> {
+        Ok(None)
+    }
 
     /// Whether the participant has `aid` in its prepared-actions table.
     fn is_prepared(&self, aid: ActionId) -> bool;

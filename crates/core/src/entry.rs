@@ -12,7 +12,7 @@ use argus_slog::{CodecError, CodecResult, Decoder, Encoder, LogAddress};
 /// backward chain of outcome entries, and moves the `(uid, log address)` map
 /// fragment into the `prepared` entry (§4.2). Simple-log entries simply leave
 /// `prev` as `None` and `pairs` empty, so one type serves both organizations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum LogEntry {
     /// Simple-log data entry: `<uid, kind, version, aid>` (Figure 3-1).
     Data {

@@ -227,6 +227,13 @@ impl<P: StoreProvider> HybridLogRs<P> {
         let prev = self.last_outcome.map(|a| a.0);
         entry.set_prev(self.last_outcome);
         let addr = self.log.write(&encode_entry(&entry)?);
+        // Chain invariant I2: prev pointers strictly decrease, so the
+        // recovery walk always terminates.
+        debug_assert!(
+            prev.is_none_or(|p| p < addr.0),
+            "outcome chain must strictly decrease: prev {prev:?} vs new {}",
+            addr.0
+        );
         self.obs.outcome(entry.name(), prev);
         if force {
             self.log.force()?;
@@ -491,9 +498,20 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
             let (_seq, payload) = self.log.read(addr)?;
             ctx.entries_examined += 1;
             ctx.chain_hops += 1;
-            self.obs.reg.event(argus_obs::Event::ChainHop { addr: addr.0 });
+            self.obs
+                .reg
+                .event(argus_obs::Event::ChainHop { addr: addr.0 });
             let entry = decode_entry(&payload)?;
             cursor = entry.prev();
+            // A corrupt prev pointer that does not strictly decrease would
+            // loop the walk forever (invariant I2); fail recovery instead.
+            if let Some(p) = cursor {
+                if p >= addr {
+                    return Err(RsError::BadState(format!(
+                        "outcome chain does not decrease: {addr} points back to {p}"
+                    )));
+                }
+            }
             match entry {
                 LogEntry::Prepared { aid, pairs, .. } => {
                     let st = ctx.on_prepared(aid);
@@ -588,6 +606,10 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
         let reachable = heap.accessible_uids();
         self.access = self.access.intersection(&reachable).copied().collect();
         self.access.insert(Uid::STABLE_ROOT);
+    }
+
+    fn dump_log(&mut self) -> RsResult<Option<Vec<(LogAddress, LogEntry)>>> {
+        self.dump_entries().map(Some)
     }
 
     fn is_prepared(&self, aid: ActionId) -> bool {

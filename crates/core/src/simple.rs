@@ -321,6 +321,10 @@ impl<S: PageStore> RecoverySystem for SimpleLogRs<S> {
         self.access.insert(Uid::STABLE_ROOT);
     }
 
+    fn dump_log(&mut self) -> RsResult<Option<Vec<(LogAddress, LogEntry)>>> {
+        self.dump_entries().map(Some)
+    }
+
     fn is_prepared(&self, aid: ActionId) -> bool {
         self.pat.contains(&aid)
     }

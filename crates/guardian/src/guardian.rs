@@ -2,10 +2,11 @@
 
 use crate::{WorldError, WorldResult};
 use argus_core::providers::MemProvider;
-use argus_core::{HybridLogRs, LogStats, RecoverySystem, RsResult, SimpleLogRs};
+use argus_core::{HybridLogRs, LogEntry, LogStats, RecoverySystem, RsResult, SimpleLogRs};
 use argus_objects::{ActionId, GuardianId, Heap, HeapId, Uid, Value};
 use argus_shadow::ShadowRs;
 use argus_sim::{CostModel, SimClock};
+use argus_slog::LogAddress;
 use argus_stable::{FaultPlan, MemStore};
 use argus_twopc::{Coordinator, Participant};
 use std::collections::{HashMap, HashSet};
@@ -180,5 +181,12 @@ impl Guardian {
     /// Read-only access to the recovery system (for tests).
     pub fn recovery_system(&self) -> &dyn RecoverySystem {
         self.rs.as_ref()
+    }
+
+    /// Every decoded entry of this guardian's log, oldest first, for
+    /// external audits like the `argus-check` linter (`None` when the
+    /// organization keeps no log, e.g. the shadowing baseline).
+    pub fn dump_log(&mut self) -> RsResult<Option<Vec<(LogAddress, LogEntry)>>> {
+        self.rs.dump_log()
     }
 }

@@ -115,6 +115,20 @@ impl World {
         self.guardians.get(&g).ok_or(WorldError::NoGuardian(g))
     }
 
+    /// Every guardian in the world, in id order.
+    pub fn guardian_ids(&self) -> Vec<GuardianId> {
+        self.guardians.keys().copied().collect()
+    }
+
+    /// Dumps guardian `g`'s decoded log for external audits like the
+    /// `argus-check` linter (`None` when its organization keeps no log).
+    pub fn dump_log(
+        &mut self,
+        g: GuardianId,
+    ) -> WorldResult<Option<Vec<(argus_slog::LogAddress, argus_core::LogEntry)>>> {
+        Ok(self.guardian_mut(g)?.dump_log()?)
+    }
+
     /// The registry this world's instrumentation records into.
     pub fn obs(&self) -> &argus_obs::Registry {
         &self.obs

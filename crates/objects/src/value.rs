@@ -4,7 +4,7 @@ use crate::{HeapId, Uid};
 use std::fmt;
 
 /// A reference from one object's data to a recoverable object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ObjRef {
     /// A volatile-memory reference (normal operation).
     Heap(HeapId),
@@ -20,7 +20,7 @@ pub enum ObjRef {
 /// `Ref` is an edge to another recoverable object, which the incremental
 /// copying algorithm translates to a [`Uid`] instead of copying (§2.4.3,
 /// Figure 2-2).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Value {
     /// Nothing.
     Unit,

@@ -24,7 +24,10 @@ pub struct BenchSpec {
 
 impl Default for BenchSpec {
     fn default() -> Self {
-        Self { warmup: 3, iters: 30 }
+        Self {
+            warmup: 3,
+            iters: 30,
+        }
     }
 }
 
@@ -206,7 +209,10 @@ mod tests {
         let result = run(
             "advance",
             &clock,
-            BenchSpec { warmup: 2, iters: 10 },
+            BenchSpec {
+                warmup: 2,
+                iters: 10,
+            },
             || {
                 clock.advance(100);
             },
@@ -224,7 +230,10 @@ mod tests {
         let result = run_batched(
             "batched",
             &clock,
-            BenchSpec { warmup: 0, iters: 5 },
+            BenchSpec {
+                warmup: 0,
+                iters: 5,
+            },
             || clock.advance(1_000), // expensive setup, excluded
             |_start| {
                 clock.advance(10);

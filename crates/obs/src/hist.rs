@@ -98,7 +98,11 @@ impl Histogram {
             sum: inner.sum.load(Ordering::Relaxed),
             min: inner.min.load(Ordering::Relaxed),
             max: inner.max.load(Ordering::Relaxed),
-            buckets: inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            buckets: inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 
@@ -133,11 +137,7 @@ pub struct HistSnapshot {
 impl HistSnapshot {
     /// Arithmetic mean, zero when empty.
     pub fn mean(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum / self.count
-        }
+        self.sum.checked_div(self.count).unwrap_or(0)
     }
 
     /// Smallest observation, zero when empty (for display).

@@ -111,10 +111,9 @@ impl Event {
     /// Field names and rendered values, for the text and JSON exporters.
     pub fn fields(&self) -> Vec<(&'static str, String)> {
         match self {
-            Event::EntryWritten { kind, bytes } => vec![
-                ("kind", (*kind).to_string()),
-                ("bytes", bytes.to_string()),
-            ],
+            Event::EntryWritten { kind, bytes } => {
+                vec![("kind", (*kind).to_string()), ("bytes", bytes.to_string())]
+            }
             Event::OutcomeChained { kind, prev } => vec![
                 ("kind", (*kind).to_string()),
                 (
@@ -311,10 +310,22 @@ mod tests {
     #[test]
     fn every_event_renders_name_and_fields() {
         let all = [
-            Event::EntryWritten { kind: "data", bytes: 8 },
-            Event::OutcomeChained { kind: "prepared", prev: Some(512) },
-            Event::OutcomeChained { kind: "committed", prev: None },
-            Event::ForceCompleted { entries: 1, stable_bytes: 64 },
+            Event::EntryWritten {
+                kind: "data",
+                bytes: 8,
+            },
+            Event::OutcomeChained {
+                kind: "prepared",
+                prev: Some(512),
+            },
+            Event::OutcomeChained {
+                kind: "committed",
+                prev: None,
+            },
+            Event::ForceCompleted {
+                entries: 1,
+                stable_bytes: 64,
+            },
             Event::ChainHop { addr: 512 },
             Event::RecoveryDataRead { addr: 1024 },
             Event::RecoveryPass {
@@ -325,9 +336,18 @@ mod tests {
                 ot_size: 3,
                 ct_size: 0,
             },
-            Event::SnapshotTaken { entries: 5, bytes: 400 },
-            Event::CompactionPass { entries_in: 9, entries_out: 4 },
-            Event::HousekeepingDone { mode: "snapshot", entries_reclaimed: 5 },
+            Event::SnapshotTaken {
+                entries: 5,
+                bytes: 400,
+            },
+            Event::CompactionPass {
+                entries_in: 9,
+                entries_out: 4,
+            },
+            Event::HousekeepingDone {
+                mode: "snapshot",
+                entries_reclaimed: 5,
+            },
             Event::CrashFired { crash_count: 1 },
             Event::MirrorRepair { page: 7 },
         ];

@@ -255,7 +255,9 @@ pub fn global() -> Registry {
 /// The registry instrumented code should record into: the innermost registry
 /// [`Registry::enter`]ed on this thread, else [`global()`].
 pub fn current() -> Registry {
-    CURRENT.with(|stack| stack.borrow().last().cloned()).unwrap_or_else(global)
+    CURRENT
+        .with(|stack| stack.borrow().last().cloned())
+        .unwrap_or_else(global)
 }
 
 #[cfg(test)]

@@ -143,7 +143,11 @@ impl Report {
                 s.quantile(0.95),
             );
         }
-        let _ = write!(out, "}},\"dropped_events\":{},\"events\":[", self.dropped_events);
+        let _ = write!(
+            out,
+            "}},\"dropped_events\":{},\"events\":[",
+            self.dropped_events
+        );
         for (i, record) in self.events.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -197,7 +201,10 @@ mod tests {
         reg.add("slog.appends", 12);
         reg.observe("slog.force_us", 40);
         reg.observe("slog.force_us", 80);
-        reg.event(Event::ForceCompleted { entries: 2, stable_bytes: 128 });
+        reg.event(Event::ForceCompleted {
+            entries: 2,
+            stable_bytes: 128,
+        });
         reg.report()
     }
 

@@ -336,6 +336,18 @@ impl<S: PageStore> StableLog<S> {
             count: self.sb.count + self.pending_count,
             last_record: self.pending_last,
         };
+        // Framing invariants the published superblock must satisfy: the tail
+        // strictly advances, the record count grows with it, and the newest
+        // record header lies inside the published region (I1 in the checker).
+        debug_assert!(new_sb.tail > self.sb.tail);
+        debug_assert!(new_sb.count == self.sb.count + self.pending_count);
+        debug_assert!(
+            new_sb.last_record >= self.sb.tail && new_sb.last_record < new_sb.tail,
+            "last record header {} outside the newly published region {}..{}",
+            new_sb.last_record,
+            self.sb.tail,
+            new_sb.tail
+        );
         self.dev.store_mut().write_page(0, &new_sb.encode())?;
         self.dev.sync()?;
         self.sb = new_sb;

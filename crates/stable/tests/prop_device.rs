@@ -1,50 +1,60 @@
 //! Device-level property tests: the byte-extent view and the mirrored disk
 //! against reference models.
+//!
+//! Driven by the in-tree deterministic RNG (`argus_sim::DetRng`) with fixed
+//! seeds, so every "random" case is exactly reproducible and no external
+//! property-testing crate is needed.
 
 use argus_sim::{CostModel, DetRng, SimClock};
 use argus_stable::{ByteDevice, FaultPlan, MemStore, MirroredDisk, Page, PageStore, PAGE_SIZE};
-use proptest::prelude::*;
 
-#[derive(Debug, Clone)]
-struct Extent {
-    offset: u64,
-    data: Vec<u8>,
+fn bytes(rng: &mut DetRng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect()
 }
 
-fn extent_strategy() -> impl Strategy<Value = Extent> {
-    (0u64..8192, proptest::collection::vec(any::<u8>(), 1..1500))
-        .prop_map(|(offset, data)| Extent { offset, data })
-}
+/// Any sequence of overlapping byte-extent writes reads back exactly like a
+/// flat byte-array model.
+#[test]
+fn byte_device_matches_flat_memory() {
+    let mut rng = DetRng::new(0xB17E);
+    for case in 0..32 {
+        let extents: Vec<(u64, Vec<u8>)> = (0..rng.gen_between(1, 20))
+            .map(|_| {
+                let offset = rng.gen_range(8192);
+                let len = rng.gen_between(1, 1500) as usize;
+                let data = bytes(&mut rng, len);
+                (offset, data)
+            })
+            .collect();
 
-proptest! {
-    /// Any sequence of overlapping byte-extent writes reads back exactly
-    /// like a flat byte-array model.
-    #[test]
-    fn byte_device_matches_flat_memory(extents in proptest::collection::vec(extent_strategy(), 1..20)) {
         let mut dev = ByteDevice::new(MemStore::new(SimClock::new(), CostModel::fast()));
         let mut model = vec![0u8; 16 * 1024];
-        for e in &extents {
-            dev.write_at(e.offset, &e.data).unwrap();
-            let end = e.offset as usize + e.data.len();
-            model[e.offset as usize..end].copy_from_slice(&e.data);
+        for (offset, data) in &extents {
+            dev.write_at(*offset, data).unwrap();
+            let end = *offset as usize + data.len();
+            model[*offset as usize..end].copy_from_slice(data);
         }
         // Read back in arbitrary-aligned chunks.
-        for e in &extents {
-            let mut buf = vec![0u8; e.data.len() + 7];
-            let start = e.offset.saturating_sub(3);
+        for (offset, data) in &extents {
+            let mut buf = vec![0u8; data.len() + 7];
+            let start = offset.saturating_sub(3);
             dev.read_at(start, &mut buf).unwrap();
-            prop_assert_eq!(&buf[..], &model[start as usize..start as usize + buf.len()]);
+            assert_eq!(
+                &buf[..],
+                &model[start as usize..start as usize + buf.len()],
+                "case {case}"
+            );
         }
     }
+}
 
-    /// The mirrored disk behaves exactly like a plain page array under any
-    /// interleaving of writes and single-copy decay (reads repair).
-    #[test]
-    fn mirror_matches_model_under_decay(
-        seed in any::<u64>(),
-        steps in 1usize..120,
-    ) {
-        let mut rng = DetRng::new(seed);
+/// The mirrored disk behaves exactly like a plain page array under any
+/// interleaving of writes and single-copy decay (reads repair).
+#[test]
+fn mirror_matches_model_under_decay() {
+    let mut rng = DetRng::new(0xD15C);
+    for case in 0..32 {
+        let steps = rng.gen_between(1, 120);
         let mut disk = MirroredDisk::new(FaultPlan::new(), SimClock::new(), CostModel::fast());
         let mut model: Vec<Option<u8>> = vec![None; 32];
         for _ in 0..steps {
@@ -62,52 +72,66 @@ proptest! {
             // check pages the model knows (unwritten pages may not exist).
             if let Some(fill) = model[pno as usize] {
                 let got = disk.read_page(pno).unwrap();
-                prop_assert_eq!(got.as_slice()[0], fill);
+                assert_eq!(got.as_slice()[0], fill, "case {case}");
             }
         }
         // Full audit at the end.
         for (pno, expect) in model.iter().enumerate() {
             if let Some(fill) = expect {
                 let got = disk.read_page(pno as u64).unwrap();
-                prop_assert_eq!(got.as_slice()[0], *fill);
+                assert_eq!(got.as_slice()[0], *fill, "case {case}");
             }
         }
     }
+}
 
-    /// Torn writes are atomic at page granularity: after a crash mid-write,
-    /// the page reads as either the old or the new value.
-    #[test]
-    fn torn_writes_leave_old_or_new(crash_at in 0u64..2) {
+/// Torn writes are atomic at page granularity: after a crash mid-write, the
+/// page reads as either the old or the new value.
+#[test]
+fn torn_writes_leave_old_or_new() {
+    for crash_at in 0u64..2 {
         let plan = FaultPlan::new();
-        let mut disk =
-            MirroredDisk::new(plan.clone(), SimClock::new(), CostModel::fast());
+        let mut disk = MirroredDisk::new(plan.clone(), SimClock::new(), CostModel::fast());
         disk.write_page(0, &Page::from_bytes(b"old")).unwrap();
         plan.arm_after_writes(crash_at);
         let _ = disk.write_page(0, &Page::from_bytes(b"new"));
         plan.heal();
         plan.disarm();
         let got = disk.read_page(0).unwrap();
-        prop_assert!(
+        assert!(
             got == Page::from_bytes(b"old") || got == Page::from_bytes(b"new"),
-            "page is neither old nor new"
+            "crash_at {crash_at}: page is neither old nor new"
         );
     }
+}
 
-    /// Page zero-fill contract: reading any page beyond the written area
-    /// returns zeros on every store type.
-    #[test]
-    fn reads_past_end_are_zero(pno in 0u64..100) {
+/// Page zero-fill contract: reading any page beyond the written area
+/// returns zeros on every store type.
+#[test]
+fn reads_past_end_are_zero() {
+    let mut rng = DetRng::new(0x2E80);
+    for _ in 0..16 {
+        let pno = rng.gen_range(100);
         let mut mem = MemStore::new(SimClock::new(), CostModel::fast());
-        prop_assert_eq!(mem.read_page(pno).unwrap(), Page::zeroed());
+        assert_eq!(mem.read_page(pno).unwrap(), Page::zeroed());
         let mut mirror = MirroredDisk::new(FaultPlan::new(), SimClock::new(), CostModel::fast());
-        prop_assert_eq!(mirror.read_page(pno).unwrap(), Page::zeroed());
+        assert_eq!(mirror.read_page(pno).unwrap(), Page::zeroed());
     }
+}
 
-    /// Page payloads of every size up to PAGE_SIZE roundtrip.
-    #[test]
-    fn page_from_bytes_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..PAGE_SIZE)) {
+/// Page payloads of every size up to PAGE_SIZE roundtrip.
+#[test]
+fn page_from_bytes_roundtrips() {
+    let mut rng = DetRng::new(0x90FB);
+    let mut sizes: Vec<usize> = vec![0, 1, PAGE_SIZE - 1, PAGE_SIZE];
+    sizes.extend((0..16).map(|_| rng.gen_range(PAGE_SIZE as u64 + 1) as usize));
+    for len in sizes {
+        let data = bytes(&mut rng, len);
         let page = Page::from_bytes(&data);
-        prop_assert_eq!(&page.as_slice()[..data.len()], &data[..]);
-        prop_assert!(page.as_slice()[data.len()..].iter().all(|&b| b == 0));
+        assert_eq!(&page.as_slice()[..data.len()], &data[..], "len {len}");
+        assert!(
+            page.as_slice()[data.len()..].iter().all(|&b| b == 0),
+            "len {len}"
+        );
     }
 }

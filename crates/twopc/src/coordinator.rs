@@ -5,7 +5,7 @@ use argus_objects::{ActionId, GuardianId};
 use std::collections::BTreeSet;
 
 /// Where the coordinator stands in the protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoordPhase {
     /// Prepare messages are out; waiting for votes.
     Preparing,
@@ -90,6 +90,12 @@ impl Coordinator {
         self.phase
     }
 
+    /// The participants whose replies are still outstanding in the current
+    /// phase (votes while preparing, acks while committing or aborting).
+    pub fn awaiting(&self) -> Vec<GuardianId> {
+        self.waiting.iter().copied().collect()
+    }
+
     /// Starts the preparing phase: prepare messages to every participant.
     pub fn start(&self) -> Vec<CoordEffect> {
         self.participants
@@ -153,6 +159,24 @@ impl Coordinator {
                 } else {
                     Vec::new()
                 }
+            }
+            // An in-doubt participant asking for the verdict while the vote
+            // is still being collected: it crashed after preparing, so any
+            // vote of its that is still in flight is stale. The presumed-
+            // abort answer is "aborted" — and that answer is a promise, so
+            // the coordinator must abort too. Answering "aborted" here and
+            // later counting the stale vote toward a commit would let one
+            // participant abort while the others commit.
+            (Msg::QueryOutcome { .. }, CoordPhase::Preparing) => {
+                let mut effects = self.abort_unilaterally();
+                effects.push(CoordEffect::Send {
+                    to: from,
+                    msg: Msg::Outcome {
+                        aid: self.aid,
+                        committed: false,
+                    },
+                });
+                effects
             }
             // An in-doubt participant asking for the verdict.
             (Msg::QueryOutcome { .. }, phase) => {
@@ -295,18 +319,6 @@ mod tests {
     fn queries_get_the_right_verdict() {
         let mut c = Coordinator::new(aid(), vec![gid(0)]);
         c.start();
-        // Still preparing: "abort" (the coordinator has not committed).
-        let effects = c.on_msg(gid(0), &Msg::QueryOutcome { aid: aid() });
-        assert_eq!(
-            effects,
-            vec![CoordEffect::Send {
-                to: gid(0),
-                msg: Msg::Outcome {
-                    aid: aid(),
-                    committed: false
-                }
-            }]
-        );
         c.on_msg(gid(0), &Msg::PrepareOk { aid: aid() });
         c.committing_forced();
         let effects = c.on_msg(gid(0), &Msg::QueryOutcome { aid: aid() });
@@ -320,5 +332,34 @@ mod tests {
                 }
             }]
         );
+    }
+
+    #[test]
+    fn query_while_preparing_aborts_the_action() {
+        // An in-doubt query during the voting phase means the participant
+        // crashed after preparing; any in-flight vote of its is stale.
+        // Answering "aborted" is a promise, so the coordinator must abort —
+        // otherwise the stale vote could later tip it into committing while
+        // the queried participant aborts.
+        let mut c = Coordinator::new(aid(), vec![gid(0), gid(1)]);
+        c.start();
+        c.on_msg(gid(1), &Msg::PrepareOk { aid: aid() });
+        let effects = c.on_msg(gid(0), &Msg::QueryOutcome { aid: aid() });
+        assert_eq!(c.phase(), CoordPhase::Aborting);
+        // Abort to both participants, then the promised answer.
+        assert_eq!(effects.len(), 3);
+        assert_eq!(
+            effects[2],
+            CoordEffect::Send {
+                to: gid(0),
+                msg: Msg::Outcome {
+                    aid: aid(),
+                    committed: false
+                }
+            }
+        );
+        // The stale vote arriving afterwards must not resurrect the commit.
+        assert!(c.on_msg(gid(0), &Msg::PrepareOk { aid: aid() }).is_empty());
+        assert_eq!(c.phase(), CoordPhase::Aborting);
     }
 }

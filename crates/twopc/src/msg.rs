@@ -3,7 +3,7 @@
 use argus_objects::{ActionId, GuardianId};
 
 /// A two-phase-commit message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Msg {
     /// Coordinator → participant: "prepare for action A to commit".
     Prepare {
@@ -74,7 +74,7 @@ impl Msg {
 }
 
 /// A message in flight between two guardians.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Envelope {
     /// Sender.
     pub from: GuardianId,

@@ -4,7 +4,7 @@ use crate::Msg;
 use argus_objects::{ActionId, GuardianId};
 
 /// Where the participant stands in the protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PartPhase {
     /// Prepare received; the local prepare (data entries + `prepared`
     /// record) is being executed.

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Static gates: clippy with warnings denied, plus rustfmt drift. Offline —
+# both tools ship with the pinned toolchain. Called from scripts/verify.sh;
+# run directly for a faster loop while fixing findings.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo clippy -q --offline --workspace --all-targets -- -D warnings
+run cargo fmt --check
+
+echo "lint: OK"

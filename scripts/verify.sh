@@ -15,11 +15,12 @@ run() {
     "$@"
 }
 
+run scripts/lint.sh
 run cargo build --release --offline
 run cargo test -q --offline
+run cargo test -q --offline --features proptest
 
 if [[ "${1:-}" == "--full" ]]; then
-    run cargo test -q --offline --features proptest
     run cargo build --offline --benches -p argus-bench
     run cargo run -q --release --offline -p argus-bench --bin experiments -- E1
 fi

@@ -1,0 +1,57 @@
+//! Lint a stable log on disk against the invariant catalogue I1–I10.
+//!
+//! ```sh
+//! cargo run --example persistent            # create some state first
+//! cargo run --bin argus-lint                # lint the demo log
+//! cargo run --bin argus-lint -- <path>      # lint any store file
+//! ```
+//!
+//! Exits 0 when the log is clean, 1 when any invariant is violated, 2 when
+//! the file cannot be opened as a stable log.
+
+use argus::check::{detect_flavor, lint_log, LogImage};
+use argus::sim::{CostModel, SimClock};
+use argus::slog::StableLog;
+use argus::stable::FileStore;
+use std::path::PathBuf;
+
+fn main() {
+    let path: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("argus-persistent-demo.log"));
+    if !path.exists() {
+        eprintln!(
+            "no log at {} (run the `persistent` example first?)",
+            path.display()
+        );
+        std::process::exit(2);
+    }
+
+    let store = match FileStore::open(&path, SimClock::new(), CostModel::fast()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: cannot open store: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    let mut log = match StableLog::open(store) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{}: cannot open stable log: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+
+    let image = LogImage::from_log(&mut log);
+    let report = lint_log(&image);
+    println!(
+        "{}: {} entries ({} undecodable), {} flavor",
+        path.display(),
+        image.len(),
+        image.bad_records().len(),
+        detect_flavor(&image),
+    );
+    println!("{report}");
+    std::process::exit(if report.is_clean() { 0 } else { 1 });
+}

@@ -23,7 +23,9 @@
 //! * [`sim`] — the deterministic clock, RNG, and device cost model;
 //! * [`obs`] — the zero-dependency observability layer: counters,
 //!   histograms, phase timers on the simulated clock, the bounded event
-//!   journal, and the bench harness.
+//!   journal, and the bench harness;
+//! * [`check`] — the log-invariant linter (I1–I10, also the `argus-lint`
+//!   CLI) and the bounded 2PC interleaving explorer.
 //!
 //! ## Quickstart
 //!
@@ -48,10 +50,11 @@
 //! );
 //! ```
 
+pub use argus_check as check;
 pub use argus_core as core;
 pub use argus_guardian as guardian;
-pub use argus_obs as obs;
 pub use argus_objects as objects;
+pub use argus_obs as obs;
 pub use argus_shadow as shadow;
 pub use argus_sim as sim;
 pub use argus_slog as slog;

@@ -1,0 +1,36 @@
+//! Shared test support: every scenario and housekeeping test ends by
+//! linting the log(s) it produced against the invariant catalogue I1–I10,
+//! so a regression that leaves a structurally broken log fails loudly even
+//! when the test's own assertions still pass.
+
+// Each integration-test binary uses a subset of these helpers.
+#![allow(dead_code)]
+
+use argus::check::{lint_log, lint_log_against, LogImage};
+use argus::core::{LogEntry, RecoveryOutcome};
+use argus::guardian::World;
+use argus::slog::LogAddress;
+
+/// Lints dumped log entries; panics with the violation report if any
+/// invariant is broken.
+#[track_caller]
+pub fn lint_entries(entries: Vec<(LogAddress, LogEntry)>) {
+    lint_log(&LogImage::from_entries(entries)).assert_clean();
+}
+
+/// Lints dumped log entries against the tables an actual recovery produced
+/// (adds the I10 agreement check).
+#[track_caller]
+pub fn lint_entries_against(entries: Vec<(LogAddress, LogEntry)>, out: &RecoveryOutcome) {
+    lint_log_against(&LogImage::from_entries(entries), out).assert_clean();
+}
+
+/// Lints the log of every guardian in `world` that keeps one.
+#[track_caller]
+pub fn lint_world(world: &mut World) {
+    for g in world.guardian_ids() {
+        if let Some(entries) = world.dump_log(g).unwrap() {
+            lint_log(&LogImage::from_entries(entries)).assert_clean();
+        }
+    }
+}

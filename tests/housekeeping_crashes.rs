@@ -8,6 +8,8 @@ use argus::objects::{ActionId, GuardianId, Heap, Value};
 use argus::sim::{CostModel, SimClock};
 use argus::stable::FaultPlan;
 
+mod common;
+
 fn aid(n: u64) -> ActionId {
     ActionId::new(GuardianId(0), n)
 }
@@ -57,13 +59,14 @@ fn crash_mid_housekeeping_recovers_from_the_old_log() {
             fired += 1;
             rs.simulate_crash().unwrap();
             let mut heap2 = Heap::new();
-            rs.recover(&mut heap2).unwrap();
+            let out = rs.recover(&mut heap2).unwrap();
             let root = heap2.stable_root().unwrap();
             assert_eq!(
                 heap2.read_value(root, None).unwrap(),
                 &Value::Int(39),
                 "{mode:?} budget={budget}"
             );
+            common::lint_entries_against(rs.dump_entries().unwrap(), &out);
         }
         // The new log is written buffered and forced once, and the whole
         // history folds into a couple of pages, so the distinct write-level
@@ -97,25 +100,27 @@ fn crash_between_stages_recovers_from_the_old_log() {
         // has the 777 commit) is still the active one.
         rs.simulate_crash().unwrap();
         let mut heap2 = Heap::new();
-        rs.recover(&mut heap2).unwrap();
+        let out2 = rs.recover(&mut heap2).unwrap();
         let root2 = heap2.stable_root().unwrap();
         assert_eq!(
             heap2.read_value(root2, None).unwrap(),
             &Value::Int(777),
             "{mode:?}"
         );
+        common::lint_entries_against(rs.dump_entries().unwrap(), &out2);
 
         // And a later housekeeping pass over the recovered system works.
         rs.housekeeping(&heap2, mode).unwrap();
         rs.simulate_crash().unwrap();
         let mut heap3 = Heap::new();
-        rs.recover(&mut heap3).unwrap();
+        let out3 = rs.recover(&mut heap3).unwrap();
         let root3 = heap3.stable_root().unwrap();
         assert_eq!(
             heap3.read_value(root3, None).unwrap(),
             &Value::Int(777),
             "{mode:?}"
         );
+        common::lint_entries_against(rs.dump_entries().unwrap(), &out3);
     }
 }
 
@@ -155,4 +160,6 @@ fn recovery_is_idempotent() {
         heap1.read_value(r1, Some(a)).unwrap(),
         heap2.read_value(r2, Some(a)).unwrap()
     );
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out2);
 }

@@ -11,6 +11,8 @@ use argus::objects::Value;
 use argus::sim::DetRng;
 use argus::workload::{Synth, SynthConfig};
 
+mod common;
+
 /// Runs `actions` randomized updates and returns the committed value of
 /// every stable variable after a crash+restart, with volatile references
 /// normalized to durable uids (heap addresses differ run to run).
@@ -63,6 +65,7 @@ fn run_workload(seed: u64, hk: Option<HousekeepingMode>, hk_every: u64) -> Vec<V
     }
     world.crash(g);
     world.restart(g).unwrap();
+    common::lint_world(&mut world);
     stable_snapshot(&world, g, objects)
 }
 
@@ -110,6 +113,7 @@ fn housekeeping_bounds_recovery_cost() {
 
     world.crash(g);
     let unbounded = world.restart(g).unwrap();
+    common::lint_world(&mut world);
 
     // Re-run the same history but housekeep at the end.
     let mut world = World::fast();
@@ -129,6 +133,7 @@ fn housekeeping_bounds_recovery_cost() {
     world.housekeep(g, HousekeepingMode::Snapshot).unwrap();
     world.crash(g);
     let bounded = world.restart(g).unwrap();
+    common::lint_world(&mut world);
 
     assert!(
         bounded.entries_examined * 4 < unbounded.entries_examined,
@@ -161,5 +166,6 @@ fn interleaved_traffic_between_stages() {
             Some(Value::Int(round * 100 + 9)),
             "round {round}"
         );
+        common::lint_world(&mut world);
     }
 }

@@ -135,7 +135,13 @@ fn figure_4_2_metrics_agree_with_recovery_outcome() {
                 pt_size,
                 ot_size,
                 ..
-            } => Some((entries_examined, data_entries_read, chain_hops, pt_size, ot_size)),
+            } => Some((
+                entries_examined,
+                data_entries_read,
+                chain_hops,
+                pt_size,
+                ot_size,
+            )),
             _ => None,
         })
         .expect("a recovery_pass event was journaled");
@@ -187,7 +193,12 @@ fn world_recovery_metrics_agree_with_device_stats() {
 
     world.crash(g);
     let outcome = world.restart(g).unwrap();
-    let device = world.guardian(g).unwrap().log_stats().device.since(&device_before);
+    let device = world
+        .guardian(g)
+        .unwrap()
+        .log_stats()
+        .device
+        .since(&device_before);
 
     // The hybrid log walked a real backward chain.
     assert!(outcome.chain_hops > 0);

@@ -19,7 +19,11 @@ fn gen_value(rng: &mut DetRng, depth: u32) -> Value {
         2 => Value::Bool(rng.gen_bool(0.5)),
         3 => {
             let len = rng.gen_range(25) as usize;
-            Value::Str((0..len).map(|_| (rng.gen_between(32, 127) as u8) as char).collect())
+            Value::Str(
+                (0..len)
+                    .map(|_| (rng.gen_between(32, 127) as u8) as char)
+                    .collect(),
+            )
         }
         4 => {
             let len = rng.gen_range(48) as usize;
@@ -102,7 +106,9 @@ fn gen_entry(rng: &mut DetRng) -> LogEntry {
             aid: gen_aid(rng),
             gids: {
                 let len = rng.gen_range(8) as usize;
-                (0..len).map(|_| GuardianId(rng.gen_range(64) as u32)).collect()
+                (0..len)
+                    .map(|_| GuardianId(rng.gen_range(64) as u32))
+                    .collect()
             },
             prev: gen_prev(rng),
         },

@@ -46,9 +46,13 @@ fn aid(n: u8) -> ActionId {
 fn locking_model_invariants() {
     let mut rng = DetRng::new(0x4EA9);
     for case in 0..128 {
-        let ops: Vec<HeapOp> = (0..rng.gen_between(1, 60)).map(|_| gen_op(&mut rng)).collect();
+        let ops: Vec<HeapOp> = (0..rng.gen_between(1, 60))
+            .map(|_| gen_op(&mut rng))
+            .collect();
         let mut heap = Heap::new();
-        let objs: Vec<HeapId> = (0..4).map(|i| heap.alloc_atomic(Value::Int(i), None)).collect();
+        let objs: Vec<HeapId> = (0..4)
+            .map(|i| heap.alloc_atomic(Value::Int(i), None))
+            .collect();
         // Model: committed value + the pending write per (actor, obj).
         let mut committed: HashMap<u8, i64> = (0..4u8).map(|i| (i, i as i64)).collect();
         let mut pending: HashMap<(u8, u8), i64> = HashMap::new();
@@ -76,8 +80,8 @@ fn locking_model_invariants() {
                     }
                 }
                 HeapOp::Write { actor, obj, v } => {
-                    let result =
-                        heap.write_value(objs[obj as usize], aid(actor), |val| *val = Value::Int(v));
+                    let result = heap
+                        .write_value(objs[obj as usize], aid(actor), |val| *val = Value::Int(v));
                     let holds = holds_write.get(&obj) == Some(&actor);
                     assert_eq!(result.is_ok(), holds, "case {case}: write without lock");
                     if holds {

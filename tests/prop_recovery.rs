@@ -101,7 +101,9 @@ fn run_history(kind: RsKind, ops: &[Op]) {
 fn check_kind(kind: RsKind, seed: u64) {
     let mut rng = DetRng::new(seed);
     for _ in 0..48 {
-        let ops: Vec<Op> = (0..rng.gen_between(1, 24)).map(|_| gen_op(&mut rng)).collect();
+        let ops: Vec<Op> = (0..rng.gen_between(1, 24))
+            .map(|_| gen_op(&mut rng))
+            .collect();
         run_history(kind, &ops);
     }
 }

@@ -18,6 +18,8 @@ use argus::objects::{ActionId, GuardianId, Heap, ObjKind, Uid, Value};
 use argus::sim::{CostModel, SimClock};
 use argus::stable::MemStore;
 
+mod common;
+
 fn aid(n: u64) -> ActionId {
     ActionId::new(GuardianId(0), n)
 }
@@ -146,6 +148,8 @@ fn figure_3_10_recovery() {
     let h2 = out.ot.get(o2).unwrap().heap;
     assert_eq!(heap.read_value(h1, None).unwrap(), &Value::Int(11));
     assert_eq!(heap.read_value(h2, None).unwrap(), &Value::Int(22));
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }
 
 #[test]
@@ -161,4 +165,6 @@ fn crash_before_done_restarts_the_coordinator() {
         out.ct.committing_actions(),
         vec![(t2, vec![GuardianId(1), GuardianId(2), GuardianId(3)])]
     );
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }

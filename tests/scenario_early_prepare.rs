@@ -15,6 +15,8 @@ use argus::core::providers::MemProvider;
 use argus::core::{HybridLogRs, LogEntry, PState, RecoverySystem};
 use argus::objects::{ActionId, GuardianId, Heap, ObjKind, ObjectBody, Uid, Value};
 
+mod common;
+
 fn aid(n: u64) -> ActionId {
     ActionId::new(GuardianId(0), n)
 }
@@ -136,6 +138,8 @@ fn figure_4_3_mutex_recency() {
     // T1's committed O4.
     let h4 = out.ot.get(o4).unwrap().heap;
     assert_eq!(heap.read_value(h4, None).unwrap(), &Value::Int(5));
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }
 
 #[test]
@@ -178,10 +182,12 @@ fn end_to_end_early_prepare_matches_figure_4_3() {
 
     rs.simulate_crash().unwrap();
     let mut heap2 = Heap::new();
-    rs.recover(&mut heap2).unwrap();
+    let out = rs.recover(&mut heap2).unwrap();
     let h = heap2.lookup(m_uid).unwrap();
     // T2's version is the latest prepared one and must win.
     assert_eq!(heap2.read_value(h, None).unwrap(), &Value::Int(2));
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }
 
 #[test]
@@ -212,9 +218,11 @@ fn early_prepared_then_aborted_action_leaves_no_trace() {
 
     rs.simulate_crash().unwrap();
     let mut heap2 = Heap::new();
-    rs.recover(&mut heap2).unwrap();
+    let out = rs.recover(&mut heap2).unwrap();
     let root2 = heap2.stable_root().unwrap();
     assert_eq!(heap2.read_value(root2, None).unwrap(), &Value::Int(1));
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }
 
 #[test]
@@ -248,4 +256,6 @@ fn discard_drops_early_prepare_bookkeeping() {
     assert!(out.pt.get(t1).is_none());
     let root2 = heap2.stable_root().unwrap();
     assert_eq!(heap2.read_value(root2, None).unwrap(), &Value::Int(1));
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }

@@ -12,6 +12,8 @@ use argus::core::providers::MemProvider;
 use argus::core::{HybridLogRs, LogEntry, ObjState, PState, RecoverySystem};
 use argus::objects::{ActionId, GuardianId, Heap, ObjKind, ObjectBody, Uid, Value};
 
+mod common;
+
 fn aid(n: u64) -> ActionId {
     ActionId::new(GuardianId(0), n)
 }
@@ -132,6 +134,8 @@ fn figure_4_2_recovery() {
     // T2 stays in the PAT; the MT points at T2's mutex data entry.
     assert!(rs.is_prepared(t2));
     assert_eq!(rs.mutex_table().get(&o2), Some(&l2p));
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }
 
 #[test]
@@ -179,6 +183,8 @@ fn chain_walk_skips_unneeded_history() {
     assert_eq!(out.data_entries_read, 1);
     let h = out.ot.get(o).unwrap().heap;
     assert_eq!(heap.read_value(h, None).unwrap(), &Value::Int(49));
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }
 
 #[test]
@@ -242,4 +248,6 @@ fn recovery_steps_over_a_data_entry_at_the_log_top() {
     assert_eq!(heap.read_value(h, None).unwrap(), &Value::Int(5));
     // The orphaned entries were stepped over, not restored.
     assert_eq!(out.ot.len(), 1);
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }

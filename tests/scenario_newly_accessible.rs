@@ -8,6 +8,8 @@ use argus::objects::{ActionId, GuardianId, Heap, ObjKind, Uid, Value};
 use argus::sim::{CostModel, SimClock};
 use argus::stable::MemStore;
 
+mod common;
+
 fn aid(n: u64) -> ActionId {
     ActionId::new(GuardianId(0), n)
 }
@@ -112,6 +114,8 @@ fn figure_3_6_simple_log_entries() {
 
     // Silence unused warnings from the illustrative first construction.
     let _ = (heap, o2, uid2, uid3);
+
+    common::lint_entries(rs.dump_entries().unwrap());
 }
 
 #[test]
@@ -170,4 +174,6 @@ fn figure_3_6_hybrid_log_entries() {
     assert!(entries.iter().any(
         |(_, e)| matches!(e, LogEntry::BaseCommitted { uid, value, .. } if *uid == uid3 && value == &Value::Int(3))
     ));
+
+    common::lint_entries(entries);
 }

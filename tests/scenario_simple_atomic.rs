@@ -15,6 +15,8 @@ use argus::objects::{ActionId, GuardianId, Heap, ObjKind, ObjectBody, Uid, Value
 use argus::sim::{CostModel, SimClock};
 use argus::stable::MemStore;
 
+mod common;
+
 fn aid(n: u64) -> ActionId {
     ActionId::new(GuardianId(0), n)
 }
@@ -133,6 +135,8 @@ fn figure_3_7_recovery() {
 
     // The stable counter is reset past the largest restored uid (§3.2).
     assert!(heap.next_uid() > 2);
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }
 
 #[test]
@@ -176,4 +180,6 @@ fn figure_3_7_all_entries_are_examined_by_the_simple_scan() {
     let out = rs.recover(&mut heap).unwrap();
     assert_eq!(out.entries_examined, 5);
     assert_eq!(out.data_entries_read, 3);
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }

@@ -15,6 +15,8 @@ use argus::objects::{ActionId, GuardianId, Heap, ObjKind, Uid, Value};
 use argus::sim::{CostModel, SimClock};
 use argus::stable::MemStore;
 
+mod common;
+
 fn aid(n: u64) -> ActionId {
     ActionId::new(GuardianId(0), n)
 }
@@ -109,6 +111,8 @@ fn figure_3_8_recovery() {
     // O2 = V2 from the committed T1.
     let h2 = out.ot.get(o2).unwrap().heap;
     assert_eq!(heap.read_value(h2, None).unwrap(), &Value::Int(2));
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }
 
 #[test]
@@ -165,4 +169,6 @@ fn mutex_of_never_prepared_action_is_discarded() {
     assert_eq!(out.pt.get(t2), None);
     let h1 = out.ot.get(o1).unwrap().heap;
     assert_eq!(heap.read_value(h1, None).unwrap(), &Value::Int(1));
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }

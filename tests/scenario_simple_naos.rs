@@ -21,6 +21,8 @@ use argus::objects::{ActionId, GuardianId, Heap, ObjKind, ObjectBody, Uid, Value
 use argus::sim::{CostModel, SimClock};
 use argus::stable::MemStore;
 
+mod common;
+
 fn aid(n: u64) -> ActionId {
     ActionId::new(GuardianId(0), n)
 }
@@ -170,4 +172,6 @@ fn figure_3_9_recovery() {
         ObjectBody::Atomic(obj) => assert!(obj.writer.is_none() && obj.current.is_none()),
         _ => panic!("O2 must be atomic"),
     }
+
+    common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }
