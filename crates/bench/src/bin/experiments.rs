@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E11). See DESIGN.md for the
+//! Regenerates every experiment table (E1–E13). See DESIGN.md for the
 //! experiment index and EXPERIMENTS.md for recorded results.
 //!
 //! Each experiment runs under its own `argus_obs::Registry` scope, so the
@@ -8,14 +8,24 @@
 //! ```sh
 //! cargo run --release -p argus-bench --bin experiments            # all
 //! cargo run --release -p argus-bench --bin experiments -- E2 E3  # subset
+//! cargo run --release -p argus-bench --bin experiments -- --json-dir out E1
+//! cargo run --release -p argus-bench --bin experiments -- --smoke
 //! ```
+//!
+//! `--json-dir DIR` additionally writes each table as `DIR/BENCH_<id>.json`.
+//! `--smoke` runs a tiny E12/E13 and asserts the optimization invariants
+//! (batching never increases forces per commit; the cache hits during
+//! recovery) instead of printing tables — the CI-friendly mode used by
+//! `scripts/verify.sh`.
 
 use argus_bench::{
-    e10_abort_rate, e11_explore_coverage, e1_write_cost, e2_recovery_cost, e4_housekeeping_cost,
-    e5_checkpoint_bounds_recovery, e6_early_prepare, e7_map_scaling, e8_crash_matrix,
-    e9_device_sensitivity,
+    commit_perf, e10_abort_rate, e11_explore_coverage, e12_group_commit, e13_recovery_cache,
+    e1_write_cost, e2_recovery_cost, e4_housekeeping_cost, e5_checkpoint_bounds_recovery,
+    e6_early_prepare, e7_map_scaling, e8_crash_matrix, e9_device_sensitivity, recovery_perf, Table,
 };
+use argus_guardian::{RsKind, WorldConfig};
 use argus_obs::Registry;
+use std::path::PathBuf;
 
 /// Runs `f` under a fresh registry scope and returns its result plus the
 /// run's metrics report.
@@ -33,65 +43,153 @@ fn print_metrics(id: &str, report: &argus_obs::Report) {
     println!("{}", report.to_text_compact());
 }
 
+/// Writes `table` as `BENCH_<id>.json` under `dir`, if a dir was given.
+fn emit_json(dir: &Option<PathBuf>, table: &Table) {
+    if let Some(dir) = dir {
+        let path = dir.join(format!("BENCH_{}.json", table.id));
+        std::fs::write(&path, table.to_json())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    }
+}
+
+/// The `--smoke` mode: a tiny E12/E13 asserting the two optimization
+/// invariants hold. Exits non-zero (panics) on violation.
+fn smoke() {
+    for kind in [RsKind::Simple, RsKind::Hybrid] {
+        let unbatched = commit_perf(kind, 1, 3, WorldConfig::unbatched());
+        let batched1 = commit_perf(kind, 1, 3, WorldConfig::default());
+        let batched8 = commit_perf(kind, 8, 3, WorldConfig::default());
+        assert!(
+            batched1.forces_per_commit <= unbatched.forces_per_commit,
+            "{kind:?}: batching increased forces/commit at concurrency 1 \
+             ({} > {})",
+            batched1.forces_per_commit,
+            unbatched.forces_per_commit
+        );
+        assert!(
+            batched8.forces_per_commit < batched1.forces_per_commit,
+            "{kind:?}: concurrency did not reduce forces/commit \
+             ({} !< {})",
+            batched8.forces_per_commit,
+            batched1.forces_per_commit
+        );
+        let recovery = recovery_perf(kind, 50, WorldConfig::default());
+        assert!(
+            recovery.hits > 0,
+            "{kind:?}: page cache never hit during recovery"
+        );
+        println!(
+            "smoke {kind:?}: forces/commit {:.2} (unbatched {:.2}) -> {:.2} at 8x; \
+             recovery hit rate {:.0}%",
+            batched1.forces_per_commit,
+            unbatched.forces_per_commit,
+            batched8.forces_per_commit,
+            100.0 * recovery.hits as f64 / (recovery.hits + recovery.misses).max(1) as f64
+        );
+    }
+    println!("smoke: ok");
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_uppercase()).collect();
-    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+    let mut ids: Vec<String> = Vec::new();
+    let mut json_dir: Option<PathBuf> = None;
+    let mut run_smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json-dir" => {
+                let dir = PathBuf::from(args.next().expect("--json-dir needs a directory"));
+                std::fs::create_dir_all(&dir).expect("create json dir");
+                json_dir = Some(dir);
+            }
+            "--smoke" => run_smoke = true,
+            other => ids.push(other.to_uppercase()),
+        }
+    }
+    if run_smoke {
+        let (_, _) = scoped(smoke);
+        return;
+    }
+    let want = |id: &str| ids.is_empty() || ids.iter().any(|a| a == id);
 
     println!("# Experiments — Reliable Object Storage to Support Atomic Actions\n");
 
     if want("E1") {
         let (table, metrics) = scoped(|| e1_write_cost(200));
         println!("{table}");
+        emit_json(&json_dir, &table);
         print_metrics("E1", &metrics);
     }
     if want("E2") || want("E3") {
         let ((e2, e3), metrics) = scoped(|| e2_recovery_cost(&[250, 1_000, 4_000, 16_000]));
         if want("E2") {
             println!("{e2}");
+            emit_json(&json_dir, &e2);
         }
         if want("E3") {
             println!("{e3}");
+            emit_json(&json_dir, &e3);
         }
         print_metrics("E2/E3", &metrics);
     }
     if want("E4") {
         let (table, metrics) = scoped(e4_housekeeping_cost);
         println!("{table}");
+        emit_json(&json_dir, &table);
         print_metrics("E4", &metrics);
     }
     if want("E5") {
         let (table, metrics) = scoped(e5_checkpoint_bounds_recovery);
         println!("{table}");
+        emit_json(&json_dir, &table);
         print_metrics("E5", &metrics);
     }
     if want("E6") {
         let (table, metrics) = scoped(e6_early_prepare);
         println!("{table}");
+        emit_json(&json_dir, &table);
         print_metrics("E6", &metrics);
     }
     if want("E7") {
         let (table, metrics) = scoped(e7_map_scaling);
         println!("{table}");
+        emit_json(&json_dir, &table);
         print_metrics("E7", &metrics);
     }
     if want("E8") {
         let (table, metrics) = scoped(e8_crash_matrix);
         println!("{table}");
+        emit_json(&json_dir, &table);
         print_metrics("E8", &metrics);
     }
     if want("E9") {
         let (table, metrics) = scoped(e9_device_sensitivity);
         println!("{table}");
+        emit_json(&json_dir, &table);
         print_metrics("E9", &metrics);
     }
     if want("E10") {
         let (table, metrics) = scoped(e10_abort_rate);
         println!("{table}");
+        emit_json(&json_dir, &table);
         print_metrics("E10", &metrics);
     }
     if want("E11") {
         let (table, metrics) = scoped(e11_explore_coverage);
         println!("{table}");
+        emit_json(&json_dir, &table);
         print_metrics("E11", &metrics);
+    }
+    if want("E12") {
+        let (table, metrics) = scoped(|| e12_group_commit(25));
+        println!("{table}");
+        emit_json(&json_dir, &table);
+        print_metrics("E12", &metrics);
+    }
+    if want("E13") {
+        let (table, metrics) = scoped(|| e13_recovery_cache(2_000));
+        println!("{table}");
+        emit_json(&json_dir, &table);
+        print_metrics("E13", &metrics);
     }
 }

@@ -42,6 +42,38 @@ impl Table {
     pub fn rows(&self) -> &[Vec<String>] {
         &self.rows
     }
+
+    /// Serializes the table as a small JSON document (no external
+    /// dependencies), for `scripts/bench.sh`'s `BENCH_<id>.json` artifacts.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn arr(cells: &[String]) -> String {
+            let quoted: Vec<String> = cells.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+            format!("[{}]", quoted.join(","))
+        }
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"claim\":\"{}\",\"header\":{},\"rows\":[{}]}}\n",
+            esc(self.id),
+            esc(self.title),
+            esc(self.claim),
+            arr(&self.header),
+            rows.join(",")
+        )
+    }
 }
 
 impl fmt::Display for Table {
@@ -88,5 +120,17 @@ mod tests {
         assert!(s.contains("### E0 — demo"));
         assert!(s.contains("| a | bb |"));
         assert!(s.contains("| 1 | 2  |"));
+    }
+
+    #[test]
+    fn renders_json() {
+        let mut t = Table::new("E0", "demo \"quoted\"", "a claim");
+        t.header(vec!["a".into(), "bb".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.to_json();
+        assert!(s.contains("\"id\":\"E0\""));
+        assert!(s.contains("\"title\":\"demo \\\"quoted\\\"\""));
+        assert!(s.contains("\"header\":[\"a\",\"bb\"]"));
+        assert!(s.contains("\"rows\":[[\"1\",\"2\"]]"));
     }
 }

@@ -63,6 +63,59 @@ pub trait RecoverySystem {
     /// log and returns the OT/PT/CT tables (§3.4, §4.3).
     fn recover(&mut self, heap: &mut Heap) -> RsResult<RecoveryOutcome>;
 
+    // --- Group commit (staged forces) ---------------------------------
+    //
+    // Each `stage_*` operation does everything its forcing counterpart does
+    // *except* the device force: the entry is buffered (with its final log
+    // address assigned) and all volatile bookkeeping happens immediately.
+    // `Ok(true)` means the entry is staged and the caller owns the deferred
+    // force: it must call `force_staged` before acting on the operation's
+    // durability (replying in two-phase commit). `Ok(false)` means the
+    // operation is already durable — the defaults force eagerly, so
+    // organizations without a shared log (the shadowing baseline) need no
+    // changes and simply never batch.
+    //
+    // Because one guardian's operations share a single log and a force
+    // publishes *every* buffered entry atomically (superblock publication),
+    // a batch is all-or-nothing: a crash mid-force hides the whole batch,
+    // never a prefix that would violate the log invariants.
+
+    /// Stages `prepare` without the force. See the group-commit notes above.
+    fn stage_prepare(&mut self, aid: ActionId, mos: &[HeapId], heap: &Heap) -> RsResult<bool> {
+        self.prepare(aid, mos, heap)?;
+        Ok(false)
+    }
+
+    /// Stages `commit` without the force.
+    fn stage_commit(&mut self, aid: ActionId) -> RsResult<bool> {
+        self.commit(aid)?;
+        Ok(false)
+    }
+
+    /// Stages `abort` without the force.
+    fn stage_abort(&mut self, aid: ActionId) -> RsResult<bool> {
+        self.abort(aid)?;
+        Ok(false)
+    }
+
+    /// Stages `committing` without the force.
+    fn stage_committing(&mut self, aid: ActionId, gids: &[GuardianId]) -> RsResult<bool> {
+        self.committing(aid, gids)?;
+        Ok(false)
+    }
+
+    /// Stages `done` without the force.
+    fn stage_done(&mut self, aid: ActionId) -> RsResult<bool> {
+        self.done(aid)?;
+        Ok(false)
+    }
+
+    /// Forces every staged entry to stable storage — the one shared device
+    /// force the staged operations above are waiting on.
+    fn force_staged(&mut self) -> RsResult<()> {
+        Ok(())
+    }
+
     /// Starts housekeeping: sets the housekeeping marker and runs stage one
     /// (ch. 5). Normal operations may continue before `finish_housekeeping`.
     fn begin_housekeeping(&mut self, heap: &Heap, mode: HousekeepingMode) -> RsResult<()>;
@@ -137,7 +190,7 @@ pub trait StoreProvider {
 pub mod providers {
     use super::StoreProvider;
     use argus_sim::{CostModel, SimClock};
-    use argus_stable::{FaultPlan, MemStore, MirroredDisk};
+    use argus_stable::{CacheConfig, FaultPlan, MemStore, MirroredDisk, PageCache};
 
     /// Produces in-memory stores sharing one clock/model/fault plan.
     #[derive(Debug, Clone)]
@@ -285,6 +338,37 @@ pub mod providers {
             self.root
                 .switch(self.counter.saturating_sub(1))
                 .expect("switch log root");
+        }
+    }
+
+    /// Wraps any provider so every store it produces reads through a
+    /// [`PageCache`]. Housekeeping allocates a fresh store for the new log,
+    /// so each generation gets its own (cold) cache, and the cache config
+    /// travels with the provider across switches.
+    #[derive(Debug, Clone)]
+    pub struct CachedProvider<P> {
+        /// The provider producing the underlying media stores.
+        pub inner: P,
+        /// Cache configuration applied to every produced store.
+        pub cfg: CacheConfig,
+    }
+
+    impl<P> CachedProvider<P> {
+        /// Wraps `inner`, caching every store it produces per `cfg`.
+        pub fn new(inner: P, cfg: CacheConfig) -> Self {
+            Self { inner, cfg }
+        }
+    }
+
+    impl<P: StoreProvider> StoreProvider for CachedProvider<P> {
+        type Store = PageCache<P::Store>;
+
+        fn new_store(&mut self) -> Self::Store {
+            PageCache::new(self.inner.new_store(), self.cfg)
+        }
+
+        fn store_switched(&mut self) {
+            self.inner.store_switched();
         }
     }
 

@@ -397,39 +397,8 @@ impl<P: StoreProvider> HybridLogRs<P> {
 
 impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
     fn prepare(&mut self, aid: ActionId, mos: &[HeapId], heap: &Heap) -> RsResult<()> {
-        let _timer = self.obs.reg.phase("core.prepare_us");
-        let mut fresh = Vec::new();
-        {
-            let mut sink = HybridSink {
-                log: &mut self.log,
-                pairs: &mut fresh,
-                last_outcome: &mut self.last_outcome,
-                oel: &mut self.oel,
-                obs: &self.obs,
-            };
-            process_mos(aid, mos, heap, &mut self.access, &self.pat, &mut sink)?;
-        }
-        let mut all = self.pending.remove(&aid).unwrap_or_default();
-        Self::merge_pairs(&mut all, fresh);
-        let pairs: Vec<(Uid, LogAddress)> = all.iter().map(|p| (p.uid, p.addr)).collect();
-        self.append_outcome(
-            LogEntry::Prepared {
-                aid,
-                pairs,
-                prev: None,
-            },
-            true,
-        )?;
-        // The action is prepared: record the latest prepared mutex versions
-        // in the MT (§5.2).
-        for pair in &all {
-            if pair.kind == ObjKind::Mutex {
-                self.mt.insert(pair.uid, pair.addr);
-            }
-        }
-        self.pat.insert(aid);
-        self.obs.prepares.inc();
-        Ok(())
+        self.stage_prepare(aid, mos, heap)?;
+        self.force_staged()
     }
 
     fn write_entry(&mut self, aid: ActionId, mos: &[HeapId], heap: &Heap) -> RsResult<Vec<HeapId>> {
@@ -454,37 +423,104 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
     }
 
     fn commit(&mut self, aid: ActionId) -> RsResult<()> {
-        self.append_outcome(LogEntry::Committed { aid, prev: None }, true)?;
-        self.pat.remove(&aid);
-        self.pending.remove(&aid);
-        self.obs.commits.inc();
-        Ok(())
+        self.stage_commit(aid)?;
+        self.force_staged()
     }
 
     fn abort(&mut self, aid: ActionId) -> RsResult<()> {
-        self.append_outcome(LogEntry::Aborted { aid, prev: None }, true)?;
-        self.pat.remove(&aid);
-        self.pending.remove(&aid);
-        self.obs.aborts.inc();
-        Ok(())
+        self.stage_abort(aid)?;
+        self.force_staged()
     }
 
     fn committing(&mut self, aid: ActionId, gids: &[GuardianId]) -> RsResult<()> {
+        self.stage_committing(aid, gids)?;
+        self.force_staged()
+    }
+
+    fn done(&mut self, aid: ActionId) -> RsResult<()> {
+        self.stage_done(aid)?;
+        self.force_staged()
+    }
+
+    // Staged variants for group commit: the outcome entry is chained and
+    // buffered (its address is final) and all volatile bookkeeping happens
+    // now, but the device force waits for `force_staged`. One force then
+    // publishes every staged entry atomically, so the chain can never be
+    // durable with a hole in it.
+
+    fn stage_prepare(&mut self, aid: ActionId, mos: &[HeapId], heap: &Heap) -> RsResult<bool> {
+        let _timer = self.obs.reg.phase("core.prepare_us");
+        let mut fresh = Vec::new();
+        {
+            let mut sink = HybridSink {
+                log: &mut self.log,
+                pairs: &mut fresh,
+                last_outcome: &mut self.last_outcome,
+                oel: &mut self.oel,
+                obs: &self.obs,
+            };
+            process_mos(aid, mos, heap, &mut self.access, &self.pat, &mut sink)?;
+        }
+        let mut all = self.pending.remove(&aid).unwrap_or_default();
+        Self::merge_pairs(&mut all, fresh);
+        let pairs: Vec<(Uid, LogAddress)> = all.iter().map(|p| (p.uid, p.addr)).collect();
+        self.append_outcome(
+            LogEntry::Prepared {
+                aid,
+                pairs,
+                prev: None,
+            },
+            false,
+        )?;
+        // The action is prepared: record the latest prepared mutex versions
+        // in the MT (§5.2).
+        for pair in &all {
+            if pair.kind == ObjKind::Mutex {
+                self.mt.insert(pair.uid, pair.addr);
+            }
+        }
+        self.pat.insert(aid);
+        self.obs.prepares.inc();
+        Ok(true)
+    }
+
+    fn stage_commit(&mut self, aid: ActionId) -> RsResult<bool> {
+        self.append_outcome(LogEntry::Committed { aid, prev: None }, false)?;
+        self.pat.remove(&aid);
+        self.pending.remove(&aid);
+        self.obs.commits.inc();
+        Ok(true)
+    }
+
+    fn stage_abort(&mut self, aid: ActionId) -> RsResult<bool> {
+        self.append_outcome(LogEntry::Aborted { aid, prev: None }, false)?;
+        self.pat.remove(&aid);
+        self.pending.remove(&aid);
+        self.obs.aborts.inc();
+        Ok(true)
+    }
+
+    fn stage_committing(&mut self, aid: ActionId, gids: &[GuardianId]) -> RsResult<bool> {
         self.append_outcome(
             LogEntry::Committing {
                 aid,
                 gids: gids.to_vec(),
                 prev: None,
             },
-            true,
+            false,
         )?;
         self.obs.committings.inc();
-        Ok(())
+        Ok(true)
     }
 
-    fn done(&mut self, aid: ActionId) -> RsResult<()> {
-        self.append_outcome(LogEntry::Done { aid, prev: None }, true)?;
+    fn stage_done(&mut self, aid: ActionId) -> RsResult<bool> {
+        self.append_outcome(LogEntry::Done { aid, prev: None }, false)?;
         self.obs.dones.inc();
+        Ok(true)
+    }
+
+    fn force_staged(&mut self) -> RsResult<()> {
+        self.log.force()?;
         Ok(())
     }
 

@@ -132,6 +132,48 @@ impl<S: PageStore> SimpleLogRs<S> {
 
 impl<S: PageStore> RecoverySystem for SimpleLogRs<S> {
     fn prepare(&mut self, aid: ActionId, mos: &[HeapId], heap: &Heap) -> RsResult<()> {
+        self.stage_prepare(aid, mos, heap)?;
+        self.force_staged()
+    }
+
+    fn write_entry(
+        &mut self,
+        _aid: ActionId,
+        mos: &[HeapId],
+        _heap: &Heap,
+    ) -> RsResult<Vec<HeapId>> {
+        // Early prepare is a hybrid-log refinement (§4.4); under the simple
+        // log the whole MOS simply waits for the prepare message.
+        Ok(mos.to_vec())
+    }
+
+    fn commit(&mut self, aid: ActionId) -> RsResult<()> {
+        self.stage_commit(aid)?;
+        self.force_staged()
+    }
+
+    fn abort(&mut self, aid: ActionId) -> RsResult<()> {
+        self.stage_abort(aid)?;
+        self.force_staged()
+    }
+
+    fn committing(&mut self, aid: ActionId, gids: &[GuardianId]) -> RsResult<()> {
+        self.stage_committing(aid, gids)?;
+        self.force_staged()
+    }
+
+    fn done(&mut self, aid: ActionId) -> RsResult<()> {
+        self.stage_done(aid)?;
+        self.force_staged()
+    }
+
+    // Staged variants: identical bookkeeping, but the force is deferred to
+    // `force_staged` so a group-commit scheduler can share it. Volatile
+    // tables are updated at stage time — operations arrive sequentially
+    // (§2.3), so a later `process_mos` in the same batch must already see
+    // this prepare's PAT entry.
+
+    fn stage_prepare(&mut self, aid: ActionId, mos: &[HeapId], heap: &Heap) -> RsResult<bool> {
         let _timer = self.obs.reg.phase("core.prepare_us");
         {
             let mut sink = SimpleSink {
@@ -147,44 +189,30 @@ impl<S: PageStore> RecoverySystem for SimpleLogRs<S> {
         })?;
         self.log.write(&bytes);
         self.obs.outcome("prepared", None);
-        self.log.force()?;
         self.pat.insert(aid);
         self.obs.prepares.inc();
-        Ok(())
+        Ok(true)
     }
 
-    fn write_entry(
-        &mut self,
-        _aid: ActionId,
-        mos: &[HeapId],
-        _heap: &Heap,
-    ) -> RsResult<Vec<HeapId>> {
-        // Early prepare is a hybrid-log refinement (§4.4); under the simple
-        // log the whole MOS simply waits for the prepare message.
-        Ok(mos.to_vec())
-    }
-
-    fn commit(&mut self, aid: ActionId) -> RsResult<()> {
+    fn stage_commit(&mut self, aid: ActionId) -> RsResult<bool> {
         let bytes = encode_entry(&LogEntry::Committed { aid, prev: None })?;
         self.log.write(&bytes);
         self.obs.outcome("committed", None);
-        self.log.force()?;
         self.pat.remove(&aid);
         self.obs.commits.inc();
-        Ok(())
+        Ok(true)
     }
 
-    fn abort(&mut self, aid: ActionId) -> RsResult<()> {
+    fn stage_abort(&mut self, aid: ActionId) -> RsResult<bool> {
         let bytes = encode_entry(&LogEntry::Aborted { aid, prev: None })?;
         self.log.write(&bytes);
         self.obs.outcome("aborted", None);
-        self.log.force()?;
         self.pat.remove(&aid);
         self.obs.aborts.inc();
-        Ok(())
+        Ok(true)
     }
 
-    fn committing(&mut self, aid: ActionId, gids: &[GuardianId]) -> RsResult<()> {
+    fn stage_committing(&mut self, aid: ActionId, gids: &[GuardianId]) -> RsResult<bool> {
         let bytes = encode_entry(&LogEntry::Committing {
             aid,
             gids: gids.to_vec(),
@@ -192,17 +220,20 @@ impl<S: PageStore> RecoverySystem for SimpleLogRs<S> {
         })?;
         self.log.write(&bytes);
         self.obs.outcome("committing", None);
-        self.log.force()?;
         self.obs.committings.inc();
-        Ok(())
+        Ok(true)
     }
 
-    fn done(&mut self, aid: ActionId) -> RsResult<()> {
+    fn stage_done(&mut self, aid: ActionId) -> RsResult<bool> {
         let bytes = encode_entry(&LogEntry::Done { aid, prev: None })?;
         self.log.write(&bytes);
         self.obs.outcome("done", None);
-        self.log.force()?;
         self.obs.dones.inc();
+        Ok(true)
+    }
+
+    fn force_staged(&mut self) -> RsResult<()> {
+        self.log.force()?;
         Ok(())
     }
 

@@ -1,13 +1,14 @@
 //! One guardian: heap + recovery system + protocol state.
 
+use crate::world::WorldConfig;
 use crate::{WorldError, WorldResult};
-use argus_core::providers::MemProvider;
+use argus_core::providers::{CachedProvider, MemProvider};
 use argus_core::{HybridLogRs, LogEntry, LogStats, RecoverySystem, RsResult, SimpleLogRs};
 use argus_objects::{ActionId, GuardianId, Heap, HeapId, Uid, Value};
 use argus_shadow::ShadowRs;
 use argus_sim::{CostModel, SimClock};
-use argus_slog::LogAddress;
-use argus_stable::{FaultPlan, MemStore};
+use argus_slog::{ForceScheduler, LogAddress};
+use argus_stable::{FaultPlan, MemStore, PageCache};
 use argus_twopc::{Coordinator, Participant};
 use std::collections::{HashMap, HashSet};
 
@@ -20,6 +21,27 @@ pub enum RsKind {
     Hybrid,
     /// The shadowing baseline (§1.2.1).
     Shadow,
+}
+
+/// A durability-dependent step whose protocol continuation is waiting on a
+/// group-commit force (§3.2's "force_write makes every earlier buffered
+/// entry durable" turned into a scheduler).
+///
+/// Each variant names the entry a recovery system has *staged* via its
+/// `stage_*` operation; once [`crate::World`] runs the shared force, the
+/// matching two-phase-commit continuation fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StagedOp {
+    /// A staged prepared record; on force, `prepare_succeeded`.
+    Prepare(ActionId),
+    /// A staged commit record; on force, install versions and ack.
+    Commit(ActionId),
+    /// A staged abort record; on force, discard versions and ack.
+    Abort(ActionId),
+    /// A staged committing record; on force, enter phase two.
+    Committing(ActionId),
+    /// A staged done record; on force, the coordinator finishes.
+    Done(ActionId),
 }
 
 /// A guardian: a logical node with stable and volatile state (§2.1).
@@ -55,6 +77,10 @@ pub struct Guardian {
     pub(crate) next_seq: u64,
     /// Automatic housekeeping policy: (max log entries, mode).
     pub(crate) hk_policy: Option<(u64, argus_core::HousekeepingMode)>,
+    /// Group-commit scheduler deciding when staged entries are forced.
+    pub(crate) force_sched: ForceScheduler,
+    /// Continuations awaiting the next force, in staging order.
+    pub(crate) staged: Vec<StagedOp>,
 }
 
 impl std::fmt::Debug for Guardian {
@@ -74,6 +100,7 @@ impl Guardian {
         kind: RsKind,
         clock: SimClock,
         model: CostModel,
+        cfg: &WorldConfig,
     ) -> RsResult<Self> {
         let plan = FaultPlan::new();
         let provider = MemProvider {
@@ -81,12 +108,16 @@ impl Guardian {
             model: model.clone(),
             plan: Some(plan.clone()),
         };
+        // Log organizations read through a volatile page cache; shadowing
+        // keeps its direct store (its page map is already its own cache).
         let rs: Box<dyn RecoverySystem> = match kind {
             RsKind::Simple => {
                 let store = MemStore::with_fault_plan(plan.clone(), clock, model);
-                Box::new(SimpleLogRs::create(store)?)
+                Box::new(SimpleLogRs::create(PageCache::new(store, cfg.cache))?)
             }
-            RsKind::Hybrid => Box::new(HybridLogRs::create(provider)?),
+            RsKind::Hybrid => Box::new(HybridLogRs::create(CachedProvider::new(
+                provider, cfg.cache,
+            ))?),
             RsKind::Shadow => Box::new(ShadowRs::create(provider)?),
         };
         Ok(Self {
@@ -103,6 +134,8 @@ impl Guardian {
             participants: HashMap::new(),
             next_seq: 0,
             hk_policy: None,
+            force_sched: ForceScheduler::new(cfg.force),
+            staged: Vec::new(),
         })
     }
 

@@ -25,4 +25,4 @@ mod world;
 pub use error::{WorldError, WorldResult};
 pub use guardian::{Guardian, RsKind};
 pub use network::{NetFaults, SimNetwork};
-pub use world::{Outcome, World};
+pub use world::{Outcome, World, WorldConfig};

@@ -1,12 +1,40 @@
 //! The simulated distributed system.
 
+use crate::guardian::StagedOp;
 use crate::network::NetFaults;
 use crate::{Guardian, RsKind, SimNetwork, WorldError, WorldResult};
 use argus_core::{HousekeepingMode, RecoveryOutcome};
 use argus_objects::{ActionId, GuardianId, HeapId, Value};
 use argus_sim::{CostModel, SimClock};
+use argus_slog::ForceConfig;
+use argus_stable::CacheConfig;
 use argus_twopc::{CoordEffect, Coordinator, Envelope, Msg, PartEffect, Participant};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Storage-performance knobs shared by every guardian the world spawns.
+///
+/// The defaults enable both optimizations — group-commit batching of log
+/// forces and a page cache with read-ahead under every log organization.
+/// [`WorldConfig::unbatched`] restores the one-force-per-operation,
+/// uncached behavior for baselines and A/B experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorldConfig {
+    /// Group-commit force scheduling for log-based recovery systems.
+    pub force: ForceConfig,
+    /// Page cache + read-ahead layered over each guardian's page store.
+    pub cache: CacheConfig,
+}
+
+impl WorldConfig {
+    /// Every force is immediate and every page read hits the device —
+    /// the pre-optimization baseline.
+    pub fn unbatched() -> Self {
+        Self {
+            force: ForceConfig::immediate(),
+            cache: CacheConfig::disabled(),
+        }
+    }
+}
 
 /// The fate of a top-level action as observed by the caller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +95,8 @@ pub struct World {
     /// Final verdicts of completed coordinators.
     outcomes: HashMap<ActionId, bool>,
     next_gid: u32,
+    /// Storage knobs applied to every guardian spawned in this world.
+    cfg: WorldConfig,
 }
 
 impl std::fmt::Debug for World {
@@ -78,8 +108,14 @@ impl std::fmt::Debug for World {
 }
 
 impl World {
-    /// Creates an empty world with the given device cost profile.
+    /// Creates an empty world with the given device cost profile and the
+    /// default storage knobs (batching and caching on).
     pub fn new(model: CostModel) -> Self {
+        Self::with_config(model, WorldConfig::default())
+    }
+
+    /// Creates an empty world with explicit storage knobs.
+    pub fn with_config(model: CostModel, cfg: WorldConfig) -> Self {
         let clock = SimClock::new();
         let obs = argus_obs::current();
         obs.set_clock(clock.clone());
@@ -93,6 +129,7 @@ impl World {
             touched_read: HashMap::new(),
             outcomes: HashMap::new(),
             next_gid: 0,
+            cfg,
         }
     }
 
@@ -101,11 +138,16 @@ impl World {
         Self::new(CostModel::fast())
     }
 
+    /// The storage knobs guardians in this world run with.
+    pub fn config(&self) -> WorldConfig {
+        self.cfg
+    }
+
     /// Spawns a guardian running the given storage organization.
     pub fn add_guardian(&mut self, kind: RsKind) -> WorldResult<GuardianId> {
         let id = GuardianId(self.next_gid);
         self.next_gid += 1;
-        let guardian = Guardian::new(id, kind, self.clock.clone(), self.model.clone())?;
+        let guardian = Guardian::new(id, kind, self.clock.clone(), self.model.clone(), &self.cfg)?;
         self.guardians.insert(id, guardian);
         Ok(id)
     }
@@ -300,6 +342,9 @@ impl World {
 
     /// Runs housekeeping at `g`.
     pub fn housekeep(&mut self, g: GuardianId, mode: HousekeepingMode) -> WorldResult<()> {
+        // Housekeeping snapshots and truncates the log; staged entries must
+        // reach it first.
+        self.flush_staged(g)?;
         let guardian = self.live(g)?;
         // Split borrow: the recovery system reads the heap during snapshot.
         let Guardian { rs, heap, .. } = guardian;
@@ -330,20 +375,32 @@ impl World {
     }
 
     fn commit_inner(&mut self, aid: ActionId) -> WorldResult<Outcome> {
+        self.commit_start(aid)?;
+        self.commit_settle(aid)
+    }
+
+    /// Launches two-phase commit for `aid` without driving it to
+    /// quiescence. Several actions started this way proceed concurrently:
+    /// their prepare/commit records share group-commit forces. Settle each
+    /// with [`World::commit_settle`].
+    pub fn commit_start(&mut self, aid: ActionId) -> WorldResult<()> {
         let origin = aid.coordinator;
-        {
-            let mut gids: BTreeSet<GuardianId> =
-                self.touched.get(&aid).cloned().unwrap_or_default();
-            if let Some(readers) = self.touched_read.get(&aid) {
-                gids.extend(readers.iter().copied());
-            }
-            gids.insert(origin);
-            let guardian = self.live(origin)?;
-            let coordinator = Coordinator::new(aid, gids.into_iter().collect());
-            let effects = coordinator.start();
-            guardian.coordinators.insert(aid, coordinator);
-            self.exec_coord(origin, aid, effects)?;
+        let mut gids: BTreeSet<GuardianId> = self.touched.get(&aid).cloned().unwrap_or_default();
+        if let Some(readers) = self.touched_read.get(&aid) {
+            gids.extend(readers.iter().copied());
         }
+        gids.insert(origin);
+        let guardian = self.live(origin)?;
+        let coordinator = Coordinator::new(aid, gids.into_iter().collect());
+        let effects = coordinator.start();
+        guardian.coordinators.insert(aid, coordinator);
+        self.exec_coord(origin, aid, effects)
+    }
+
+    /// Drives the network to quiescence and reports the fate of a commit
+    /// launched with [`World::commit_start`].
+    pub fn commit_settle(&mut self, aid: ActionId) -> WorldResult<Outcome> {
+        let origin = aid.coordinator;
         self.run_until_quiet()?;
 
         if let Some(&committed) = self.outcomes.get(&aid) {
@@ -396,6 +453,11 @@ impl World {
                 self.obs.inc("world.crashes");
             }
             guardian.up = false;
+            // Staged-but-unforced entries died with the volatile buffer;
+            // their continuations must never run (the participants never
+            // replied, so two-phase commit resolves them after restart).
+            guardian.staged.clear();
+            guardian.force_sched.flushed();
         }
         self.net.mark_down(g);
     }
@@ -426,6 +488,8 @@ impl World {
         let guardian = self.guardian_mut(g)?;
         guardian.plan.heal();
         guardian.rs.simulate_crash()?;
+        guardian.staged.clear();
+        guardian.force_sched.flushed();
         guardian.heap = argus_objects::Heap::new();
         guardian.mos.clear();
         guardian.known.clear();
@@ -511,16 +575,145 @@ impl World {
 
     // ---- message loop -------------------------------------------------------
 
-    /// Delivers messages until the network is quiet.
+    /// Delivers messages until the network is quiet *and* no guardian holds
+    /// staged log entries.
+    ///
+    /// Between deliveries the group-commit scheduler is polled: a guardian
+    /// whose batch filled up or whose window expired forces immediately.
+    /// When the network drains, every remaining staged batch is forced (the
+    /// idle flush — with no more work arriving there is nothing to gain by
+    /// waiting), which typically releases replies back into the network, so
+    /// the loop repeats until both are empty.
     pub fn run_until_quiet(&mut self) -> WorldResult<()> {
         let mut budget = 1_000_000u64;
-        while let Some(envelope) = self.net.deliver_next() {
-            self.deliver(envelope)?;
-            budget -= 1;
-            if budget == 0 {
-                return Err(WorldError::Rs(argus_core::RsError::BadState(
-                    "message loop did not quiesce".into(),
-                )));
+        loop {
+            while let Some(envelope) = self.net.deliver_next() {
+                self.deliver(envelope)?;
+                self.flush_due_forces()?;
+                budget -= 1;
+                if budget == 0 {
+                    return Err(WorldError::Rs(argus_core::RsError::BadState(
+                        "message loop did not quiesce".into(),
+                    )));
+                }
+            }
+            if !self.flush_all_staged()? {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Forces the staged batch of every up guardian whose scheduler says
+    /// the batch is due (full, or window expired on the simulated clock).
+    fn flush_due_forces(&mut self) -> WorldResult<()> {
+        let now = self.clock.now();
+        let due: Vec<GuardianId> = self
+            .guardians
+            .iter()
+            .filter(|(_, gu)| gu.up && gu.force_sched.due(now))
+            .map(|(g, _)| *g)
+            .collect();
+        for g in due {
+            self.flush_staged(g)?;
+        }
+        Ok(())
+    }
+
+    /// Forces every non-empty staged batch; returns whether any force ran
+    /// (and hence new messages may be in flight).
+    fn flush_all_staged(&mut self) -> WorldResult<bool> {
+        let pending: Vec<GuardianId> = self
+            .guardians
+            .iter()
+            .filter(|(_, gu)| gu.up && !gu.staged.is_empty())
+            .map(|(g, _)| *g)
+            .collect();
+        let any = !pending.is_empty();
+        for g in pending {
+            self.flush_staged(g)?;
+        }
+        Ok(any)
+    }
+
+    /// Runs the shared force for guardian `g`'s staged batch, then fires the
+    /// waiting two-phase-commit continuations in staging order.
+    ///
+    /// One device force publishes every staged entry atomically (the log's
+    /// superblock is the commit point), so a crash during the force loses
+    /// the whole batch — the continuations are dropped and the protocol
+    /// resolves the actions after restart, exactly as for an unbatched
+    /// force that crashed.
+    fn flush_staged(&mut self, g: GuardianId) -> WorldResult<()> {
+        let Some(guardian) = self.guardians.get_mut(&g) else {
+            return Ok(());
+        };
+        if !guardian.up || guardian.staged.is_empty() {
+            return Ok(());
+        }
+        let staged = std::mem::take(&mut guardian.staged);
+        guardian.force_sched.flushed();
+        match guardian.rs.force_staged() {
+            Ok(()) => {}
+            Err(e) if e.is_crash() => {
+                self.mark_crashed(g);
+                return Ok(());
+            }
+            Err(e) => return Err(e.into()),
+        }
+        for op in staged {
+            if !self.guardians.get(&g).map(|gu| gu.up).unwrap_or(false) {
+                break;
+            }
+            match op {
+                StagedOp::Prepare(aid) => {
+                    let guardian = self.guardian_mut(g)?;
+                    let more = guardian
+                        .participants
+                        .get_mut(&aid)
+                        .map(|p| p.prepare_succeeded())
+                        .unwrap_or_default();
+                    self.exec_part(g, aid, more)?;
+                }
+                StagedOp::Commit(aid) => {
+                    let guardian = self.guardian_mut(g)?;
+                    guardian.heap.commit_action(aid);
+                    guardian.resolved.insert(aid, true);
+                    let more = guardian
+                        .participants
+                        .get_mut(&aid)
+                        .map(|p| p.commit_forced())
+                        .unwrap_or_default();
+                    self.exec_part(g, aid, more)?;
+                }
+                StagedOp::Abort(aid) => {
+                    let guardian = self.guardian_mut(g)?;
+                    guardian.heap.abort_action(aid);
+                    guardian.resolved.insert(aid, false);
+                    let more = guardian
+                        .participants
+                        .get_mut(&aid)
+                        .map(|p| p.abort_forced())
+                        .unwrap_or_default();
+                    self.exec_part(g, aid, more)?;
+                }
+                StagedOp::Committing(aid) => {
+                    let guardian = self.guardian_mut(g)?;
+                    let more = guardian
+                        .coordinators
+                        .get_mut(&aid)
+                        .map(|c| c.committing_forced())
+                        .unwrap_or_default();
+                    self.exec_coord(g, aid, more)?;
+                }
+                StagedOp::Done(aid) => {
+                    let guardian = self.guardian_mut(g)?;
+                    let more = guardian
+                        .coordinators
+                        .get_mut(&aid)
+                        .map(|c| c.done_forced())
+                        .unwrap_or_default();
+                    self.exec_coord(g, aid, more)?;
+                }
             }
         }
         Ok(())
@@ -640,14 +833,19 @@ impl World {
                 }
                 CoordEffect::ForceCommitting => {
                     let _timer = self.obs.phase("twopc.committing_us");
+                    let now = self.clock.now();
                     let guardian = self.guardian_mut(g)?;
                     let gids: Vec<GuardianId> = guardian
                         .coordinators
                         .get(&aid)
                         .map(|c| c.participants.clone())
                         .unwrap_or_default();
-                    match guardian.rs.committing(aid, &gids) {
-                        Ok(()) => {
+                    match guardian.rs.stage_committing(aid, &gids) {
+                        Ok(true) => {
+                            guardian.staged.push(StagedOp::Committing(aid));
+                            guardian.force_sched.note_staged(now);
+                        }
+                        Ok(false) => {
                             let more = guardian
                                 .coordinators
                                 .get_mut(&aid)
@@ -663,9 +861,14 @@ impl World {
                     }
                 }
                 CoordEffect::ForceDone => {
+                    let now = self.clock.now();
                     let guardian = self.guardian_mut(g)?;
-                    match guardian.rs.done(aid) {
-                        Ok(()) => {
+                    match guardian.rs.stage_done(aid) {
+                        Ok(true) => {
+                            guardian.staged.push(StagedOp::Done(aid));
+                            guardian.force_sched.note_staged(now);
+                        }
+                        Ok(false) => {
                             let more = guardian
                                 .coordinators
                                 .get_mut(&aid)
@@ -709,13 +912,25 @@ impl World {
                 }
                 PartEffect::PrepareLocally => {
                     let _timer = self.obs.phase("twopc.prepare_us");
+                    let now = self.clock.now();
                     let guardian = self.guardian_mut(g)?;
                     let mos = guardian.mos.remove(&aid).unwrap_or_default();
-                    let Guardian { rs, heap, .. } = guardian;
-                    match rs.prepare(aid, &mos, heap) {
-                        Ok(()) => {
-                            let more = guardian
-                                .participants
+                    // Split borrow: the recovery system reads the heap.
+                    let Guardian {
+                        rs,
+                        heap,
+                        staged,
+                        force_sched,
+                        participants,
+                        ..
+                    } = guardian;
+                    match rs.stage_prepare(aid, &mos, heap) {
+                        Ok(true) => {
+                            staged.push(StagedOp::Prepare(aid));
+                            force_sched.note_staged(now);
+                        }
+                        Ok(false) => {
+                            let more = participants
                                 .get_mut(&aid)
                                 .map(|p| p.prepare_succeeded())
                                 .unwrap_or_default();
@@ -726,8 +941,7 @@ impl World {
                             return Ok(());
                         }
                         Err(_) => {
-                            let more = guardian
-                                .participants
+                            let more = participants
                                 .get_mut(&aid)
                                 .map(|p| p.prepare_failed())
                                 .unwrap_or_default();
@@ -737,9 +951,14 @@ impl World {
                 }
                 PartEffect::ForceCommit => {
                     let _timer = self.obs.phase("twopc.commit_us");
+                    let now = self.clock.now();
                     let guardian = self.guardian_mut(g)?;
-                    match guardian.rs.commit(aid) {
-                        Ok(()) => {
+                    match guardian.rs.stage_commit(aid) {
+                        Ok(true) => {
+                            guardian.staged.push(StagedOp::Commit(aid));
+                            guardian.force_sched.note_staged(now);
+                        }
+                        Ok(false) => {
                             guardian.heap.commit_action(aid);
                             guardian.resolved.insert(aid, true);
                             let more = guardian
@@ -758,9 +977,14 @@ impl World {
                 }
                 PartEffect::ForceAbort => {
                     let _timer = self.obs.phase("twopc.abort_us");
+                    let now = self.clock.now();
                     let guardian = self.guardian_mut(g)?;
-                    match guardian.rs.abort(aid) {
-                        Ok(()) => {
+                    match guardian.rs.stage_abort(aid) {
+                        Ok(true) => {
+                            guardian.staged.push(StagedOp::Abort(aid));
+                            guardian.force_sched.note_staged(now);
+                        }
+                        Ok(false) => {
                             guardian.heap.abort_action(aid);
                             guardian.resolved.insert(aid, false);
                             let more = guardian
@@ -828,6 +1052,11 @@ impl World {
             return Ok(false);
         };
         if !guardian.up || guardian.rs.log_stats().entries <= max_entries {
+            return Ok(false);
+        }
+        self.flush_staged(g)?;
+        let guardian = self.guardian_mut(g)?;
+        if !guardian.up {
             return Ok(false);
         }
         let Guardian { rs, heap, .. } = guardian;

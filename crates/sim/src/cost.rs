@@ -179,6 +179,27 @@ impl DeviceStats {
         clock.advance(cost);
     }
 
+    /// Bumps the counter for `kind` without charging any time — used by
+    /// layered devices (e.g. the mirrored disk's per-leg tallies) that
+    /// account raw operations separately from logical ones.
+    pub fn count(&self, kind: OpKind) {
+        let counter = match kind {
+            OpKind::SeqRead => &self.inner.seq_reads,
+            OpKind::RandRead => &self.inner.rand_reads,
+            OpKind::SeqWrite => &self.inner.seq_writes,
+            OpKind::RandWrite => &self.inner.rand_writes,
+            OpKind::Force => &self.inner.forces,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charges `cost_us` of busy time (advancing the clock) without bumping
+    /// any operation counter — the time-only half of [`DeviceStats::charge`].
+    pub fn add_busy(&self, cost_us: u64, clock: &SimClock) {
+        self.inner.busy_us.fetch_add(cost_us, Ordering::Relaxed);
+        clock.advance(cost_us);
+    }
+
     /// Takes a snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -224,6 +245,23 @@ mod tests {
         assert_eq!(delta.seq_reads, 1);
         assert_eq!(delta.reads(), 2);
         assert_eq!(delta.writes(), 0);
+    }
+
+    #[test]
+    fn count_and_add_busy_split_the_charge() {
+        let stats = DeviceStats::new();
+        let clock = SimClock::new();
+        let model = CostModel::fast();
+        stats.count(OpKind::SeqWrite);
+        let s = stats.snapshot();
+        assert_eq!(s.seq_writes, 1);
+        assert_eq!(s.busy_us, 0);
+        assert_eq!(clock.now(), 0);
+        stats.add_busy(model.seq_write_us, &clock);
+        let s = stats.snapshot();
+        assert_eq!(s.seq_writes, 1);
+        assert_eq!(s.busy_us, model.seq_write_us);
+        assert_eq!(clock.now(), model.seq_write_us);
     }
 
     #[test]

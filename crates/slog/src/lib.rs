@@ -36,8 +36,10 @@ mod addr;
 mod codec;
 mod log;
 mod root;
+mod sched;
 
 pub use addr::LogAddress;
 pub use codec::{crc32, CodecError, CodecResult, Decoder, Encoder};
 pub use log::{BackwardIter, LogError, LogResult, StableLog};
 pub use root::LogRoot;
+pub use sched::{ForceConfig, ForceScheduler};

@@ -184,6 +184,7 @@ struct SlogObs {
     append_bytes: argus_obs::Counter,
     flushes: argus_obs::Counter,
     forces: argus_obs::Counter,
+    batch_size: argus_obs::Histogram,
     entry_reads: argus_obs::Counter,
     backward_hops: argus_obs::Counter,
     reg: argus_obs::Registry,
@@ -197,6 +198,7 @@ impl SlogObs {
             append_bytes: reg.counter("slog.append_bytes"),
             flushes: reg.counter("slog.flushes"),
             forces: reg.counter("slog.forces"),
+            batch_size: reg.histogram("slog.force.batch_size"),
             entry_reads: reg.counter("slog.entry_reads"),
             backward_hops: reg.counter("slog.backward_hops"),
             reg,
@@ -241,6 +243,8 @@ impl<S: PageStore> StableLog<S> {
     /// (unforced) entries from before the crash are gone, as they should be.
     pub fn open(store: S) -> LogResult<Self> {
         let mut dev = ByteDevice::new(store);
+        // Whatever the store cached before the crash did not survive it.
+        dev.store_mut().invalidate_volatile();
         let page = dev.store_mut().read_page(0)?;
         let sb = Superblock::decode(&page)?;
         Ok(Self {
@@ -270,6 +274,9 @@ impl<S: PageStore> StableLog<S> {
         self.flushed = 0;
         self.pending_count = 0;
         self.pending_last = 0;
+        // Page caches under the device are volatile too: a restart starts
+        // cold, exactly as the media would be after a real crash.
+        self.dev.store_mut().invalidate_volatile();
         let page = self.dev.store_mut().read_page(0)?;
         self.sb = Superblock::decode(&page)?;
         self.next_seq = self.sb.count;
@@ -355,6 +362,7 @@ impl<S: PageStore> StableLog<S> {
         self.flushed = 0;
         self.pending_count = 0;
         self.obs.forces.inc();
+        self.obs.batch_size.record(published);
         self.obs.reg.event(argus_obs::Event::ForceCompleted {
             entries: published,
             stable_bytes: self.stable_bytes(),

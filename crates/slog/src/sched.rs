@@ -1,0 +1,172 @@
+//! Group-commit force scheduling.
+//!
+//! The thesis identifies the force — not the write — as the dominant
+//! stable-storage cost (§3.2, §4.1): every `force_write` pays a device sync
+//! whether it publishes one record or fifty. [`ForceScheduler`] is the
+//! group-commit policy that lets concurrent actions share that sync: each
+//! action *stages* its entry (a buffered [`crate::StableLog::write`]) and
+//! notes it here; the owner of the log polls [`ForceScheduler::due`] and
+//! issues one [`crate::StableLog::force`] for the whole batch once the batch
+//! is full or the oldest staged entry has waited out the batch window.
+//!
+//! The scheduler is pure policy — it holds no log handle and does no I/O —
+//! so the same instance can govern any log organization, and tests can
+//! drive it with a bare clock value.
+
+/// Tuning knobs for group commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForceConfig {
+    /// Maximum simulated µs the oldest staged entry may wait before the
+    /// batch is forced anyway.
+    pub window_us: u64,
+    /// Force as soon as this many entries are staged.
+    pub max_batch: usize,
+}
+
+impl Default for ForceConfig {
+    fn default() -> Self {
+        Self {
+            window_us: 1_000,
+            max_batch: 64,
+        }
+    }
+}
+
+impl ForceConfig {
+    /// Group commit disabled: every staged entry is due immediately, so the
+    /// caller forces after each operation — the pre-batching behaviour.
+    pub fn immediate() -> Self {
+        Self {
+            window_us: 0,
+            max_batch: 1,
+        }
+    }
+
+    /// Whether this configuration ever lets a batch grow beyond one entry.
+    pub fn batches(&self) -> bool {
+        self.max_batch > 1
+    }
+}
+
+/// Tracks staged-but-unforced log entries and decides when the next shared
+/// device force should happen. See the module docs for the protocol.
+#[derive(Debug, Clone)]
+pub struct ForceScheduler {
+    cfg: ForceConfig,
+    pending: u64,
+    /// Clock reading when the oldest pending entry was staged.
+    opened_at: Option<u64>,
+}
+
+impl ForceScheduler {
+    /// Creates an idle scheduler with the given policy.
+    pub fn new(cfg: ForceConfig) -> Self {
+        Self {
+            cfg,
+            pending: 0,
+            opened_at: None,
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> ForceConfig {
+        self.cfg
+    }
+
+    /// Records that one entry was staged at simulated time `now`.
+    pub fn note_staged(&mut self, now: u64) {
+        if self.pending == 0 {
+            self.opened_at = Some(now);
+        }
+        self.pending += 1;
+    }
+
+    /// Number of staged entries awaiting the next force.
+    pub fn pending(&self) -> u64 {
+        self.pending
+    }
+
+    /// Whether a force should be issued now: the batch is full, or the
+    /// oldest staged entry has waited at least the window.
+    pub fn due(&self, now: u64) -> bool {
+        let Some(opened_at) = self.opened_at else {
+            return false;
+        };
+        self.pending >= self.cfg.max_batch as u64
+            || now.saturating_sub(opened_at) >= self.cfg.window_us
+    }
+
+    /// Resets after the caller forced the log (clears the pending batch).
+    pub fn flushed(&mut self) {
+        self.pending = 0;
+        self.opened_at = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_scheduler_is_never_due() {
+        let s = ForceScheduler::new(ForceConfig::default());
+        assert!(!s.due(0));
+        assert!(!s.due(u64::MAX));
+    }
+
+    #[test]
+    fn immediate_config_is_due_at_once() {
+        let mut s = ForceScheduler::new(ForceConfig::immediate());
+        s.note_staged(100);
+        assert!(s.due(100));
+    }
+
+    #[test]
+    fn full_batch_is_due_regardless_of_time() {
+        let mut s = ForceScheduler::new(ForceConfig {
+            window_us: 1_000_000,
+            max_batch: 3,
+        });
+        s.note_staged(0);
+        s.note_staged(0);
+        assert!(!s.due(0));
+        s.note_staged(0);
+        assert!(s.due(0));
+    }
+
+    #[test]
+    fn window_expiry_makes_a_partial_batch_due() {
+        let mut s = ForceScheduler::new(ForceConfig {
+            window_us: 500,
+            max_batch: 64,
+        });
+        s.note_staged(1_000);
+        assert!(!s.due(1_499));
+        assert!(s.due(1_500));
+    }
+
+    #[test]
+    fn window_is_measured_from_the_oldest_entry() {
+        let mut s = ForceScheduler::new(ForceConfig {
+            window_us: 500,
+            max_batch: 64,
+        });
+        s.note_staged(1_000);
+        s.note_staged(1_400); // newer entry must not restart the window
+        assert!(s.due(1_500));
+    }
+
+    #[test]
+    fn flushed_resets_the_batch() {
+        let mut s = ForceScheduler::new(ForceConfig {
+            window_us: 500,
+            max_batch: 2,
+        });
+        s.note_staged(0);
+        s.note_staged(0);
+        assert!(s.due(0));
+        s.flushed();
+        assert_eq!(s.pending(), 0);
+        assert!(!s.due(u64::MAX));
+    }
+}

@@ -1,0 +1,371 @@
+//! A transparent LRU page cache with sequential read-ahead.
+//!
+//! The thesis charges recovery for every page it touches, and the backward
+//! chain walk touches pages newest-to-oldest — the worst case for a device
+//! that only rewards forward scans. [`PageCache`] sits between a consumer
+//! (the stable log's [`crate::ByteDevice`]) and any [`PageStore`]
+//! (`MemStore`, `MirroredDisk`, `FileStore`) and
+//!
+//! * serves repeated reads from an LRU map without touching the device,
+//! * detects sequential runs in **either direction** and prefetches the next
+//!   window with ascending (sequential-rate) device reads, and
+//! * stays write-through, so the cache never diverges from the media and the
+//!   layers below keep their crash/decay semantics unchanged.
+//!
+//! The cache is volatile: [`PageStore::invalidate_volatile`] empties it, and
+//! the stable log calls that on reopen, so a simulated crash never leaks
+//! cached pages into recovery.
+
+use crate::{Page, PageNo, PageStore, StorageResult};
+use argus_sim::DeviceStats;
+use std::collections::HashMap;
+
+/// Tuning knobs for a [`PageCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum number of cached pages. `0` disables the cache entirely —
+    /// every call passes straight through to the inner store.
+    pub capacity: usize,
+    /// Number of pages to prefetch past a miss that continues a sequential
+    /// run (in the run's direction). `0` disables read-ahead.
+    pub readahead: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 128,
+            readahead: 8,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A configuration that turns the layer into a pure passthrough.
+    pub fn disabled() -> Self {
+        Self {
+            capacity: 0,
+            readahead: 0,
+        }
+    }
+
+    /// Whether the cache holds pages at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+}
+
+/// Cached metric handles for one page cache.
+#[derive(Debug, Clone)]
+struct CacheObs {
+    hits: argus_obs::Counter,
+    misses: argus_obs::Counter,
+    readahead: argus_obs::Counter,
+}
+
+impl CacheObs {
+    fn resolve() -> Self {
+        let reg = argus_obs::current();
+        Self {
+            hits: reg.counter("stable.cache.hit"),
+            misses: reg.counter("stable.cache.miss"),
+            readahead: reg.counter("stable.cache.readahead"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    stamp: u64,
+    page: Page,
+}
+
+/// An LRU page cache with bidirectional sequential read-ahead over any
+/// [`PageStore`]. See the module docs for the contract.
+#[derive(Debug)]
+pub struct PageCache<S> {
+    inner: S,
+    cfg: CacheConfig,
+    slots: HashMap<PageNo, Slot>,
+    /// Logical access clock for LRU stamps.
+    tick: u64,
+    /// The previous read that went to the device; two nearby misses in the
+    /// same direction mean a sequential run worth prefetching.
+    last_miss: Option<PageNo>,
+    obs: CacheObs,
+}
+
+impl<S: PageStore> PageCache<S> {
+    /// Wraps `inner` with a cache configured by `cfg`.
+    pub fn new(inner: S, cfg: CacheConfig) -> Self {
+        Self {
+            inner,
+            cfg,
+            slots: HashMap::new(),
+            tick: 0,
+            last_miss: None,
+            obs: CacheObs::resolve(),
+        }
+    }
+
+    /// The inner store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The inner store, mutably. The cache stays coherent because it is
+    /// write-through, but callers that bypass it for writes must
+    /// [`PageStore::invalidate_volatile`] afterwards.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwraps the cache, returning the inner store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    fn insert(&mut self, pno: PageNo, page: Page) {
+        if self.slots.len() >= self.cfg.capacity && !self.slots.contains_key(&pno) {
+            if let Some(victim) = self
+                .slots
+                .iter()
+                .min_by_key(|(_, slot)| slot.stamp)
+                .map(|(&victim, _)| victim)
+            {
+                self.slots.remove(&victim);
+            }
+        }
+        let stamp = self.tick;
+        self.slots.insert(pno, Slot { stamp, page });
+    }
+
+    /// If the miss at `pno` continues a run (the gap to the previous miss is
+    /// within the read-ahead window in either direction — prefetching itself
+    /// makes consecutive demand misses land `readahead + 1` apart), reads the
+    /// next window into the cache. The window is always read in ascending
+    /// page order so the device charges it at the sequential rate, even when
+    /// the consumer (recovery's backward chain walk) is moving down.
+    fn maybe_readahead(&mut self, pno: PageNo) {
+        let k = self.cfg.readahead as u64;
+        let Some(prev) = self.last_miss else { return };
+        if k == 0 {
+            return;
+        }
+        let limit = self.inner.page_count();
+        let (start, end) = if pno > prev && pno - prev <= k + 1 {
+            // Ascending run: prefetch the pages just above.
+            (pno + 1, (pno + 1 + k).min(limit))
+        } else if pno < prev && prev - pno <= k + 1 {
+            // Descending run (the backward chain walk): prefetch just below.
+            (pno.saturating_sub(k), pno)
+        } else {
+            return;
+        };
+        for p in start..end {
+            if self.slots.contains_key(&p) {
+                continue;
+            }
+            // Speculative work: a read error (e.g. an injected crash) must
+            // not fail the demand read that already succeeded.
+            let Ok(page) = self.inner.read_page(p) else {
+                break;
+            };
+            self.tick += 1;
+            self.insert(p, page);
+            self.obs.readahead.inc();
+        }
+    }
+}
+
+impl<S: PageStore> PageStore for PageCache<S> {
+    fn read_page(&mut self, pno: PageNo) -> StorageResult<Page> {
+        if !self.cfg.is_enabled() {
+            return self.inner.read_page(pno);
+        }
+        self.tick += 1;
+        if let Some(slot) = self.slots.get_mut(&pno) {
+            slot.stamp = self.tick;
+            self.obs.hits.inc();
+            return Ok(slot.page.clone());
+        }
+        self.obs.misses.inc();
+        let page = self.inner.read_page(pno)?;
+        self.insert(pno, page.clone());
+        self.maybe_readahead(pno);
+        self.last_miss = Some(pno);
+        Ok(page)
+    }
+
+    fn write_page(&mut self, pno: PageNo, page: &Page) -> StorageResult<()> {
+        // Write-through: media first, cache only after the media accepted
+        // it, so the cache can never claim a write the device lost.
+        self.inner.write_page(pno, page)?;
+        if self.cfg.is_enabled() {
+            self.tick += 1;
+            self.insert(pno, page.clone());
+        }
+        Ok(())
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+
+    fn sync(&mut self) -> StorageResult<()> {
+        self.inner.sync()
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.inner.stats()
+    }
+
+    fn invalidate_volatile(&mut self) {
+        self.slots.clear();
+        self.last_miss = None;
+        self.inner.invalidate_volatile();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultPlan, MemStore};
+    use argus_sim::{CostModel, SimClock};
+
+    fn cached(cfg: CacheConfig) -> PageCache<MemStore> {
+        PageCache::new(MemStore::new(SimClock::new(), CostModel::fast()), cfg)
+    }
+
+    fn small(n: u8) -> Page {
+        Page::from_bytes(&[n])
+    }
+
+    #[test]
+    fn repeated_reads_hit_without_touching_the_device() {
+        let mut c = cached(CacheConfig {
+            capacity: 4,
+            readahead: 0,
+        });
+        c.write_page(3, &small(3)).unwrap();
+        let before = c.stats().snapshot();
+        // Write-through populated the cache: the read is free.
+        assert_eq!(c.read_page(3).unwrap(), small(3));
+        assert_eq!(c.read_page(3).unwrap(), small(3));
+        assert_eq!(c.stats().snapshot().since(&before).reads(), 0);
+    }
+
+    #[test]
+    fn descending_walk_triggers_ascending_prefetch() {
+        let mut c = cached(CacheConfig {
+            capacity: 32,
+            readahead: 4,
+        });
+        for pno in 0..16 {
+            c.write_page(pno, &small(pno as u8)).unwrap();
+        }
+        c.invalidate_volatile(); // start cold, like recovery does
+        let before = c.stats().snapshot();
+        for pno in (0..16).rev() {
+            assert_eq!(c.read_page(pno).unwrap(), small(pno as u8));
+        }
+        let delta = c.stats().snapshot().since(&before);
+        // Every page was read from the device exactly once (demand misses
+        // plus prefetches), and most at the sequential rate.
+        assert_eq!(delta.reads(), 16);
+        assert!(
+            delta.seq_reads > delta.rand_reads,
+            "prefetch should convert the backward walk to sequential reads: {delta}"
+        );
+    }
+
+    #[test]
+    fn ascending_scan_prefetches_ahead() {
+        let mut c = cached(CacheConfig {
+            capacity: 32,
+            readahead: 4,
+        });
+        for pno in 0..12 {
+            c.write_page(pno, &small(pno as u8)).unwrap();
+        }
+        c.invalidate_volatile();
+        for pno in 0..12 {
+            assert_eq!(c.read_page(pno).unwrap(), small(pno as u8));
+        }
+        assert_eq!(c.stats().snapshot().reads(), 12);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_page() {
+        let mut c = cached(CacheConfig {
+            capacity: 2,
+            readahead: 0,
+        });
+        c.write_page(0, &small(0)).unwrap();
+        c.write_page(1, &small(1)).unwrap();
+        c.read_page(0).unwrap(); // page 1 is now coldest
+        c.write_page(2, &small(2)).unwrap(); // evicts 1
+        let before = c.stats().snapshot();
+        c.read_page(0).unwrap();
+        c.read_page(2).unwrap();
+        assert_eq!(c.stats().snapshot().since(&before).reads(), 0);
+        c.read_page(1).unwrap();
+        assert_eq!(c.stats().snapshot().since(&before).reads(), 1);
+    }
+
+    #[test]
+    fn capacity_zero_is_a_pure_passthrough() {
+        let mut c = cached(CacheConfig::disabled());
+        c.write_page(0, &small(7)).unwrap();
+        let before = c.stats().snapshot();
+        c.read_page(0).unwrap();
+        c.read_page(0).unwrap();
+        assert_eq!(c.stats().snapshot().since(&before).reads(), 2);
+    }
+
+    #[test]
+    fn invalidate_clears_cached_pages() {
+        let mut c = cached(CacheConfig {
+            capacity: 8,
+            readahead: 0,
+        });
+        c.write_page(0, &small(9)).unwrap();
+        c.invalidate_volatile();
+        let before = c.stats().snapshot();
+        assert_eq!(c.read_page(0).unwrap(), small(9));
+        assert_eq!(c.stats().snapshot().since(&before).reads(), 1);
+    }
+
+    #[test]
+    fn prefetch_error_does_not_fail_the_demand_read() {
+        let plan = FaultPlan::new();
+        let mut c = PageCache::new(
+            MemStore::with_fault_plan(plan.clone(), SimClock::new(), CostModel::fast()),
+            CacheConfig {
+                capacity: 8,
+                readahead: 4,
+            },
+        );
+        for pno in 0..8 {
+            c.write_page(pno, &small(pno as u8)).unwrap();
+        }
+        c.invalidate_volatile();
+        // Walk down to establish a run, then crash the device: the demand
+        // read fails cleanly, and no half-prefetched state corrupts later
+        // reads after the heal.
+        c.read_page(7).unwrap();
+        plan.arm_after_writes(0);
+        let _ = c.write_page(8, &small(8));
+        assert!(c.read_page(3).is_err());
+        plan.heal();
+        c.invalidate_volatile();
+        for pno in 0..8 {
+            assert_eq!(c.read_page(pno).unwrap(), small(pno as u8));
+        }
+    }
+}

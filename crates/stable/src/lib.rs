@@ -20,12 +20,15 @@
 //!   can survive actual process restarts.
 //! * [`ByteDevice`] — a byte-addressed extent view over any [`PageStore`];
 //!   the stable log in `argus-slog` is built on it.
+//! * [`PageCache`] — a transparent LRU cache + read-ahead layer over any
+//!   [`PageStore`], used to make recovery's log scans run at device speed.
 //! * [`FaultPlan`] — the crash/decay injector shared by a device stack.
 //!
 //! All I/O charges simulated time against an [`argus_sim::SimClock`] through
 //! [`argus_sim::DeviceStats`], so experiments can report device cost.
 
 mod bytedev;
+mod cache;
 mod error;
 mod fault;
 mod file;
@@ -36,6 +39,7 @@ mod raw;
 mod store;
 
 pub use bytedev::ByteDevice;
+pub use cache::{CacheConfig, PageCache};
 pub use error::{StorageError, StorageResult};
 pub use fault::FaultPlan;
 pub use file::FileStore;

@@ -26,6 +26,11 @@ pub trait PageStore {
 
     /// The device's I/O counters.
     fn stats(&self) -> DeviceStats;
+
+    /// Drops any volatile state (e.g. caches) layered over the durable
+    /// media. Called on simulated restart so nothing a crash would have
+    /// erased survives into recovery; plain media stores have none.
+    fn invalidate_volatile(&mut self) {}
 }
 
 /// Classifies an access as sequential or random relative to the previous one.

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Benchmark driver: regenerates the headline experiment tables and writes
+# machine-readable artifacts (BENCH_<id>.json) for tracking across commits.
+#
+#   scripts/bench.sh             # E1 E2 E12 E13 -> BENCH_*.json in repo root
+#   scripts/bench.sh OUTDIR      # artifacts under OUTDIR instead
+#   scripts/bench.sh OUTDIR E12  # subset of experiments
+#
+# The human-readable tables (plus each run's obs metrics report) stream to
+# stdout; the JSON artifacts hold the same tables structurally.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir="${1:-.}"
+shift || true
+experiments=("$@")
+if [[ ${#experiments[@]} -eq 0 ]]; then
+    experiments=(E1 E2 E12 E13)
+fi
+
+mkdir -p "$outdir"
+echo "==> experiments ${experiments[*]} -> $outdir/BENCH_<id>.json"
+cargo run -q --release --offline -p argus-bench --bin experiments -- \
+    --json-dir "$outdir" "${experiments[@]}"
+
+for e in "${experiments[@]}"; do
+    f="$outdir/BENCH_${e^^}.json"
+    [[ -f "$f" ]] && echo "wrote $f"
+done

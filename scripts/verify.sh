@@ -19,6 +19,9 @@ run scripts/lint.sh
 run cargo build --release --offline
 run cargo test -q --offline
 run cargo test -q --offline --features proptest
+# Bench smoke: tiny E12/E13 asserting group-commit batching never increases
+# forces per commit and the page cache hits during recovery.
+run cargo run -q --release --offline -p argus-bench --bin experiments -- --smoke
 
 if [[ "${1:-}" == "--full" ]]; then
     run cargo build --offline --benches -p argus-bench
