@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E13). See DESIGN.md for the
+//! Regenerates every experiment table (E1–E14). See DESIGN.md for the
 //! experiment index and EXPERIMENTS.md for recorded results.
 //!
 //! Each experiment runs under its own `argus_obs::Registry` scope, so the
@@ -13,17 +13,19 @@
 //! ```
 //!
 //! `--json-dir DIR` additionally writes each table as `DIR/BENCH_<id>.json`.
-//! `--smoke` runs a tiny E12/E13 and asserts the optimization invariants
-//! (batching never increases forces per commit; the cache hits during
-//! recovery) instead of printing tables — the CI-friendly mode used by
-//! `scripts/verify.sh`.
+//! `--smoke` runs a tiny E12/E13/E14 and asserts the optimization and
+//! scheduling invariants (batching never increases forces per commit; the
+//! cache hits during recovery; the contended lock mix completes without a
+//! hang and blocking mode actually detects deadlocks) instead of printing
+//! tables — the CI-friendly mode used by `scripts/verify.sh`.
 
 use argus_bench::{
-    commit_perf, e10_abort_rate, e11_explore_coverage, e12_group_commit, e13_recovery_cache,
-    e1_write_cost, e2_recovery_cost, e4_housekeeping_cost, e5_checkpoint_bounds_recovery,
-    e6_early_prepare, e7_map_scaling, e8_crash_matrix, e9_device_sensitivity, recovery_perf, Table,
+    cc_perf, commit_perf, e10_abort_rate, e11_explore_coverage, e12_group_commit,
+    e13_recovery_cache, e14_cc_policies, e1_write_cost, e2_recovery_cost, e4_housekeeping_cost,
+    e5_checkpoint_bounds_recovery, e6_early_prepare, e7_map_scaling, e8_crash_matrix,
+    e9_device_sensitivity, recovery_perf, Table,
 };
-use argus_guardian::{RsKind, WorldConfig};
+use argus_guardian::{CcPolicy, RsKind, WorldConfig};
 use argus_obs::Registry;
 use std::path::PathBuf;
 
@@ -52,8 +54,8 @@ fn emit_json(dir: &Option<PathBuf>, table: &Table) {
     }
 }
 
-/// The `--smoke` mode: a tiny E12/E13 asserting the two optimization
-/// invariants hold. Exits non-zero (panics) on violation.
+/// The `--smoke` mode: a tiny E12/E13/E14 asserting the optimization and
+/// lock-scheduling invariants hold. Exits non-zero (panics) on violation.
 fn smoke() {
     for kind in [RsKind::Simple, RsKind::Hybrid] {
         let unbatched = commit_perf(kind, 1, 3, WorldConfig::unbatched());
@@ -85,6 +87,35 @@ fn smoke() {
             unbatched.forces_per_commit,
             batched8.forces_per_commit,
             100.0 * recovery.hits as f64 / (recovery.hits + recovery.misses).max(1) as f64
+        );
+    }
+    // E14: the contended lock mix must complete under every policy — a
+    // stall returns an error and panics here, so "no hang" is asserted by
+    // completion — and blocking mode must break at least one deadlock on a
+    // mix that deadlocks by construction.
+    for policy in [
+        CcPolicy::ConflictAbort,
+        CcPolicy::Blocking,
+        CcPolicy::Timeout,
+    ] {
+        let perf = cc_perf(RsKind::Hybrid, policy, 8, 8);
+        assert_eq!(
+            perf.committed, 64,
+            "{policy:?}: contended mix lost transfers"
+        );
+        if policy == CcPolicy::Blocking {
+            assert!(
+                perf.deadlocks > 0,
+                "blocking: the deadlock-by-construction mix broke no deadlock"
+            );
+        }
+        println!(
+            "smoke cc {}: {} commits, {} retries, {} deadlocks, {} timeouts",
+            policy.name(),
+            perf.committed,
+            perf.retries,
+            perf.deadlocks,
+            perf.timeouts
         );
     }
     println!("smoke: ok");
@@ -191,5 +222,11 @@ fn main() {
         println!("{table}");
         emit_json(&json_dir, &table);
         print_metrics("E13", &metrics);
+    }
+    if want("E14") {
+        let (table, metrics) = scoped(|| e14_cc_policies(&[2, 8, 32], 8));
+        println!("{table}");
+        emit_json(&json_dir, &table);
+        print_metrics("E14", &metrics);
     }
 }

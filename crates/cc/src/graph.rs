@@ -1,0 +1,142 @@
+//! The wait-for graph: who is waiting for whom to release a lock.
+
+use argus_objects::ActionId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A directed graph over actions where an edge `a → b` means "`a` cannot
+/// proceed until `b` releases a lock (or leaves the queue ahead of `a`)".
+///
+/// A cycle is a deadlock: every action on it waits for another on it. The
+/// graph is rebuilt from the wait queues and current holders each time a
+/// request parks, and only the newly parked action needs checking — grants
+/// never add edges, so any cycle must pass through the most recent parker.
+#[derive(Debug, Default, Clone)]
+pub struct WaitForGraph {
+    edges: BTreeMap<ActionId, BTreeSet<ActionId>>,
+}
+
+impl WaitForGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the edge `from → to`. Self-edges are ignored (an action never
+    /// waits on itself; re-entrant acquisition is granted outright).
+    pub fn add_edge(&mut self, from: ActionId, to: ActionId) {
+        if from != to {
+            self.edges.entry(from).or_default().insert(to);
+        }
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(BTreeSet::len).sum()
+    }
+
+    /// The successors of `a`, in action-id order.
+    pub fn successors(&self, a: ActionId) -> impl Iterator<Item = ActionId> + '_ {
+        self.edges.get(&a).into_iter().flatten().copied()
+    }
+
+    /// Searches for a cycle through `start` and returns its members in path
+    /// order (`start` first), or `None`. Deterministic: the depth-first
+    /// search visits successors in action-id order.
+    pub fn cycle_through(&self, start: ActionId) -> Option<Vec<ActionId>> {
+        let mut path = vec![start];
+        let mut visited = BTreeSet::from([start]);
+        if self.dfs(start, start, &mut visited, &mut path) {
+            Some(path)
+        } else {
+            None
+        }
+    }
+
+    fn dfs(
+        &self,
+        node: ActionId,
+        target: ActionId,
+        visited: &mut BTreeSet<ActionId>,
+        path: &mut Vec<ActionId>,
+    ) -> bool {
+        for next in self.successors(node) {
+            if next == target {
+                return true;
+            }
+            if visited.insert(next) {
+                path.push(next);
+                if self.dfs(next, target, visited, path) {
+                    return true;
+                }
+                path.pop();
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_objects::GuardianId;
+
+    fn a(n: u64) -> ActionId {
+        ActionId::new(GuardianId(0), n)
+    }
+
+    #[test]
+    fn no_cycle_in_a_chain() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(a(1), a(2));
+        g.add_edge(a(2), a(3));
+        assert_eq!(g.cycle_through(a(1)), None);
+        assert_eq!(g.cycle_through(a(3)), None);
+    }
+
+    #[test]
+    fn two_cycle_is_found_from_either_end() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(a(1), a(2));
+        g.add_edge(a(2), a(1));
+        assert_eq!(g.cycle_through(a(1)), Some(vec![a(1), a(2)]));
+        assert_eq!(g.cycle_through(a(2)), Some(vec![a(2), a(1)]));
+    }
+
+    #[test]
+    fn long_cycle_members_are_reported_in_path_order() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(a(1), a(2));
+        g.add_edge(a(2), a(3));
+        g.add_edge(a(3), a(4));
+        g.add_edge(a(4), a(1));
+        assert_eq!(g.cycle_through(a(3)), Some(vec![a(3), a(4), a(1), a(2)]));
+    }
+
+    #[test]
+    fn cycle_not_through_start_is_ignored() {
+        // 1 → 2 ⇄ 3, but 1 is not on the cycle.
+        let mut g = WaitForGraph::new();
+        g.add_edge(a(1), a(2));
+        g.add_edge(a(2), a(3));
+        g.add_edge(a(3), a(2));
+        assert_eq!(g.cycle_through(a(1)), None);
+        assert!(g.cycle_through(a(2)).is_some());
+    }
+
+    #[test]
+    fn self_edges_are_dropped() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(a(1), a(1));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.cycle_through(a(1)), None);
+    }
+
+    #[test]
+    fn branching_search_finds_the_one_real_cycle() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(a(1), a(2)); // dead end
+        g.add_edge(a(1), a(3));
+        g.add_edge(a(3), a(1));
+        assert_eq!(g.cycle_through(a(1)), Some(vec![a(1), a(3)]));
+    }
+}

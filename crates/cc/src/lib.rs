@@ -1,0 +1,64 @@
+//! # argus-cc — concurrency control for atomic actions
+//!
+//! The thesis assumes Argus's two-phase read/write locks on atomic objects
+//! (§2.4) but leaves open what happens when two actions collide. This crate
+//! supplies the missing subsystem: per-object FIFO wait queues with
+//! shared/exclusive modes and upgrade handling ([`LockManager`]), a
+//! wait-for graph with deterministic cycle detection ([`WaitForGraph`]),
+//! and three collision disciplines ([`CcPolicy`]) — optimistic
+//! conflict-abort, blocking with deadlock detection (victim = youngest
+//! action), and a simulated-clock lock-wait timeout — plus a seeded
+//! exponential-backoff retry schedule ([`BackoffConfig`]).
+//!
+//! The manager is deliberately heap-free: it owns only queues and
+//! continuations. Granting is a two-phase conversation with the owner of
+//! the heaps (the guardian `World`): snapshot [`LockManager::fronts`], try
+//! the real heap acquisition for each, pop winners with
+//! [`LockManager::take_front`]. All iteration orders are `BTreeMap`-stable,
+//! so a seed pins the complete schedule: grants, deadlocks, victims, and
+//! timeouts.
+
+mod graph;
+mod lock;
+mod policy;
+
+pub use graph::WaitForGraph;
+pub use lock::{LockHolders, LockManager, LockMode, ObjKey, Waiter};
+pub use policy::{BackoffConfig, CcConfig, CcPolicy};
+
+use argus_objects::ActionId;
+
+/// How a lock-aware submission resolved, as seen by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcOutcome {
+    /// The request was granted and its effect applied synchronously.
+    Done,
+    /// The request parked on a wait queue; it resumes when the lock is
+    /// released (or the action is made a deadlock victim / times out).
+    Parked,
+    /// The request hit a conflict under [`CcPolicy::ConflictAbort`]; the
+    /// caller should abort the action and retry after a backoff.
+    Conflict,
+}
+
+/// Why the scheduler gave up on a parked action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcFate {
+    /// Chosen as the deadlock victim (youngest action on the cycle) and
+    /// aborted.
+    Victim,
+    /// Its lock-wait deadline passed and it was aborted.
+    TimedOut,
+    /// The guardian holding the awaited object crashed; the wait is moot
+    /// and the action was aborted.
+    CrashDrained,
+}
+
+/// A deterministic record of one broken deadlock, for logs and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// The cycle, starting at the action whose park closed it.
+    pub cycle: Vec<ActionId>,
+    /// The member chosen for abort (the youngest).
+    pub victim: ActionId,
+}

@@ -9,6 +9,9 @@
 //!   matching, shadow-map resolution, uid uniqueness, accessibility-set
 //!   closure, and agreement between independently reconstructed PT/CT/OT
 //!   tables and `core`'s own recovery. Also exposed as the `argus-lint` CLI.
+//!   The catalogue's one heap-level entry, I11 (no stale locks in a
+//!   quiesced world), is checked by [`lint_heap_quiesced`] over a volatile
+//!   heap instead of a log image.
 //! * **The bounded 2PC interleaving explorer** ([`explore::Explorer`]): a
 //!   deterministic DFS over the real `twopc` coordinator/participant state
 //!   machines that enumerates message reorderings, drops, and crash points
@@ -48,6 +51,6 @@ mod obs;
 pub use explore::{ExploreConfig, ExploreReport, ExploreStats, Explorer};
 pub use image::{BadRecord, LogImage};
 pub use lint::{
-    detect_flavor, lint_log, lint_log_against, Flavor, Invariant, LintReport, ReconObj,
-    Reconstruction, Violation,
+    assert_heap_quiesced, detect_flavor, lint_heap_quiesced, lint_log, lint_log_against, Flavor,
+    Invariant, LintReport, ReconObj, Reconstruction, Violation,
 };

@@ -31,11 +31,16 @@
 //! * **I10 tables agree** — PT/CT/OT reconstructed independently by the
 //!   checker match what [`argus_core`]'s own recovery produced (only checked
 //!   by [`lint_log_against`]).
+//! * **I11 no stale locks** — the one heap-level invariant: in a quiesced
+//!   world no atomic object retains a read/write lock or a buffered current
+//!   version owned by a non-live action, and no mutex stays seized by one
+//!   (§2.4.1: locks are released exactly at commit or abort). Checked by
+//!   [`lint_heap_quiesced`] over a volatile [`Heap`], not a log image.
 
 use crate::image::LogImage;
 use crate::obs::LintObs;
 use argus_core::{CState, LogEntry, ObjState, PState, RecoveryOutcome};
-use argus_objects::{ActionId, ObjKind, ObjRef, Uid, Value};
+use argus_objects::{ActionId, Heap, ObjKind, ObjRef, ObjectBody, Uid, Value};
 use argus_slog::LogAddress;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
@@ -83,11 +88,13 @@ pub enum Invariant {
     I9AccessClosed,
     /// Checker-reconstructed PT/CT/OT agree with `core`'s recovery.
     I10TablesAgree,
+    /// No quiesced heap object retains a lock of a non-live action.
+    I11NoStaleLocks,
 }
 
 impl Invariant {
     /// All invariants, in catalogue order.
-    pub const ALL: [Invariant; 10] = [
+    pub const ALL: [Invariant; 11] = [
         Invariant::I1WellFormed,
         Invariant::I2ChainTerminates,
         Invariant::I3ChainComplete,
@@ -98,6 +105,7 @@ impl Invariant {
         Invariant::I8UidsUnique,
         Invariant::I9AccessClosed,
         Invariant::I10TablesAgree,
+        Invariant::I11NoStaleLocks,
     ];
 
     /// The catalogue code ("I1" … "I10").
@@ -113,6 +121,7 @@ impl Invariant {
             Invariant::I8UidsUnique => "I8",
             Invariant::I9AccessClosed => "I9",
             Invariant::I10TablesAgree => "I10",
+            Invariant::I11NoStaleLocks => "I11",
         }
     }
 
@@ -129,6 +138,7 @@ impl Invariant {
             Invariant::I8UidsUnique => "uids are unique within one pair list",
             Invariant::I9AccessClosed => "the restorable set is closed under references",
             Invariant::I10TablesAgree => "reconstructed PT/CT/OT agree with core recovery",
+            Invariant::I11NoStaleLocks => "no quiesced object keeps a lock of a non-live action",
         }
     }
 }
@@ -232,6 +242,68 @@ pub fn lint_log(image: &LogImage) -> LintReport {
 /// the [`RecoveryOutcome`] an actual `core` recovery pass produced.
 pub fn lint_log_against(image: &LogImage, outcome: &RecoveryOutcome) -> LintReport {
     Linter::new(image).run(Some(outcome))
+}
+
+/// Lints a volatile heap against I11: in a quiesced world — no action
+/// running, none parked on a lock queue, none awaiting a 2PC verdict — no
+/// atomic object may retain a read or write lock (or a buffered current
+/// version) owned by an action outside `live`, and no mutex may stay seized
+/// by one. `live` is whatever the caller still considers active; recovery
+/// legitimately re-grants write locks to in-doubt prepared actions, so those
+/// must be included. Returns the violations (empty when clean).
+pub fn lint_heap_quiesced(heap: &Heap, live: &BTreeSet<ActionId>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut flag = |detail: String| {
+        out.push(Violation {
+            invariant: Invariant::I11NoStaleLocks,
+            addr: None,
+            detail,
+        });
+    };
+    for (_, slot) in heap.iter() {
+        let uid = slot.uid;
+        match &slot.body {
+            ObjectBody::Atomic(obj) => {
+                if let Some(w) = obj.writer {
+                    if !live.contains(&w) {
+                        flag(format!("{uid} keeps a write lock of non-live {w}"));
+                    }
+                }
+                for r in &obj.readers {
+                    if !live.contains(r) {
+                        flag(format!("{uid} keeps a read lock of non-live {r}"));
+                    }
+                }
+                if obj.current.is_some() && obj.writer.is_none() {
+                    flag(format!("{uid} buffers a current version with no writer"));
+                }
+            }
+            ObjectBody::Mutex(obj) => {
+                if let Some(s) = obj.seized_by {
+                    if !live.contains(&s) {
+                        flag(format!("{uid} stays seized by non-live {s}"));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Panics with every violation listed if [`lint_heap_quiesced`] found any.
+#[track_caller]
+pub fn assert_heap_quiesced(heap: &Heap, live: &BTreeSet<ActionId>) {
+    let violations = lint_heap_quiesced(heap, live);
+    assert!(
+        violations.is_empty(),
+        "heap lint failed ({} violation(s)):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
 
 /// Detects the log organization of an image (see [`Flavor`]).

@@ -26,3 +26,7 @@ pub use error::{WorldError, WorldResult};
 pub use guardian::{Guardian, RsKind};
 pub use network::{NetFaults, SimNetwork};
 pub use world::{Outcome, World, WorldConfig};
+
+// The concurrency-control vocabulary of the `submit_*`/`cc_*` World API, so
+// drivers need not depend on `argus-cc` directly.
+pub use argus_cc::{BackoffConfig, CcConfig, CcFate, CcOutcome, CcPolicy, DeadlockReport};

@@ -3,8 +3,12 @@
 use crate::guardian::StagedOp;
 use crate::network::NetFaults;
 use crate::{Guardian, RsKind, SimNetwork, WorldError, WorldResult};
+use argus_cc::{
+    CcConfig, CcFate, CcOutcome, CcPolicy, DeadlockReport, LockHolders, LockManager, LockMode,
+    ObjKey, Waiter,
+};
 use argus_core::{HousekeepingMode, RecoveryOutcome};
-use argus_objects::{ActionId, GuardianId, HeapId, Value};
+use argus_objects::{ActionId, GuardianId, HeapError, HeapId, ObjKind, Value};
 use argus_sim::{CostModel, SimClock};
 use argus_slog::ForceConfig;
 use argus_stable::CacheConfig;
@@ -23,6 +27,8 @@ pub struct WorldConfig {
     pub force: ForceConfig,
     /// Page cache + read-ahead layered over each guardian's page store.
     pub cache: CacheConfig,
+    /// Concurrency control: what happens when lock requests collide.
+    pub cc: CcConfig,
 }
 
 impl WorldConfig {
@@ -32,8 +38,31 @@ impl WorldConfig {
         Self {
             force: ForceConfig::immediate(),
             cache: CacheConfig::disabled(),
+            cc: CcConfig::default(),
         }
     }
+
+    /// The default knobs with the given concurrency-control policy.
+    pub fn with_cc(policy: CcPolicy) -> Self {
+        Self {
+            cc: CcConfig::with_policy(policy),
+            ..Self::default()
+        }
+    }
+}
+
+/// The parked half of a blocked operation, run by the scheduler once the
+/// lock is granted (the grant itself *is* the heap acquisition).
+enum CcCont {
+    /// A blocked `read`: the grant acquired the read lock; the caller
+    /// re-issues [`World::read`], which now succeeds as a holder.
+    Read,
+    /// A blocked `write_atomic`: apply the buffered mutation to the current
+    /// version the grant just created.
+    Write(Box<dyn FnOnce(&mut Value)>),
+    /// A blocked `mutate_mutex`: the grant seized the mutex; mutate, then
+    /// release.
+    Mutex(Box<dyn FnOnce(&mut Value)>),
 }
 
 /// The fate of a top-level action as observed by the caller.
@@ -97,6 +126,16 @@ pub struct World {
     next_gid: u32,
     /// Storage knobs applied to every guardian spawned in this world.
     cfg: WorldConfig,
+    /// Parked lock requests awaiting a release, commit, abort, or crash.
+    cc: LockManager<CcCont>,
+    /// Why the scheduler gave up on parked actions (victim/timeout/crash).
+    cc_fates: BTreeMap<ActionId, CcFate>,
+    /// Deadlocks broken so far, in detection order.
+    cc_deadlocks: Vec<DeadlockReport>,
+    /// Begin order per action: the deadlock victim is the *youngest* cycle
+    /// member, i.e. the one with the largest begin index.
+    begin_order: HashMap<ActionId, u64>,
+    next_begin: u64,
 }
 
 impl std::fmt::Debug for World {
@@ -130,6 +169,11 @@ impl World {
             outcomes: HashMap::new(),
             next_gid: 0,
             cfg,
+            cc: LockManager::new(),
+            cc_fates: BTreeMap::new(),
+            cc_deadlocks: Vec::new(),
+            begin_order: HashMap::new(),
+            next_begin: 0,
         }
     }
 
@@ -200,6 +244,8 @@ impl World {
         guardian.next_seq += 1;
         guardian.known.insert(aid);
         self.touched.entry(aid).or_default().insert(origin);
+        self.begin_order.insert(aid, self.next_begin);
+        self.next_begin += 1;
         Ok(aid)
     }
 
@@ -230,7 +276,11 @@ impl World {
         value: Value,
     ) -> WorldResult<HeapId> {
         let guardian = self.live(g)?;
-        Ok(guardian.heap.alloc_atomic(value, Some(aid)))
+        let h = guardian.heap.alloc_atomic(value, Some(aid));
+        // The creator holds a read lock (§2.4.1); record the guardian as a
+        // read participant so that lock is released with the action.
+        self.note_read(g, aid);
+        Ok(h)
     }
 
     /// Creates a mutex object at `g`.
@@ -287,6 +337,337 @@ impl World {
         Ok(())
     }
 
+    // ---- lock-aware submissions (the blocked-action scheduler) -----------
+
+    /// Lock-aware [`World::read`]: on conflict the request parks on the
+    /// object's wait queue (blocking/timeout policies) or reports
+    /// [`CcOutcome::Conflict`] (conflict-abort). When a parked read is later
+    /// granted, the grant *is* the read-lock acquisition — re-issue
+    /// [`World::read`] to observe the value.
+    pub fn submit_read(
+        &mut self,
+        g: GuardianId,
+        aid: ActionId,
+        h: HeapId,
+    ) -> WorldResult<CcOutcome> {
+        let key = ObjKey { gid: g, hid: h };
+        if self.cc_should_queue(key, aid) {
+            return self.cc_park(key, aid, LockMode::Shared, CcCont::Read, false);
+        }
+        match self.read(g, aid, h) {
+            Ok(_) => Ok(CcOutcome::Done),
+            Err(WorldError::Heap(HeapError::LockConflict { .. })) => {
+                self.cc_refuse_or_park(key, aid, LockMode::Shared, CcCont::Read)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Lock-aware [`World::write_atomic`]: on conflict the mutation is
+    /// buffered as a continuation and parks (blocking/timeout policies) or
+    /// the call reports [`CcOutcome::Conflict`] (conflict-abort). An action
+    /// upgrading its own read lock parks at the *front* of the queue.
+    pub fn submit_write_atomic(
+        &mut self,
+        g: GuardianId,
+        aid: ActionId,
+        h: HeapId,
+        f: impl FnOnce(&mut Value) + 'static,
+    ) -> WorldResult<CcOutcome> {
+        let key = ObjKey { gid: g, hid: h };
+        if self.cc_should_queue(key, aid) {
+            return self.cc_park(
+                key,
+                aid,
+                LockMode::Exclusive,
+                CcCont::Write(Box::new(f)),
+                false,
+            );
+        }
+        let guardian = self.live(g)?;
+        match guardian.heap.acquire_write(h, aid) {
+            Ok(()) => {
+                guardian
+                    .heap
+                    .write_value(h, aid, f)
+                    .expect("write lock just granted");
+                self.note_write(g, aid, h);
+                Ok(CcOutcome::Done)
+            }
+            Err(HeapError::LockConflict { .. }) => {
+                self.cc_refuse_or_park(key, aid, LockMode::Exclusive, CcCont::Write(Box::new(f)))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Lock-aware [`World::mutate_mutex`]: a seized mutex parks the request
+    /// (blocking/timeout policies) or reports [`CcOutcome::Conflict`]
+    /// (conflict-abort). On grant the scheduler seizes, mutates, releases.
+    pub fn submit_mutate_mutex(
+        &mut self,
+        g: GuardianId,
+        aid: ActionId,
+        h: HeapId,
+        f: impl FnOnce(&mut Value) + 'static,
+    ) -> WorldResult<CcOutcome> {
+        let key = ObjKey { gid: g, hid: h };
+        if self.cc_should_queue(key, aid) {
+            return self.cc_park(
+                key,
+                aid,
+                LockMode::Exclusive,
+                CcCont::Mutex(Box::new(f)),
+                false,
+            );
+        }
+        let guardian = self.live(g)?;
+        match guardian.heap.seize(h, aid) {
+            Ok(()) => {
+                guardian.heap.mutate_mutex(h, aid, f).expect("just seized");
+                guardian.heap.release(h, aid).expect("just seized");
+                self.note_write(g, aid, h);
+                Ok(CcOutcome::Done)
+            }
+            Err(HeapError::MutexSeized { .. }) => {
+                self.cc_refuse_or_park(key, aid, LockMode::Exclusive, CcCont::Mutex(Box::new(f)))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Whether a new request must queue behind earlier waiters even if it is
+    /// compatible with the current holders — FIFO fairness keeps a stream of
+    /// readers from starving a queued writer. Re-entrant requests (the
+    /// action already holds a lock on the object) bypass the queue.
+    fn cc_should_queue(&self, key: ObjKey, aid: ActionId) -> bool {
+        if matches!(self.cfg.cc.policy, CcPolicy::ConflictAbort) {
+            return false;
+        }
+        if !self.cc.has_queue(key) {
+            return false;
+        }
+        self.guardians
+            .get(&key.gid)
+            .map(|gu| gu.up && !gu.heap.holds_lock(key.hid, aid))
+            .unwrap_or(false)
+    }
+
+    fn cc_refuse_or_park(
+        &mut self,
+        key: ObjKey,
+        aid: ActionId,
+        mode: LockMode,
+        cont: CcCont,
+    ) -> WorldResult<CcOutcome> {
+        match self.cfg.cc.policy {
+            CcPolicy::ConflictAbort => Ok(CcOutcome::Conflict),
+            CcPolicy::Blocking | CcPolicy::Timeout => {
+                let upgrade = self
+                    .guardians
+                    .get(&key.gid)
+                    .map(|gu| gu.heap.holds_lock(key.hid, aid))
+                    .unwrap_or(false);
+                self.cc_park(key, aid, mode, cont, upgrade)
+            }
+        }
+    }
+
+    fn cc_park(
+        &mut self,
+        key: ObjKey,
+        aid: ActionId,
+        mode: LockMode,
+        cont: CcCont,
+        upgrade: bool,
+    ) -> WorldResult<CcOutcome> {
+        let now = self.clock.now();
+        let deadline = matches!(self.cfg.cc.policy, CcPolicy::Timeout)
+            .then(|| now + self.cfg.cc.wait_timeout_us);
+        self.cc.park(
+            key,
+            Waiter {
+                aid,
+                mode,
+                parked_at: now,
+                deadline,
+                cont,
+            },
+            upgrade,
+        );
+        self.obs.inc("cc.waits");
+        if matches!(self.cfg.cc.policy, CcPolicy::Blocking) {
+            self.cc_detect_deadlock(aid);
+        }
+        Ok(CcOutcome::Parked)
+    }
+
+    /// Rebuilds the wait-for graph and, if the just-parked request closed a
+    /// cycle, aborts the youngest cycle member. Checking only from the new
+    /// waiter is sound: grants never add edges, so every cycle passes
+    /// through the most recent parker.
+    fn cc_detect_deadlock(&mut self, start: ActionId) {
+        let holders = self.cc_holder_snapshot();
+        let graph = self.cc.wait_for_edges(&holders);
+        let Some(cycle) = graph.cycle_through(start) else {
+            return;
+        };
+        self.obs.inc("cc.deadlocks");
+        let victim = cycle
+            .iter()
+            .copied()
+            .filter(|a| !self.in_two_phase_commit(*a))
+            .max_by_key(|a| self.begin_order.get(a).copied().unwrap_or(0))
+            .unwrap_or(start);
+        self.obs.inc("cc.victims");
+        self.cc_deadlocks.push(DeadlockReport { cycle, victim });
+        self.cc_fates.insert(victim, CcFate::Victim);
+        self.abort_local(victim);
+    }
+
+    fn cc_holder_snapshot(&self) -> BTreeMap<ObjKey, LockHolders> {
+        let mut out = BTreeMap::new();
+        for (key, _, _) in self.cc.fronts() {
+            let Some(guardian) = self.guardians.get(&key.gid) else {
+                continue;
+            };
+            if !guardian.up {
+                continue;
+            }
+            if let Ok((writer, readers)) = guardian.heap.lock_holders(key.hid) {
+                out.insert(key, LockHolders { writer, readers });
+            }
+        }
+        out
+    }
+
+    fn in_two_phase_commit(&self, aid: ActionId) -> bool {
+        self.guardians
+            .values()
+            .any(|gu| gu.participants.contains_key(&aid) || gu.coordinators.contains_key(&aid))
+    }
+
+    /// Grants every front waiter whose heap lock is now acquirable, runs the
+    /// parked continuations, and repeats until no queue makes progress.
+    /// Returns whether anything was granted.
+    fn cc_pump(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            let mut progressed = false;
+            for (key, aid, mode) in self.cc.fronts() {
+                let Some(guardian) = self.guardians.get_mut(&key.gid) else {
+                    continue;
+                };
+                if !guardian.up {
+                    continue;
+                }
+                let granted = match guardian.heap.get(key.hid).map(|s| s.body.kind()) {
+                    Ok(ObjKind::Atomic) => match mode {
+                        LockMode::Shared => guardian.heap.acquire_read(key.hid, aid).is_ok(),
+                        LockMode::Exclusive => guardian.heap.acquire_write(key.hid, aid).is_ok(),
+                    },
+                    Ok(ObjKind::Mutex) => guardian.heap.seize(key.hid, aid).is_ok(),
+                    Err(_) => false,
+                };
+                if !granted {
+                    continue;
+                }
+                let waiter = self.cc.take_front(key).expect("front just snapshotted");
+                let waited = self.clock.now().saturating_sub(waiter.parked_at);
+                self.obs.observe("cc.wait_us", waited);
+                match waiter.cont {
+                    CcCont::Read => self.note_read(key.gid, waiter.aid),
+                    CcCont::Write(f) => {
+                        let gu = self.guardians.get_mut(&key.gid).expect("granted above");
+                        gu.heap
+                            .write_value(key.hid, waiter.aid, f)
+                            .expect("write lock just granted");
+                        self.note_write(key.gid, waiter.aid, key.hid);
+                    }
+                    CcCont::Mutex(f) => {
+                        let gu = self.guardians.get_mut(&key.gid).expect("granted above");
+                        gu.heap
+                            .mutate_mutex(key.hid, waiter.aid, f)
+                            .expect("mutex just seized");
+                        gu.heap
+                            .release(key.hid, waiter.aid)
+                            .expect("mutex just seized");
+                        self.note_write(key.gid, waiter.aid, key.hid);
+                    }
+                }
+                progressed = true;
+                any = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        any
+    }
+
+    /// Expires parked requests whose lock-wait deadline has passed on the
+    /// simulated clock ([`CcPolicy::Timeout`]), aborting their actions.
+    /// Returns whether anything expired. Drivers that advanced the clock
+    /// themselves can call this directly; [`World::run_until_quiet`] calls
+    /// it when otherwise idle.
+    pub fn cc_tick(&mut self) -> bool {
+        let expired = self.cc.expired(self.clock.now());
+        let any = !expired.is_empty();
+        for aid in expired {
+            self.obs.inc("cc.timeouts");
+            self.cc_fates.insert(aid, CcFate::TimedOut);
+            self.abort_local(aid);
+        }
+        any
+    }
+
+    /// Whether `aid` has a parked lock request.
+    pub fn cc_blocked(&self, aid: ActionId) -> bool {
+        self.cc.is_blocked(aid)
+    }
+
+    /// Every action with a parked lock request, in id order.
+    pub fn cc_blocked_actions(&self) -> BTreeSet<ActionId> {
+        self.cc.blocked_actions()
+    }
+
+    /// Total parked lock requests.
+    pub fn cc_waiter_count(&self) -> usize {
+        self.cc.waiter_count()
+    }
+
+    /// The earliest lock-wait deadline of any parked request, if the world
+    /// runs the timeout policy — drivers advance the clock here when every
+    /// in-flight action is parked.
+    pub fn cc_next_deadline(&self) -> Option<u64> {
+        self.cc.next_deadline()
+    }
+
+    /// Why the scheduler gave up on `aid`, if it did.
+    pub fn cc_fate(&self, aid: ActionId) -> Option<CcFate> {
+        self.cc_fates.get(&aid).copied()
+    }
+
+    /// Every deadlock broken so far, in detection order.
+    pub fn cc_deadlock_reports(&self) -> &[DeadlockReport] {
+        &self.cc_deadlocks
+    }
+
+    /// Actions the world still considers live: begun and neither committed
+    /// nor aborted — they may legitimately hold locks. The stale-lock lint
+    /// (I11) checks quiesced heaps against this set.
+    pub fn live_actions(&self) -> BTreeSet<ActionId> {
+        let mut live: BTreeSet<ActionId> = self.touched.keys().copied().collect();
+        live.extend(self.touched_read.keys().copied());
+        live.extend(self.cc.blocked_actions());
+        for guardian in self.guardians.values() {
+            live.extend(guardian.participants.keys().copied());
+            live.extend(guardian.coordinators.keys().copied());
+            live.extend(guardian.mos.keys().copied());
+        }
+        live
+    }
+
     /// Binds the stable variable `name` at `g` to `value` under `aid`
     /// (write-locks the stable root).
     pub fn set_stable(
@@ -326,7 +707,10 @@ impl World {
     }
 
     /// Locally aborts an action that has not entered two-phase commit.
+    /// Parked lock requests of the action are cancelled, and any locks it
+    /// released may wake other waiters.
     pub fn abort_local(&mut self, aid: ActionId) {
+        self.cc.cancel(aid);
         let mut touched = self.touched.remove(&aid).unwrap_or_default();
         touched.extend(self.touched_read.remove(&aid).unwrap_or_default());
         for g in touched {
@@ -337,7 +721,17 @@ impl World {
                 guardian.rs.discard(aid);
             }
         }
+        if cfg!(debug_assertions) {
+            for (g, guardian) in &self.guardians {
+                let held = guardian.heap.locks_held_by(aid);
+                debug_assert!(
+                    held.is_empty(),
+                    "aborted action {aid} still holds locks on {held:?} at {g}"
+                );
+            }
+        }
         self.outcomes.insert(aid, false);
+        self.cc_pump();
     }
 
     /// Runs housekeeping at `g`.
@@ -460,6 +854,14 @@ impl World {
             guardian.force_sched.flushed();
         }
         self.net.mark_down(g);
+        // Requests parked on objects in the crashed heap are moot: the
+        // volatile heap (locks included) is gone. Abort the waiting actions
+        // so their drivers see a fate and can retry.
+        let drained = self.cc.drain_guardian(g);
+        for (_key, waiter) in drained {
+            self.cc_fates.insert(waiter.aid, CcFate::CrashDrained);
+            self.abort_local(waiter.aid);
+        }
     }
 
     /// Arms the guardian's fault plan: the node will crash when the
@@ -597,7 +999,12 @@ impl World {
                     )));
                 }
             }
-            if !self.flush_all_staged()? {
+            let flushed = self.flush_all_staged()?;
+            // Forces just installed commits/aborts, releasing heap locks:
+            // grant what the releases unblocked, then expire overdue waits.
+            let pumped = self.cc_pump();
+            let ticked = self.cc_tick();
+            if !flushed && !pumped && !ticked {
                 return Ok(());
             }
         }

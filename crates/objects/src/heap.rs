@@ -14,7 +14,13 @@ pub enum HeapError {
     /// No object with this uid exists in volatile memory.
     NoSuchUid(Uid),
     /// A lock could not be granted because another action holds one.
-    LockConflict { obj: Uid, requester: ActionId },
+    LockConflict {
+        obj: Uid,
+        requester: ActionId,
+        /// The conflicting holders at refusal time (writer first, then
+        /// readers in id order).
+        holders: Vec<ActionId>,
+    },
     /// The operation required a write lock the action does not hold.
     NotWriteLocked { obj: Uid, aid: ActionId },
     /// The mutex is in another action's possession.
@@ -32,8 +38,19 @@ impl fmt::Display for HeapError {
         match self {
             HeapError::NoSuchObject(h) => write!(f, "no object at {h}"),
             HeapError::NoSuchUid(u) => write!(f, "no object with uid {u}"),
-            HeapError::LockConflict { obj, requester } => {
-                write!(f, "lock conflict on {obj} for {requester}")
+            HeapError::LockConflict {
+                obj,
+                requester,
+                holders,
+            } => {
+                write!(f, "lock conflict on {obj} for {requester}; held by ")?;
+                for (i, h) in holders.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{h}")?;
+                }
+                Ok(())
             }
             HeapError::NotWriteLocked { obj, aid } => {
                 write!(f, "{aid} does not hold a write lock on {obj}")
@@ -231,6 +248,7 @@ impl Heap {
                         return Err(HeapError::LockConflict {
                             obj: uid,
                             requester: aid,
+                            holders: vec![w],
                         });
                     }
                 }
@@ -249,9 +267,13 @@ impl Heap {
         match &mut slot.body {
             ObjectBody::Atomic(obj) => {
                 if obj.locked_by_other(aid) {
+                    let mut holders: Vec<ActionId> =
+                        obj.writer.iter().copied().filter(|w| *w != aid).collect();
+                    holders.extend(obj.readers.iter().copied().filter(|r| *r != aid));
                     return Err(HeapError::LockConflict {
                         obj: uid,
                         requester: aid,
+                        holders,
                     });
                 }
                 if obj.writer.is_none() {
@@ -297,6 +319,46 @@ impl Heap {
             }
             ObjectBody::Mutex(_) => Err(HeapError::WrongKind { obj: uid }),
         }
+    }
+
+    // ---- Lock queries (for the concurrency-control subsystem) -----------
+
+    /// The current lock holders of the object at `h`: the write-lock holder
+    /// (or mutex possessor) and the read-lock holders in id order.
+    pub fn lock_holders(&self, h: HeapId) -> HeapResult<(Option<ActionId>, Vec<ActionId>)> {
+        let slot = self.get(h)?;
+        Ok(match &slot.body {
+            ObjectBody::Atomic(obj) => (obj.writer, obj.readers.iter().copied().collect()),
+            ObjectBody::Mutex(obj) => (obj.seized_by, Vec::new()),
+        })
+    }
+
+    /// Whether `aid` holds any lock (read or write) or possession on the
+    /// object at `h`.
+    pub fn holds_lock(&self, h: HeapId, aid: ActionId) -> bool {
+        match self.get(h).map(|s| &s.body) {
+            Ok(ObjectBody::Atomic(obj)) => obj.writer == Some(aid) || obj.readers.contains(&aid),
+            Ok(ObjectBody::Mutex(obj)) => obj.seized_by == Some(aid),
+            Err(_) => false,
+        }
+    }
+
+    /// The uids of every object on which `aid` holds a lock or possession,
+    /// in uid order — the post-abort emptiness check and the stale-lock
+    /// lint both audit with this.
+    pub fn locks_held_by(&self, aid: ActionId) -> Vec<Uid> {
+        let mut uids: Vec<Uid> = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|slot| match &slot.body {
+                ObjectBody::Atomic(obj) => obj.writer == Some(aid) || obj.readers.contains(&aid),
+                ObjectBody::Mutex(obj) => obj.seized_by == Some(aid),
+            })
+            .map(|slot| slot.uid)
+            .collect();
+        uids.sort_unstable();
+        uids
     }
 
     // ---- Mutex objects (§2.4.2) -----------------------------------------
@@ -613,6 +675,39 @@ mod tests {
             heap.mutate_mutex(h, aid(1), |_| {}),
             Err(HeapError::NotSeized { .. })
         ));
+    }
+
+    #[test]
+    fn lock_conflict_reports_holders() {
+        let mut heap = Heap::new();
+        let h = heap.alloc_atomic(Value::Unit, None);
+        heap.acquire_read(h, aid(1)).unwrap();
+        heap.acquire_read(h, aid(2)).unwrap();
+        match heap.acquire_write(h, aid(3)) {
+            Err(HeapError::LockConflict { holders, .. }) => {
+                assert_eq!(holders, vec![aid(1), aid(2)]);
+            }
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        let msg = heap.acquire_write(h, aid(3)).unwrap_err().to_string();
+        assert!(msg.contains("held by T0.1, T0.2"), "display: {msg}");
+    }
+
+    #[test]
+    fn lock_queries_see_every_holder() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_atomic(Value::Unit, None);
+        let m = heap.alloc_mutex(Value::Unit);
+        heap.acquire_write(a, aid(1)).unwrap();
+        heap.seize(m, aid(1)).unwrap();
+        assert_eq!(heap.lock_holders(a).unwrap(), (Some(aid(1)), vec![]));
+        assert_eq!(heap.lock_holders(m).unwrap(), (Some(aid(1)), vec![]));
+        assert!(heap.holds_lock(a, aid(1)) && !heap.holds_lock(a, aid(2)));
+        let held = heap.locks_held_by(aid(1));
+        assert_eq!(held, vec![heap.uid_of(a).unwrap(), heap.uid_of(m).unwrap()]);
+        heap.abort_action(aid(1));
+        heap.release(m, aid(1)).ok();
+        assert!(heap.locks_held_by(aid(1)).is_empty());
     }
 
     #[test]

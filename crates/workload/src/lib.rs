@@ -14,13 +14,22 @@
 //!   linking new objects (the newly-accessible-object machinery of
 //!   §3.3.3.2).
 //!
+//! Plus one adversarial mix for the concurrency-control subsystem:
+//!
+//! * [`Contended`] — a high-contention zipfian transfer mix over a small
+//!   hot account set that deadlocks by construction (no global lock
+//!   ordering), driven by a deterministic slot scheduler with seeded
+//!   backoff retry — the workload behind experiment E14.
+//!
 //! All generators draw exclusively from [`argus_sim::DetRng`], so a seed
 //! pins down a run exactly.
 
 mod banking;
+mod contended;
 mod reservations;
 mod synth;
 
 pub use banking::{Banking, BankingConfig, BankingStats};
+pub use contended::{Contended, ContendedConfig, ContendedStats};
 pub use reservations::{Reservations, ReservationsConfig, ReservationsStats};
 pub use synth::{Synth, SynthConfig};

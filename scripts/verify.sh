@@ -19,8 +19,10 @@ run scripts/lint.sh
 run cargo build --release --offline
 run cargo test -q --offline
 run cargo test -q --offline --features proptest
-# Bench smoke: tiny E12/E13 asserting group-commit batching never increases
-# forces per commit and the page cache hits during recovery.
+# Bench smoke: tiny E12/E13/E14 asserting group-commit batching never
+# increases forces per commit, the page cache hits during recovery, and the
+# contended lock mix completes without a hang under every concurrency-control
+# policy with blocking mode breaking at least one deadlock (cc.deadlocks > 0).
 run cargo run -q --release --offline -p argus-bench --bin experiments -- --smoke
 
 if [[ "${1:-}" == "--full" ]]; then

@@ -17,6 +17,8 @@
 //! * [`shadow`] — the shadowing baseline of §1.2.1 for head-to-head
 //!   comparison;
 //! * [`twopc`] — two-phase commit state machines (§2.2);
+//! * [`cc`] — concurrency control: lock wait queues, wait-for-graph
+//!   deadlock detection, timeout and seeded-backoff retry policies;
 //! * [`guardian`] — the Argus guardian substrate and the deterministic
 //!   distributed-system simulator;
 //! * [`workload`] — banking / reservations / synthetic workload generators;
@@ -25,7 +27,8 @@
 //!   histograms, phase timers on the simulated clock, the bounded event
 //!   journal, and the bench harness;
 //! * [`check`] — the log-invariant linter (I1–I10, also the `argus-lint`
-//!   CLI) and the bounded 2PC interleaving explorer.
+//!   CLI), the heap stale-lock lint I11, and the bounded 2PC interleaving
+//!   explorer.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +53,7 @@
 //! );
 //! ```
 
+pub use argus_cc as cc;
 pub use argus_check as check;
 pub use argus_core as core;
 pub use argus_guardian as guardian;

@@ -1,0 +1,387 @@
+//! S10: the lock manager under the `World` — FIFO blocking and wake-up,
+//! shared grants, upgrade bypass, deadlock victim selection, lock-wait
+//! timeout, crash draining, in-doubt lock re-grant after recovery, and
+//! same-seed determinism of the contended mix. Every scenario ends with the
+//! I1–I11 lint hook.
+
+mod common;
+
+use argus::guardian::{CcFate, CcOutcome, CcPolicy, Outcome, RsKind, World, WorldConfig};
+use argus::objects::{GuardianId, HeapId, ObjRef, Value};
+use argus::sim::{CostModel, DetRng};
+use argus::workload::{Contended, ContendedConfig};
+
+fn world(policy: CcPolicy) -> World {
+    World::with_config(CostModel::fast(), WorldConfig::with_cc(policy))
+}
+
+/// One guardian with one committed `Seq([])` object every test can write.
+fn seq_setup(policy: CcPolicy) -> (World, GuardianId, HeapId) {
+    let mut w = world(policy);
+    let g = w.add_guardian(RsKind::Hybrid).unwrap();
+    let setup = w.begin(g).unwrap();
+    let h = w.create_atomic(g, setup, Value::Seq(vec![])).unwrap();
+    w.set_stable(g, setup, "obj", Value::heap_ref(h)).unwrap();
+    assert_eq!(w.commit(setup).unwrap(), Outcome::Committed);
+    (w, g, h)
+}
+
+fn push(k: i64) -> impl FnOnce(&mut Value) + 'static {
+    move |v| {
+        if let Value::Seq(items) = v {
+            items.push(Value::Int(k));
+        }
+    }
+}
+
+fn seq_of(w: &World, g: GuardianId, h: HeapId) -> Vec<i64> {
+    match w.guardian(g).unwrap().heap.read_value(h, None).unwrap() {
+        Value::Seq(items) => items
+            .iter()
+            .map(|v| match v {
+                Value::Int(n) => *n,
+                other => panic!("non-int item {other:?}"),
+            })
+            .collect(),
+        other => panic!("not a seq: {other:?}"),
+    }
+}
+
+#[test]
+fn blocked_writers_wake_in_fifo_order() {
+    let (mut w, g, h) = seq_setup(CcPolicy::Blocking);
+    let a1 = w.begin(g).unwrap();
+    let a2 = w.begin(g).unwrap();
+    let a3 = w.begin(g).unwrap();
+    assert_eq!(
+        w.submit_write_atomic(g, a1, h, push(1)).unwrap(),
+        CcOutcome::Done
+    );
+    assert_eq!(
+        w.submit_write_atomic(g, a2, h, push(2)).unwrap(),
+        CcOutcome::Parked
+    );
+    assert_eq!(
+        w.submit_write_atomic(g, a3, h, push(3)).unwrap(),
+        CcOutcome::Parked
+    );
+    assert_eq!(w.cc_waiter_count(), 2);
+
+    // a1's commit releases the write lock; exactly the queue head wakes.
+    assert_eq!(w.commit(a1).unwrap(), Outcome::Committed);
+    assert!(!w.cc_blocked(a2), "queue head not granted on release");
+    assert!(w.cc_blocked(a3), "second waiter overtook the FIFO queue");
+    assert_eq!(w.commit(a2).unwrap(), Outcome::Committed);
+    assert!(!w.cc_blocked(a3));
+    assert_eq!(w.commit(a3).unwrap(), Outcome::Committed);
+
+    // The buffered writes ran in grant order.
+    assert_eq!(seq_of(&w, g, h), vec![1, 2, 3]);
+    common::lint_world(&mut w);
+}
+
+#[test]
+fn compatible_readers_wake_together() {
+    let (mut w, g, h) = seq_setup(CcPolicy::Blocking);
+    let writer = w.begin(g).unwrap();
+    let r1 = w.begin(g).unwrap();
+    let r2 = w.begin(g).unwrap();
+    assert_eq!(
+        w.submit_write_atomic(g, writer, h, push(1)).unwrap(),
+        CcOutcome::Done
+    );
+    assert_eq!(w.submit_read(g, r1, h).unwrap(), CcOutcome::Parked);
+    assert_eq!(w.submit_read(g, r2, h).unwrap(), CcOutcome::Parked);
+
+    // Both shared requests are compatible: one release wakes them both.
+    assert_eq!(w.commit(writer).unwrap(), Outcome::Committed);
+    assert!(!w.cc_blocked(r1) && !w.cc_blocked(r2));
+    // The grant is the read lock; the re-issued read sees the committed
+    // value (read-only participants still commit to release their locks).
+    assert_eq!(w.read(g, r1, h).unwrap(), Value::Seq(vec![Value::Int(1)]));
+    assert_eq!(w.commit(r1).unwrap(), Outcome::Committed);
+    assert_eq!(w.commit(r2).unwrap(), Outcome::Committed);
+    common::lint_world(&mut w);
+}
+
+#[test]
+fn upgrade_bypasses_the_queue() {
+    let (mut w, g, h) = seq_setup(CcPolicy::Blocking);
+    let reader = w.begin(g).unwrap();
+    let other = w.begin(g).unwrap();
+    assert_eq!(w.submit_read(g, reader, h).unwrap(), CcOutcome::Done);
+    assert_eq!(
+        w.submit_write_atomic(g, other, h, push(9)).unwrap(),
+        CcOutcome::Parked
+    );
+    // The sole reader upgrades in place rather than queueing behind the
+    // parked writer — queueing would deadlock against its own read lock.
+    assert_eq!(
+        w.submit_write_atomic(g, reader, h, push(1)).unwrap(),
+        CcOutcome::Done
+    );
+    assert_eq!(w.commit(reader).unwrap(), Outcome::Committed);
+    assert!(!w.cc_blocked(other));
+    assert_eq!(w.commit(other).unwrap(), Outcome::Committed);
+    assert_eq!(seq_of(&w, g, h), vec![1, 9]);
+    common::lint_world(&mut w);
+}
+
+#[test]
+fn deadlock_breaks_with_the_youngest_as_victim() {
+    let (mut w, g, x) = seq_setup(CcPolicy::Blocking);
+    let setup = w.begin(g).unwrap();
+    let y = w.create_atomic(g, setup, Value::Seq(vec![])).unwrap();
+    w.set_stable(g, setup, "obj2", Value::heap_ref(y)).unwrap();
+    assert_eq!(w.commit(setup).unwrap(), Outcome::Committed);
+
+    let a1 = w.begin(g).unwrap();
+    let a2 = w.begin(g).unwrap();
+    assert_eq!(
+        w.submit_write_atomic(g, a1, x, push(1)).unwrap(),
+        CcOutcome::Done
+    );
+    assert_eq!(
+        w.submit_write_atomic(g, a2, y, push(2)).unwrap(),
+        CcOutcome::Done
+    );
+    assert_eq!(
+        w.submit_write_atomic(g, a1, y, push(1)).unwrap(),
+        CcOutcome::Parked
+    );
+    // a2 → x closes the cycle; the youngest action (a2) is the victim and
+    // its abort unblocks a1 immediately.
+    assert_eq!(
+        w.submit_write_atomic(g, a2, x, push(2)).unwrap(),
+        CcOutcome::Parked
+    );
+    assert_eq!(w.cc_fate(a2), Some(CcFate::Victim));
+    assert!(w.cc_fate(a1).is_none());
+    assert!(
+        !w.cc_blocked(a1),
+        "survivor still parked after victim abort"
+    );
+
+    let reports = w.cc_deadlock_reports();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].victim, a2);
+    assert!(reports[0].cycle.contains(&a1) && reports[0].cycle.contains(&a2));
+
+    assert_eq!(w.commit(a1).unwrap(), Outcome::Committed);
+    assert_eq!(seq_of(&w, g, x), vec![1]);
+    assert_eq!(seq_of(&w, g, y), vec![1]);
+    common::lint_world(&mut w);
+}
+
+#[test]
+fn lock_wait_expires_at_the_deadline() {
+    let (mut w, g, h) = seq_setup(CcPolicy::Timeout);
+    let holder = w.begin(g).unwrap();
+    let waiter = w.begin(g).unwrap();
+    assert_eq!(
+        w.submit_write_atomic(g, holder, h, push(1)).unwrap(),
+        CcOutcome::Done
+    );
+    assert_eq!(
+        w.submit_write_atomic(g, waiter, h, push(2)).unwrap(),
+        CcOutcome::Parked
+    );
+    let deadline = w.cc_next_deadline().expect("parked wait has a deadline");
+    assert!(deadline > w.clock.now());
+
+    // Nothing expires before the deadline…
+    assert!(!w.cc_tick());
+    assert!(w.cc_blocked(waiter));
+    // …and exactly the due waiter expires at it.
+    w.clock.advance_to(deadline);
+    assert!(w.cc_tick());
+    assert_eq!(w.cc_fate(waiter), Some(CcFate::TimedOut));
+    assert!(!w.cc_blocked(waiter));
+
+    assert_eq!(w.commit(holder).unwrap(), Outcome::Committed);
+    assert_eq!(seq_of(&w, g, h), vec![1]);
+    common::lint_world(&mut w);
+}
+
+#[test]
+fn crash_drains_waiters_parked_on_the_dead_heap() {
+    let mut w = world(CcPolicy::Blocking);
+    let g0 = w.add_guardian(RsKind::Hybrid).unwrap();
+    let g1 = w.add_guardian(RsKind::Hybrid).unwrap();
+    let setup = w.begin(g1).unwrap();
+    let h = w.create_atomic(g1, setup, Value::Seq(vec![])).unwrap();
+    w.set_stable(g1, setup, "obj", Value::heap_ref(h)).unwrap();
+    assert_eq!(w.commit(setup).unwrap(), Outcome::Committed);
+
+    let holder = w.begin(g0).unwrap();
+    let waiter = w.begin(g0).unwrap();
+    assert_eq!(
+        w.submit_write_atomic(g1, holder, h, push(1)).unwrap(),
+        CcOutcome::Done
+    );
+    assert_eq!(
+        w.submit_write_atomic(g1, waiter, h, push(2)).unwrap(),
+        CcOutcome::Parked
+    );
+
+    // The guardian holding the contested object dies: the lock (and the
+    // whole volatile heap) is gone, so the parked request must not hang.
+    w.crash(g1);
+    assert!(!w.cc_blocked(waiter), "waiter still parked on a dead heap");
+    assert_eq!(w.cc_fate(waiter), Some(CcFate::CrashDrained));
+    assert_eq!(w.cc_waiter_count(), 0);
+
+    // The holder's in-flight action cannot commit its g1 write any more;
+    // abort it and bring the guardian back.
+    w.abort_local(holder);
+    w.restart(g1).unwrap();
+    assert_eq!(seq_of(&w, g1, h), Vec::<i64>::new());
+    common::lint_world(&mut w);
+}
+
+/// Crash both sides of a distributed transfer after the participant logged
+/// `prepared` but before it learned the verdict; restart only the
+/// participant. Recovery must re-grant the in-doubt action's write lock, a
+/// new writer must queue behind it, and the coordinator's return must
+/// resolve the action, release the lock, and wake the waiter.
+fn in_doubt_regrant(kind: RsKind) {
+    let mut witnessed = false;
+    for budget in 0..150u64 {
+        let mut w = world(CcPolicy::Blocking);
+        let g0 = w.add_guardian(kind).unwrap();
+        let g1 = w.add_guardian(kind).unwrap();
+        for (g, name) in [(g0, "a0"), (g1, "a1")] {
+            let setup = w.begin(g).unwrap();
+            let h = w.create_atomic(g, setup, Value::Int(100)).unwrap();
+            w.set_stable(g, setup, name, Value::heap_ref(h)).unwrap();
+            assert_eq!(w.commit(setup).unwrap(), Outcome::Committed);
+        }
+        let resolve = |w: &World, g: GuardianId, name: &str| -> HeapId {
+            match w.guardian(g).unwrap().stable_value(name) {
+                Some(Value::Ref(ObjRef::Heap(h))) => h,
+                other => panic!("unresolved {name}: {other:?}"),
+            }
+        };
+
+        let a = w.begin(g0).unwrap();
+        let h0 = resolve(&w, g0, "a0");
+        let h1 = resolve(&w, g1, "a1");
+        w.write_atomic(g0, a, h0, |v| {
+            if let Value::Int(n) = v {
+                *n -= 30;
+            }
+        })
+        .unwrap();
+        w.write_atomic(g1, a, h1, |v| {
+            if let Value::Int(n) = v {
+                *n += 30;
+            }
+        })
+        .unwrap();
+        w.arm_crash_after_writes(g1, budget).unwrap();
+        let _ = w.commit(a).unwrap();
+        if w.is_up(g1) {
+            continue; // the budget outlived the whole commit
+        }
+        w.crash(g1);
+        w.crash(g0); // verdict source gone: the participant stays in doubt
+        w.restart(g1).unwrap();
+        w.run_until_quiet().unwrap();
+
+        let h1 = resolve(&w, g1, "a1");
+        if !w.guardian(g1).unwrap().heap.holds_lock(h1, a) {
+            continue; // crashed outside the prepared-but-unresolved window
+        }
+        witnessed = true;
+
+        // The in-doubt action holds the re-granted write lock; a new writer
+        // queues behind it instead of seizing the object.
+        let b = w.begin(g1).unwrap();
+        assert_eq!(
+            w.submit_write_atomic(g1, b, h1, |v| {
+                if let Value::Int(n) = v {
+                    *n += 1;
+                }
+            })
+            .unwrap(),
+            CcOutcome::Parked,
+            "{kind:?} budget {budget}: new writer did not queue behind the in-doubt holder"
+        );
+
+        // The coordinator returns; two-phase commit resolves the in-doubt
+        // action either way, releasing its locks and waking the waiter.
+        w.restart(g0).unwrap();
+        w.run_until_quiet().unwrap();
+        w.requery_in_doubt().unwrap();
+        assert!(
+            !w.cc_blocked(b),
+            "{kind:?} budget {budget}: waiter still parked after resolution"
+        );
+        assert!(w.cc_fate(b).is_none());
+        assert_eq!(w.commit(b).unwrap(), Outcome::Committed);
+        let balance = match w.guardian(g1).unwrap().heap.read_value(h1, None).unwrap() {
+            Value::Int(n) => *n,
+            other => panic!("bad balance {other:?}"),
+        };
+        assert!(
+            balance == 131 || balance == 101,
+            "{kind:?} budget {budget}: split balance {balance}"
+        );
+        common::lint_world(&mut w);
+    }
+    assert!(
+        witnessed,
+        "{kind:?}: no crash budget produced an in-doubt participant"
+    );
+}
+
+#[test]
+fn in_doubt_holder_keeps_its_lock_after_recovery_simple() {
+    in_doubt_regrant(RsKind::Simple);
+}
+
+#[test]
+fn in_doubt_holder_keeps_its_lock_after_recovery_hybrid() {
+    in_doubt_regrant(RsKind::Hybrid);
+}
+
+#[test]
+fn contended_mix_is_deterministic_across_runs() {
+    for policy in [
+        CcPolicy::ConflictAbort,
+        CcPolicy::Blocking,
+        CcPolicy::Timeout,
+    ] {
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut w = world(policy);
+            let mix = Contended::setup(&mut w, RsKind::Hybrid, ContendedConfig::default()).unwrap();
+            let mut rng = DetRng::new(99);
+            let stats = mix.run(&mut w, &mut rng).unwrap();
+            assert_eq!(mix.total_balance(&w).unwrap(), mix.expected_total());
+            let balances: Vec<Value> = (0..8)
+                .map(|i| {
+                    let h = match w
+                        .guardian(mix.guardian())
+                        .unwrap()
+                        .stable_value(&format!("hot{i}"))
+                    {
+                        Some(Value::Ref(ObjRef::Heap(h))) => h,
+                        other => panic!("unresolved hot{i}: {other:?}"),
+                    };
+                    w.guardian(mix.guardian())
+                        .unwrap()
+                        .heap
+                        .read_value(h, None)
+                        .unwrap()
+                        .clone()
+                })
+                .collect();
+            common::lint_world(&mut w);
+            runs.push((stats, balances));
+        }
+        // Same seed ⇒ identical schedule (commit order), abort set, and
+        // final tables (per-account balances).
+        assert_eq!(runs[0], runs[1], "{policy:?}");
+    }
+}

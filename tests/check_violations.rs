@@ -519,3 +519,38 @@ fn cli_exits_two_on_a_missing_file() {
     let (status, _) = run_cli(&path);
     assert_eq!(status, 2);
 }
+
+// ---- I11: no stale locks in a quiesced heap -------------------------------
+
+#[test]
+fn stale_locks_trip_i11() {
+    use argus::check::lint_heap_quiesced;
+    use argus::objects::Heap;
+    use std::collections::BTreeSet;
+
+    let mut heap = Heap::new();
+    let a = heap.alloc_atomic(Value::Int(1), None);
+    let b = heap.alloc_atomic(Value::Int(2), None);
+    let m = heap.alloc_mutex(Value::Int(3));
+    heap.acquire_write(a, aid(1)).unwrap();
+    heap.write_value(a, aid(1), |v| *v = Value::Int(10))
+        .unwrap();
+    heap.acquire_read(b, aid(2)).unwrap();
+    heap.seize(m, aid(3)).unwrap();
+
+    // With every holder live the heap is quiescent-clean.
+    let live: BTreeSet<ActionId> = [aid(1), aid(2), aid(3)].into();
+    assert!(lint_heap_quiesced(&heap, &live).is_empty());
+
+    // Forget the writer: its write lock and buffered current version leak.
+    let live: BTreeSet<ActionId> = [aid(2), aid(3)].into();
+    let violations = lint_heap_quiesced(&heap, &live);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert!(violations
+        .iter()
+        .all(|v| v.invariant == Invariant::I11NoStaleLocks));
+
+    // Forget everyone: the read lock and the mutex seizure leak too.
+    let violations = lint_heap_quiesced(&heap, &BTreeSet::new());
+    assert_eq!(violations.len(), 3, "{violations:?}");
+}

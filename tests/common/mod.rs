@@ -1,12 +1,13 @@
 //! Shared test support: every scenario and housekeeping test ends by
-//! linting the log(s) it produced against the invariant catalogue I1–I10,
-//! so a regression that leaves a structurally broken log fails loudly even
-//! when the test's own assertions still pass.
+//! linting the log(s) it produced against the invariant catalogue I1–I10 —
+//! and every up guardian's heap against the stale-lock invariant I11 — so a
+//! regression that leaves a structurally broken log or a leaked lock fails
+//! loudly even when the test's own assertions still pass.
 
 // Each integration-test binary uses a subset of these helpers.
 #![allow(dead_code)]
 
-use argus::check::{lint_log, lint_log_against, LogImage};
+use argus::check::{assert_heap_quiesced, lint_log, lint_log_against, LogImage};
 use argus::core::{LogEntry, RecoveryOutcome};
 use argus::guardian::World;
 use argus::slog::LogAddress;
@@ -25,12 +26,19 @@ pub fn lint_entries_against(entries: Vec<(LogAddress, LogEntry)>, out: &Recovery
     lint_log_against(&LogImage::from_entries(entries), out).assert_clean();
 }
 
-/// Lints the log of every guardian in `world` that keeps one.
+/// Lints the log of every guardian in `world` that keeps one, and the heap
+/// of every guardian that is up against I11 (no stale locks): a lock or
+/// buffered current version still owned by a finished action is a leak the
+/// scenario's own assertions would never notice.
 #[track_caller]
 pub fn lint_world(world: &mut World) {
+    let live = world.live_actions();
     for g in world.guardian_ids() {
         if let Some(entries) = world.dump_log(g).unwrap() {
             lint_log(&LogImage::from_entries(entries)).assert_clean();
+        }
+        if world.is_up(g) {
+            assert_heap_quiesced(&world.guardian(g).unwrap().heap, &live);
         }
     }
 }
