@@ -1041,3 +1041,67 @@ pub fn e10_abort_rate() -> Table {
     }
     table
 }
+
+/// E15 — exhaustive crash-schedule sweep coverage (DESIGN.md § Fault-sweep).
+///
+/// Runs the `argus-check` crash-schedule sweeper over its full configuration
+/// matrix — every write index of the 3-guardian 2PC workload as a first
+/// crash, plus a second crash swept through each recovery's device
+/// operations — and reports per-organization coverage: schedule points
+/// explored, counterexamples (which must be **zero**), and both simulated
+/// and wall time. `max_points_per_victim` bounds the per-victim crash
+/// indices for smoke use; `None` is the exhaustive sweep. The same counters
+/// are exported through `argus-obs` (`check.sweep.*`).
+pub fn e15_sweep_coverage(max_points_per_victim: Option<u64>, double_crash: bool) -> Table {
+    use argus_check::sweep::{sweep, SweepConfig};
+    use argus_guardian::RsKind;
+
+    let mut table = Table::new(
+        "E15",
+        "Crash-schedule sweep: crash at every write index, and during recovery",
+        "required: zero counterexamples — committed stays durable, aborted stays invisible, in-doubt resolves atomically, logs lint clean (I1-I11), on every explored schedule",
+    );
+    table.header(vec![
+        "organization".into(),
+        "cells".into(),
+        "first-crash points".into(),
+        "double-crash points".into(),
+        "oracle writes".into(),
+        "counterexamples".into(),
+        "simulated ms".into(),
+        "wall ms".into(),
+    ]);
+    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow] {
+        let started = std::time::Instant::now();
+        let mut cells = 0u64;
+        let mut first = 0u64;
+        let mut second = 0u64;
+        let mut oracle = 0u64;
+        let mut cx = 0u64;
+        let mut sim_us = 0u64;
+        for mut cfg in SweepConfig::matrix(double_crash, 1) {
+            if cfg.kind != kind {
+                continue;
+            }
+            cfg.max_points_per_victim = max_points_per_victim;
+            let report = sweep(&cfg);
+            cells += 1;
+            first += report.first_crash_points;
+            second += report.double_crash_points;
+            oracle += report.oracle_writes;
+            cx += report.counterexamples.len() as u64;
+            sim_us += report.sim_us;
+        }
+        table.row(vec![
+            format!("{kind:?}").to_lowercase(),
+            cells.to_string(),
+            first.to_string(),
+            second.to_string(),
+            oracle.to_string(),
+            cx.to_string(),
+            (sim_us / 1_000).to_string(),
+            started.elapsed().as_millis().to_string(),
+        ]);
+    }
+    table
+}

@@ -47,6 +47,7 @@ pub mod explore;
 mod image;
 mod lint;
 mod obs;
+pub mod sweep;
 
 pub use explore::{ExploreConfig, ExploreReport, ExploreStats, Explorer};
 pub use image::{BadRecord, LogImage};
@@ -54,3 +55,4 @@ pub use lint::{
     assert_heap_quiesced, detect_flavor, lint_heap_quiesced, lint_log, lint_log_against, Flavor,
     Invariant, LintReport, ReconObj, Reconstruction, Violation,
 };
+pub use sweep::{sweep, Counterexample, SweepConfig, SweepReport};

@@ -59,3 +59,25 @@ impl ExploreObs {
         }
     }
 }
+
+/// Crash-schedule sweeper coverage counters — feed experiment E15.
+#[derive(Debug, Clone)]
+pub(crate) struct SweepObs {
+    /// First-crash schedule points explored (one full workload run each).
+    pub points: Counter,
+    /// Legality or lint failures found across all points.
+    pub counterexamples: Counter,
+    /// Second-crash (crash-during-recovery) schedule points explored.
+    pub double_crashes: Counter,
+}
+
+impl SweepObs {
+    pub fn resolve() -> Self {
+        let reg = argus_obs::current();
+        Self {
+            points: reg.counter("check.sweep.points"),
+            counterexamples: reg.counter("check.sweep.counterexamples"),
+            double_crashes: reg.counter("check.sweep.double_crashes"),
+        }
+    }
+}

@@ -167,6 +167,16 @@ pub trait RecoverySystem {
 
     /// Current log and device statistics.
     fn log_stats(&self) -> LogStats;
+
+    /// Fault-injection hook: spontaneously decays one media copy of page
+    /// `pno` on the active store ([`PageStore::decay_page`]), returning
+    /// `true` if the media model decay. The crash sweeper composes this with
+    /// a crash at the frontier page so recovery has to run its read-path
+    /// repair — whose writes are themselves sweepable crash points.
+    fn decay_page(&mut self, pno: argus_stable::PageNo) -> bool {
+        let _ = pno;
+        false
+    }
 }
 
 /// A source of fresh page stores, used by housekeeping to materialize the

@@ -659,6 +659,10 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
             device: self.log.store().stats().snapshot(),
         }
     }
+
+    fn decay_page(&mut self, pno: argus_stable::PageNo) -> bool {
+        self.log.store_mut().decay_page(pno)
+    }
 }
 
 #[cfg(test)]

@@ -1,13 +1,13 @@
 //! The simple-log recovery system (ch. 3).
 
-use crate::api::{HousekeepingMode, LogStats, RecoverySystem};
+use crate::api::{HousekeepingMode, LogStats, RecoverySystem, StoreProvider};
 use crate::entry::{decode_entry, encode_entry, LogEntry};
 use crate::metrics::CoreObs;
 use crate::restore::RecoverCtx;
-use crate::tables::RecoveryOutcome;
+use crate::tables::{ObjState, RecoveryOutcome};
 use crate::writer::{process_mos, EntrySink};
 use crate::{RsError, RsResult};
-use argus_objects::{ActionId, GuardianId, Heap, HeapId, ObjKind, Uid, Value};
+use argus_objects::{ActionId, GuardianId, Heap, HeapId, ObjKind, ObjectBody, Uid, Value};
 use argus_slog::{LogAddress, StableLog};
 use argus_stable::PageStore;
 use std::collections::HashSet;
@@ -56,39 +56,63 @@ impl<S: PageStore> EntrySink for SimpleSink<'_, S> {
     }
 }
 
+/// In-progress simple-log compaction state (between `begin_housekeeping` and
+/// `finish_housekeeping`).
+#[derive(Debug)]
+struct SimpleHk<S: PageStore> {
+    new_log: StableLog<S>,
+    /// Forced-entry count of the old log at begin: entries with `seq >=
+    /// marker` were written after stage one digested the log and are copied
+    /// verbatim by stage two.
+    marker: u64,
+    /// Stable entries on the old log when the pass started (metrics).
+    old_entries_at_begin: u64,
+}
+
 /// The recovery system over a simple log: writing per §3.3, recovery per
 /// §3.4.4 (read *every* entry backwards). Fast writing, slow recovery; no
-/// early prepare and no housekeeping (both are ch. 4/5 hybrid-log features).
+/// early prepare. Housekeeping is log compaction in the simple-log idiom:
+/// the digest is re-expressed with the flat entry forms recovery already
+/// understands (`base_committed`, `prepared_data`, plain data entries), so
+/// the compacted log is still an ordinary simple log.
 #[derive(Debug)]
-pub struct SimpleLogRs<S: PageStore> {
-    log: StableLog<S>,
+pub struct SimpleLogRs<P: StoreProvider> {
+    provider: P,
+    log: StableLog<P::Store>,
     /// The accessibility set (AS, §3.3.3.2).
     access: HashSet<Uid>,
     /// The prepared-actions table (PAT, §3.3.3.2).
     pat: HashSet<ActionId>,
+    /// In-progress housekeeping state.
+    hk: Option<SimpleHk<P::Store>>,
     /// Cached metric handles.
     obs: CoreObs,
 }
 
-impl<S: PageStore> SimpleLogRs<S> {
+impl<P: StoreProvider> SimpleLogRs<P> {
     /// Creates a recovery system over a freshly formatted log. The stable
     /// root is accessible by definition.
-    pub fn create(store: S) -> RsResult<Self> {
+    pub fn create(mut provider: P) -> RsResult<Self> {
+        let log = StableLog::create(provider.new_store())?;
         Ok(Self {
-            log: StableLog::create(store)?,
+            provider,
+            log,
             access: [Uid::STABLE_ROOT].into_iter().collect(),
             pat: HashSet::new(),
+            hk: None,
             obs: CoreObs::resolve(),
         })
     }
 
     /// Opens a recovery system over an existing log (post-crash). Call
     /// [`RecoverySystem::recover`] before anything else.
-    pub fn open(store: S) -> RsResult<Self> {
+    pub fn open(provider: P, store: P::Store) -> RsResult<Self> {
         Ok(Self {
+            provider,
             log: StableLog::open(store)?,
             access: HashSet::new(),
             pat: HashSet::new(),
+            hk: None,
             obs: CoreObs::resolve(),
         })
     }
@@ -125,12 +149,79 @@ impl<S: PageStore> SimpleLogRs<S> {
     }
 
     /// Direct access to the underlying log (experiments).
-    pub fn log(&self) -> &StableLog<S> {
+    pub fn log(&self) -> &StableLog<P::Store> {
         &self.log
+    }
+
+    /// The §3.4.4 backward scan: feeds every forced entry (newest first)
+    /// through `ctx`, including the deferred committed_ss handling. Shared
+    /// between [`RecoverySystem::recover`] and compaction stage one, which is
+    /// "like a recovery" (§5.1.1) but digests into a scratch heap.
+    fn scan_log(&mut self, ctx: &mut RecoverCtx<'_>) -> RsResult<()> {
+        // Deferred committed_ss pairs (only present if someone recovers a
+        // compacted hybrid log with the simple algorithm).
+        let mut deferred_cssl: Vec<(Uid, LogAddress)> = Vec::new();
+
+        // Step 2: read the log backwards, every entry.
+        for item in self.log.read_backward(None) {
+            let (addr, _seq, payload) = item?;
+            let entry = decode_entry(&payload)?;
+            ctx.entries_examined += 1;
+            match entry {
+                LogEntry::Prepared { aid, .. } => {
+                    ctx.on_prepared(aid);
+                }
+                LogEntry::Committed { aid, .. } => ctx.on_committed(aid),
+                LogEntry::Aborted { aid, .. } => ctx.on_aborted(aid),
+                LogEntry::Committing { aid, gids, .. } => ctx.on_committing(aid, gids),
+                LogEntry::Done { aid, .. } => ctx.on_done(aid),
+                LogEntry::BaseCommitted { uid, value, .. } => ctx.on_base_committed(uid, value)?,
+                LogEntry::PreparedData {
+                    uid, value, aid, ..
+                } => ctx.on_prepared_data(uid, value, aid)?,
+                LogEntry::Data {
+                    uid,
+                    kind,
+                    value,
+                    aid,
+                } => {
+                    ctx.data_entries_read += 1;
+                    ctx.on_data(addr, uid, kind, value, aid)?;
+                }
+                // Hybrid-log data entries carry no uid/aid; in a pure scan
+                // they can only be interpreted through the prepared entries'
+                // pairs, which the simple algorithm does not use.
+                LogEntry::DataH { .. } => {}
+                LogEntry::CommittedSs { cssl, .. } => deferred_cssl.extend(cssl),
+            }
+        }
+
+        // Checkpoint pairs are the oldest committed state; restoring them
+        // after the scan preserves newest-first priority.
+        for (uid, addr) in deferred_cssl {
+            if ctx.ot.get(uid).map(|e| e.state) == Some(ObjState::Restored) {
+                continue;
+            }
+            let (_seq, payload) = self.log.read(addr)?;
+            ctx.entries_examined += 1;
+            ctx.data_entries_read += 1;
+            match decode_entry(&payload)? {
+                LogEntry::DataH { kind, value } => {
+                    ctx.restore_committed(uid, kind, value, Some(addr))?;
+                }
+                other => {
+                    return Err(RsError::BadState(format!(
+                        "cssl pair points at a {} entry",
+                        other.name()
+                    )))
+                }
+            }
+        }
+        Ok(())
     }
 }
 
-impl<S: PageStore> RecoverySystem for SimpleLogRs<S> {
+impl<P: StoreProvider> RecoverySystem for SimpleLogRs<P> {
     fn prepare(&mut self, aid: ActionId, mos: &[HeapId], heap: &Heap) -> RsResult<()> {
         self.stage_prepare(aid, mos, heap)?;
         self.force_staged()
@@ -240,65 +331,7 @@ impl<S: PageStore> RecoverySystem for SimpleLogRs<S> {
     fn recover(&mut self, heap: &mut Heap) -> RsResult<RecoveryOutcome> {
         let timer = self.obs.reg.phase("core.recover_us");
         let mut ctx = RecoverCtx::new(heap);
-        // Deferred committed_ss pairs (only present if someone recovers a
-        // compacted hybrid log with the simple algorithm).
-        let mut deferred_cssl: Vec<(Uid, LogAddress)> = Vec::new();
-
-        // Step 2: read the log backwards, every entry.
-        for item in self.log.read_backward(None) {
-            let (addr, _seq, payload) = item?;
-            let entry = decode_entry(&payload)?;
-            ctx.entries_examined += 1;
-            match entry {
-                LogEntry::Prepared { aid, .. } => {
-                    ctx.on_prepared(aid);
-                }
-                LogEntry::Committed { aid, .. } => ctx.on_committed(aid),
-                LogEntry::Aborted { aid, .. } => ctx.on_aborted(aid),
-                LogEntry::Committing { aid, gids, .. } => ctx.on_committing(aid, gids),
-                LogEntry::Done { aid, .. } => ctx.on_done(aid),
-                LogEntry::BaseCommitted { uid, value, .. } => ctx.on_base_committed(uid, value)?,
-                LogEntry::PreparedData {
-                    uid, value, aid, ..
-                } => ctx.on_prepared_data(uid, value, aid)?,
-                LogEntry::Data {
-                    uid,
-                    kind,
-                    value,
-                    aid,
-                } => {
-                    ctx.data_entries_read += 1;
-                    ctx.on_data(addr, uid, kind, value, aid)?;
-                }
-                // Hybrid-log data entries carry no uid/aid; in a pure scan
-                // they can only be interpreted through the prepared entries'
-                // pairs, which the simple algorithm does not use.
-                LogEntry::DataH { .. } => {}
-                LogEntry::CommittedSs { cssl, .. } => deferred_cssl.extend(cssl),
-            }
-        }
-
-        // Checkpoint pairs are the oldest committed state; restoring them
-        // after the scan preserves newest-first priority.
-        for (uid, addr) in deferred_cssl {
-            if ctx.ot.get(uid).map(|e| e.state) == Some(crate::tables::ObjState::Restored) {
-                continue;
-            }
-            let (_seq, payload) = self.log.read(addr)?;
-            ctx.entries_examined += 1;
-            ctx.data_entries_read += 1;
-            match decode_entry(&payload)? {
-                LogEntry::DataH { kind, value } => {
-                    ctx.restore_committed(uid, kind, value, Some(addr))?;
-                }
-                other => {
-                    return Err(RsError::BadState(format!(
-                        "cssl pair points at a {} entry",
-                        other.name()
-                    )))
-                }
-            }
-        }
+        self.scan_log(&mut ctx)?;
 
         // Step 3: turn uids into pointers; the stable counter was advanced
         // as objects were inserted.
@@ -327,22 +360,183 @@ impl<S: PageStore> RecoverySystem for SimpleLogRs<S> {
         Ok(outcome)
     }
 
-    fn begin_housekeeping(&mut self, _heap: &Heap, _mode: HousekeepingMode) -> RsResult<()> {
-        Err(RsError::Unsupported(
-            "housekeeping on the simple log (ch. 5 is hybrid-only)",
-        ))
+    fn begin_housekeeping(&mut self, _heap: &Heap, mode: HousekeepingMode) -> RsResult<()> {
+        if mode != HousekeepingMode::Compaction {
+            return Err(RsError::Unsupported(
+                "snapshot housekeeping on the simple log (§5.2 needs the MT)",
+            ));
+        }
+        if self.hk.is_some() {
+            return Err(RsError::BadState("housekeeping already in progress".into()));
+        }
+        let _timer = self.obs.reg.phase("core.hk.begin_us");
+        // Flush buffered entries so the marker covers a readable prefix.
+        self.log.force()?;
+        let marker = self.log.stable_count();
+
+        // Stage one: digest everything below the marker exactly like a
+        // recovery, into a scratch heap. resolve_uid_refs is deliberately
+        // skipped so the restored values keep their uid-reference encoding
+        // and can be re-logged verbatim.
+        let mut scratch = Heap::new();
+        let mut ctx = RecoverCtx::new(&mut scratch);
+        self.scan_log(&mut ctx)?;
+
+        let mut hk = SimpleHk {
+            new_log: StableLog::create(self.provider.new_store())?,
+            marker,
+            old_entries_at_begin: marker,
+        };
+
+        // Deterministic emission: tables are hash maps, so sort everything.
+        let mut uids: Vec<Uid> = ctx.ot.iter().map(|(u, _)| *u).collect();
+        uids.sort();
+
+        // Committed atomic bases, prepared (in-doubt) versions, and mutex
+        // values, straight from the scratch heap.
+        let mut prepared_versions: Vec<(ActionId, Uid, Value)> = Vec::new();
+        let mut mutex_values: Vec<(Uid, Value)> = Vec::new();
+        for uid in &uids {
+            let entry = ctx.ot.get(*uid).expect("uid came from the OT");
+            match &ctx.heap.get(entry.heap)?.body {
+                ObjectBody::Atomic(obj) => {
+                    if entry.state == ObjState::Restored {
+                        let bytes = encode_entry(&LogEntry::BaseCommitted {
+                            uid: *uid,
+                            value: obj.base.clone(),
+                            prev: None,
+                        })?;
+                        hk.new_log.write(&bytes);
+                    }
+                    if let (Some(writer), Some(cur)) = (obj.writer, &obj.current) {
+                        prepared_versions.push((writer, *uid, cur.clone()));
+                    }
+                }
+                ObjectBody::Mutex(obj) => mutex_values.push((*uid, obj.value.clone())),
+            }
+        }
+
+        // Mutex values compact as *committed* state regardless of their
+        // writers' outcomes (§2.4.2: a mutex keeps its newest value). They
+        // are re-logged as the data entries of a synthetic committed action
+        // — "like a combined prepare and commit for some special action
+        // whose name does not matter" (§5.1.1) — so the compacted log stays
+        // an ordinary simple log.
+        if !mutex_values.is_empty() {
+            let hk_aid = ActionId::new(GuardianId(u32::MAX), marker);
+            let bytes = encode_entry(&LogEntry::Prepared {
+                aid: hk_aid,
+                pairs: Vec::new(),
+                prev: None,
+            })?;
+            hk.new_log.write(&bytes);
+            for (uid, value) in mutex_values {
+                let bytes = encode_entry(&LogEntry::Data {
+                    uid,
+                    kind: ObjKind::Mutex,
+                    value,
+                    aid: hk_aid,
+                })?;
+                hk.new_log.write(&bytes);
+            }
+            let bytes = encode_entry(&LogEntry::Committed {
+                aid: hk_aid,
+                prev: None,
+            })?;
+            hk.new_log.write(&bytes);
+        }
+
+        // In-doubt actions survive compaction: their prepared versions as
+        // `prepared_data`, plus a bare `prepared` entry so a participant
+        // whose writes were all mutexes still remembers it prepared.
+        prepared_versions.sort_by_key(|v| (v.0, v.1));
+        for (aid, uid, value) in prepared_versions {
+            if ctx.pt.get(aid) != Some(crate::tables::PState::Prepared) {
+                continue;
+            }
+            let bytes = encode_entry(&LogEntry::PreparedData {
+                uid,
+                value,
+                aid,
+                prev: None,
+            })?;
+            hk.new_log.write(&bytes);
+        }
+        for aid in ctx.pt.prepared_actions() {
+            let bytes = encode_entry(&LogEntry::Prepared {
+                aid,
+                pairs: Vec::new(),
+                prev: None,
+            })?;
+            hk.new_log.write(&bytes);
+        }
+
+        // Coordinators still in phase two.
+        for (aid, gids) in ctx.ct.committing_actions() {
+            let bytes = encode_entry(&LogEntry::Committing {
+                aid,
+                gids,
+                prev: None,
+            })?;
+            hk.new_log.write(&bytes);
+        }
+
+        self.hk = Some(hk);
+        Ok(())
     }
 
     fn finish_housekeeping(&mut self) -> RsResult<()> {
-        Err(RsError::Unsupported(
-            "housekeeping on the simple log (ch. 5 is hybrid-only)",
-        ))
+        let _timer = self.obs.reg.phase("core.hk.finish_us");
+        let mut hk = self
+            .hk
+            .take()
+            .ok_or_else(|| RsError::BadState("no housekeeping in progress".into()))?;
+
+        // Publish post-marker buffered entries so stage two can read them.
+        self.log.force()?;
+
+        // Stage two: copy everything written since the marker, verbatim —
+        // simple-log entries are self-describing, so recovery interprets the
+        // copies exactly as it did the originals.
+        let mut tail = Vec::new();
+        for item in self.log.read_backward(None) {
+            let (_addr, seq, payload) = item?;
+            if seq < hk.marker {
+                break;
+            }
+            tail.push(payload);
+        }
+        for payload in tail.into_iter().rev() {
+            hk.new_log.write(&payload);
+        }
+        hk.new_log.force()?;
+
+        let new_entries = hk.new_log.stable_count();
+        let reclaimed = self.log.stable_count().saturating_sub(new_entries);
+        self.obs.reg.event(argus_obs::Event::CompactionPass {
+            entries_in: hk.old_entries_at_begin,
+            entries_out: new_entries,
+        });
+        self.obs.hk_passes.inc();
+        self.obs.hk_reclaimed.add(reclaimed);
+        self.obs.reg.event(argus_obs::Event::HousekeepingDone {
+            mode: "compaction",
+            entries_reclaimed: reclaimed,
+        });
+
+        // "In one atomic step, the new log supplants the old log."
+        self.log = hk.new_log;
+        self.provider.store_switched();
+        Ok(())
     }
 
     fn simulate_crash(&mut self) -> RsResult<()> {
         self.log.reopen()?;
         self.access.clear();
         self.pat.clear();
+        // An in-progress housekeeping pass dies with the node: the old log
+        // is still the active one (the switch is the last step of finish).
+        self.hk = None;
         Ok(())
     }
 
@@ -367,20 +561,37 @@ impl<S: PageStore> RecoverySystem for SimpleLogRs<S> {
             device: self.log.store().stats().snapshot(),
         }
     }
+
+    fn decay_page(&mut self, pno: argus_stable::PageNo) -> bool {
+        self.log.store_mut().decay_page(pno)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use argus_sim::{CostModel, SimClock};
-    use argus_stable::MemStore;
+    use crate::api::providers::MemProvider;
 
-    fn rs() -> SimpleLogRs<MemStore> {
-        SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap()
+    fn rs() -> SimpleLogRs<MemProvider> {
+        SimpleLogRs::create(MemProvider::fast()).unwrap()
     }
 
     fn aid(n: u64) -> ActionId {
         ActionId::new(GuardianId(0), n)
+    }
+
+    fn commit_root_update(
+        rs: &mut SimpleLogRs<MemProvider>,
+        heap: &mut Heap,
+        a: ActionId,
+        value: Value,
+    ) {
+        let root = heap.stable_root().unwrap();
+        heap.acquire_write(root, a).unwrap();
+        heap.write_value(root, a, |v| *v = value).unwrap();
+        rs.prepare(a, &[root], heap).unwrap();
+        rs.commit(a).unwrap();
+        heap.commit_action(a);
     }
 
     #[test]
@@ -444,12 +655,152 @@ mod tests {
     }
 
     #[test]
-    fn housekeeping_is_unsupported() {
+    fn snapshot_housekeeping_is_unsupported() {
         let mut rs = rs();
         let heap = Heap::new();
         assert!(matches!(
-            rs.housekeeping(&heap, HousekeepingMode::Compaction),
+            rs.housekeeping(&heap, HousekeepingMode::Snapshot),
             Err(RsError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn compaction_shrinks_the_log_and_preserves_state() {
+        let mut rs = rs();
+        let mut heap = Heap::with_stable_root();
+        for i in 0..50 {
+            commit_root_update(&mut rs, &mut heap, aid(i + 1), Value::Int(i as i64));
+        }
+        let before = rs.log().stable_count();
+        rs.housekeeping(&heap, HousekeepingMode::Compaction)
+            .unwrap();
+        let after = rs.log().stable_count();
+        assert!(after < before / 5, "before={before} after={after}");
+
+        rs.simulate_crash().unwrap();
+        let mut heap2 = Heap::new();
+        rs.recover(&mut heap2).unwrap();
+        let root2 = heap2.stable_root().unwrap();
+        assert_eq!(heap2.read_value(root2, None).unwrap(), &Value::Int(49));
+    }
+
+    #[test]
+    fn in_doubt_actions_survive_compaction() {
+        let mut rs = rs();
+        let mut heap = Heap::with_stable_root();
+        for i in 0..3 {
+            commit_root_update(&mut rs, &mut heap, aid(i + 1), Value::Int(i as i64));
+        }
+        let b = aid(100);
+        let root = heap.stable_root().unwrap();
+        heap.acquire_write(root, b).unwrap();
+        heap.write_value(root, b, |v| *v = Value::Int(777)).unwrap();
+        rs.prepare(b, &[root], &heap).unwrap();
+
+        rs.housekeeping(&heap, HousekeepingMode::Compaction)
+            .unwrap();
+        rs.simulate_crash().unwrap();
+        let mut heap2 = Heap::new();
+        let out = rs.recover(&mut heap2).unwrap();
+        assert_eq!(out.pt.get(b), Some(crate::tables::PState::Prepared));
+        let root2 = heap2.stable_root().unwrap();
+        assert_eq!(heap2.read_value(root2, None).unwrap(), &Value::Int(2));
+        assert_eq!(heap2.read_value(root2, Some(b)).unwrap(), &Value::Int(777));
+    }
+
+    #[test]
+    fn activity_between_stages_reaches_the_new_log() {
+        let mut rs = rs();
+        let mut heap = Heap::with_stable_root();
+        for i in 0..5 {
+            commit_root_update(&mut rs, &mut heap, aid(i + 1), Value::Int(i as i64));
+        }
+        rs.begin_housekeeping(&heap, HousekeepingMode::Compaction)
+            .unwrap();
+
+        // Guardian keeps working while "the compaction process" runs.
+        let c = aid(200);
+        let root = heap.stable_root().unwrap();
+        heap.acquire_write(root, c).unwrap();
+        heap.write_value(root, c, |v| *v = Value::Int(1234))
+            .unwrap();
+        rs.prepare(c, &[root], &heap).unwrap();
+        rs.commit(c).unwrap();
+        heap.commit_action(c);
+
+        rs.finish_housekeeping().unwrap();
+        rs.simulate_crash().unwrap();
+        let mut heap2 = Heap::new();
+        rs.recover(&mut heap2).unwrap();
+        let root2 = heap2.stable_root().unwrap();
+        assert_eq!(heap2.read_value(root2, None).unwrap(), &Value::Int(1234));
+    }
+
+    #[test]
+    fn mutex_state_survives_compaction() {
+        let mut rs = rs();
+        let mut heap = Heap::with_stable_root();
+        let a = aid(1);
+        let m = heap.alloc_mutex(Value::Int(1));
+        let m_uid = heap.uid_of(m).unwrap();
+        commit_root_update(&mut rs, &mut heap, a, Value::heap_ref(m));
+
+        // A prepared-then-aborted action's mutex version must survive
+        // compaction as committed state (§2.4.2).
+        let b = aid(2);
+        heap.seize(m, b).unwrap();
+        heap.mutate_mutex(m, b, |v| *v = Value::Int(42)).unwrap();
+        heap.release(m, b).unwrap();
+        rs.prepare(b, &[m], &heap).unwrap();
+        rs.abort(b).unwrap();
+        heap.abort_action(b);
+
+        rs.housekeeping(&heap, HousekeepingMode::Compaction)
+            .unwrap();
+        rs.simulate_crash().unwrap();
+        let mut heap2 = Heap::new();
+        rs.recover(&mut heap2).unwrap();
+        let m2 = heap2.lookup(m_uid).unwrap();
+        assert_eq!(heap2.read_value(m2, None).unwrap(), &Value::Int(42));
+    }
+
+    #[test]
+    fn repeated_compaction_recompacts_its_own_digest() {
+        let mut rs = rs();
+        let mut heap = Heap::with_stable_root();
+        for i in 0..10 {
+            commit_root_update(&mut rs, &mut heap, aid(i + 1), Value::Int(i as i64));
+        }
+        rs.housekeeping(&heap, HousekeepingMode::Compaction)
+            .unwrap();
+        rs.housekeeping(&heap, HousekeepingMode::Compaction)
+            .unwrap();
+        rs.simulate_crash().unwrap();
+        let mut heap2 = Heap::new();
+        rs.recover(&mut heap2).unwrap();
+        let root2 = heap2.stable_root().unwrap();
+        assert_eq!(heap2.read_value(root2, None).unwrap(), &Value::Int(9));
+    }
+
+    #[test]
+    fn crash_before_finish_keeps_the_old_log() {
+        let mut rs = rs();
+        let mut heap = Heap::with_stable_root();
+        for i in 0..4 {
+            commit_root_update(&mut rs, &mut heap, aid(i + 1), Value::Int(i as i64));
+        }
+        rs.begin_housekeeping(&heap, HousekeepingMode::Compaction)
+            .unwrap();
+        // Crash before the switch: the old (uncompacted) log is intact.
+        rs.simulate_crash().unwrap();
+        let mut heap2 = Heap::new();
+        rs.recover(&mut heap2).unwrap();
+        let root2 = heap2.stable_root().unwrap();
+        assert_eq!(heap2.read_value(root2, None).unwrap(), &Value::Int(3));
+        // Housekeeping state was discarded with the crash.
+        assert!(matches!(
+            rs.finish_housekeeping(),
+            Err(RsError::BadState(_))
         ));
     }
 

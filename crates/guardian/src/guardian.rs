@@ -1,14 +1,14 @@
 //! One guardian: heap + recovery system + protocol state.
 
-use crate::world::WorldConfig;
+use crate::world::{MediaKind, WorldConfig};
 use crate::{WorldError, WorldResult};
-use argus_core::providers::{CachedProvider, MemProvider};
+use argus_core::providers::{CachedProvider, MemProvider, MirrorProvider};
 use argus_core::{HybridLogRs, LogEntry, LogStats, RecoverySystem, RsResult, SimpleLogRs};
 use argus_objects::{ActionId, GuardianId, Heap, HeapId, Uid, Value};
 use argus_shadow::ShadowRs;
 use argus_sim::{CostModel, SimClock};
 use argus_slog::{ForceScheduler, LogAddress};
-use argus_stable::{FaultPlan, MemStore, PageCache};
+use argus_stable::FaultPlan;
 use argus_twopc::{Coordinator, Participant};
 use std::collections::{HashMap, HashSet};
 
@@ -103,22 +103,33 @@ impl Guardian {
         cfg: &WorldConfig,
     ) -> RsResult<Self> {
         let plan = FaultPlan::new();
-        let provider = MemProvider {
+        let mem = MemProvider {
             clock: clock.clone(),
             model: model.clone(),
             plan: Some(plan.clone()),
         };
+        let mirror = MirrorProvider {
+            clock,
+            model,
+            plan: plan.clone(),
+        };
         // Log organizations read through a volatile page cache; shadowing
         // keeps its direct store (its page map is already its own cache).
-        let rs: Box<dyn RecoverySystem> = match kind {
-            RsKind::Simple => {
-                let store = MemStore::with_fault_plan(plan.clone(), clock, model);
-                Box::new(SimpleLogRs::create(PageCache::new(store, cfg.cache))?)
+        let rs: Box<dyn RecoverySystem> = match (kind, cfg.media) {
+            (RsKind::Simple, MediaKind::Mem) => {
+                Box::new(SimpleLogRs::create(CachedProvider::new(mem, cfg.cache))?)
             }
-            RsKind::Hybrid => Box::new(HybridLogRs::create(CachedProvider::new(
-                provider, cfg.cache,
-            ))?),
-            RsKind::Shadow => Box::new(ShadowRs::create(provider)?),
+            (RsKind::Simple, MediaKind::Mirrored) => {
+                Box::new(SimpleLogRs::create(CachedProvider::new(mirror, cfg.cache))?)
+            }
+            (RsKind::Hybrid, MediaKind::Mem) => {
+                Box::new(HybridLogRs::create(CachedProvider::new(mem, cfg.cache))?)
+            }
+            (RsKind::Hybrid, MediaKind::Mirrored) => {
+                Box::new(HybridLogRs::create(CachedProvider::new(mirror, cfg.cache))?)
+            }
+            (RsKind::Shadow, MediaKind::Mem) => Box::new(ShadowRs::create(mem)?),
+            (RsKind::Shadow, MediaKind::Mirrored) => Box::new(ShadowRs::create(mirror)?),
         };
         Ok(Self {
             id,

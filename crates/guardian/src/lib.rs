@@ -25,7 +25,7 @@ mod world;
 pub use error::{WorldError, WorldResult};
 pub use guardian::{Guardian, RsKind};
 pub use network::{NetFaults, SimNetwork};
-pub use world::{Outcome, World, WorldConfig};
+pub use world::{MediaKind, Outcome, World, WorldConfig};
 
 // The concurrency-control vocabulary of the `submit_*`/`cc_*` World API, so
 // drivers need not depend on `argus-cc` directly.

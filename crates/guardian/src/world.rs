@@ -11,7 +11,7 @@ use argus_core::{HousekeepingMode, RecoveryOutcome};
 use argus_objects::{ActionId, GuardianId, HeapError, HeapId, ObjKind, Value};
 use argus_sim::{CostModel, SimClock};
 use argus_slog::ForceConfig;
-use argus_stable::CacheConfig;
+use argus_stable::{CacheConfig, FaultPlan};
 use argus_twopc::{CoordEffect, Coordinator, Envelope, Msg, PartEffect, Participant};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -29,6 +29,19 @@ pub struct WorldConfig {
     pub cache: CacheConfig,
     /// Concurrency control: what happens when lock requests collide.
     pub cc: CcConfig,
+    /// Media model under each guardian's page store.
+    pub media: MediaKind,
+}
+
+/// Which media model guardians' page stores run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MediaKind {
+    /// Always-good in-memory pages — the fast default for unit tests.
+    #[default]
+    Mem,
+    /// Lampson–Sturgis mirrored disks (§1.1): crashes tear at most one
+    /// in-flight leg, decayed pages are repaired from the twin on read.
+    Mirrored,
 }
 
 impl WorldConfig {
@@ -39,6 +52,7 @@ impl WorldConfig {
             force: ForceConfig::immediate(),
             cache: CacheConfig::disabled(),
             cc: CcConfig::default(),
+            media: MediaKind::Mem,
         }
     }
 
@@ -742,8 +756,16 @@ impl World {
         let guardian = self.live(g)?;
         // Split borrow: the recovery system reads the heap during snapshot.
         let Guardian { rs, heap, .. } = guardian;
-        rs.housekeeping(heap, mode)?;
-        Ok(())
+        match rs.housekeeping(heap, mode) {
+            Ok(()) => Ok(()),
+            Err(e) if e.is_crash() => {
+                // The fault plan fired mid-pass: the node goes down with the
+                // old log still authoritative (the switch is the last step).
+                self.mark_crashed(g);
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 
     // ---- two-phase commit -------------------------------------------------
@@ -872,6 +894,29 @@ impl World {
         Ok(())
     }
 
+    /// Arms the guardian's fault plan on *any* device operation — reads,
+    /// writes, and forces all count — so a crash can land inside the
+    /// read-mostly scan of recovery itself.
+    pub fn arm_crash_after_ops(&mut self, g: GuardianId, n: u64) -> WorldResult<()> {
+        let guardian = self.guardian_mut(g)?;
+        guardian.plan.arm_after_ops(n);
+        Ok(())
+    }
+
+    /// A handle on the guardian's fault plan. Clones share countdown,
+    /// trace, and op-count state, so crash-schedule sweepers can count
+    /// device operations and read the crash frontier from outside.
+    pub fn fault_plan(&self, g: GuardianId) -> WorldResult<FaultPlan> {
+        Ok(self.guardian(g)?.plan.clone())
+    }
+
+    /// Decays one media copy of page `pno` on the guardian's store (media
+    /// failure injection, §3.1). Returns `false` when the organization's
+    /// media keep no redundant copy to decay (plain memory store).
+    pub fn decay_page(&mut self, g: GuardianId, pno: argus_stable::PageNo) -> WorldResult<bool> {
+        Ok(self.guardian_mut(g)?.rs.decay_page(pno))
+    }
+
     /// Whether the node is up. A node downed by an armed fault plan is only
     /// discovered at its next storage operation, so check after operations.
     pub fn is_up(&self, g: GuardianId) -> bool {
@@ -886,10 +931,49 @@ impl World {
     /// coordinators (they re-send commits), then drives the network to
     /// quiescence. Returns the recovery outcome for inspection.
     pub fn restart(&mut self, g: GuardianId) -> WorldResult<RecoveryOutcome> {
+        self.restart_inner(g, None)?.ok_or_else(|| {
+            WorldError::Rs(argus_core::RsError::BadState(
+                "restart crashed without an armed plan".into(),
+            ))
+        })
+    }
+
+    /// Restarts a crashed guardian with a *second* crash armed to fire once
+    /// `ops` further device operations (reads, writes, and forces all
+    /// count) have begun — so the fault lands inside recovery itself, or in
+    /// the protocol resumption right after it. Returns `Ok(None)` when the
+    /// second crash interrupted recovery: the guardian is left down and can
+    /// be restarted again with a plain [`World::restart`].
+    pub fn restart_with_crash_after_ops(
+        &mut self,
+        g: GuardianId,
+        ops: u64,
+    ) -> WorldResult<Option<RecoveryOutcome>> {
+        self.restart_inner(g, Some(ops))
+    }
+
+    fn restart_inner(
+        &mut self,
+        g: GuardianId,
+        arm_ops: Option<u64>,
+    ) -> WorldResult<Option<RecoveryOutcome>> {
         let timer = self.obs.phase("world.restart_us");
         let guardian = self.guardian_mut(g)?;
         guardian.plan.heal();
-        guardian.rs.simulate_crash()?;
+        if let Some(n) = arm_ops {
+            guardian.plan.arm_after_ops(n);
+        }
+        match guardian.rs.simulate_crash() {
+            Ok(()) => {}
+            Err(e) if e.is_crash() => {
+                // The armed second crash fired in the pre-recovery device
+                // re-read (superblock scan) — recovery never began.
+                timer.stop();
+                self.obs.inc("world.recovery_crashes");
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        }
         guardian.staged.clear();
         guardian.force_sched.flushed();
         guardian.heap = argus_objects::Heap::new();
@@ -899,7 +983,18 @@ impl World {
         guardian.coord_done.clear();
         guardian.coordinators.clear();
         guardian.participants.clear();
-        let outcome = guardian.rs.recover(&mut guardian.heap)?;
+        let outcome = match guardian.rs.recover(&mut guardian.heap) {
+            Ok(outcome) => outcome,
+            Err(e) if e.is_crash() => {
+                // The armed second crash fired inside recovery. The node
+                // stays down with whatever the device already holds; a
+                // plain restart picks it up from there.
+                timer.stop();
+                self.obs.inc("world.recovery_crashes");
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        };
         // If recovery found nothing (fresh log), re-create the stable root.
         if guardian.heap.stable_root().is_none() {
             guardian.heap = argus_objects::Heap::with_stable_root();
@@ -947,7 +1042,7 @@ impl World {
         self.requery_in_doubt()?;
         timer.stop();
         self.obs.inc("world.restarts");
-        Ok(outcome)
+        Ok(Some(outcome))
     }
 
     /// Every in-doubt participant on an up guardian re-queries its
@@ -1467,7 +1562,13 @@ impl World {
             return Ok(false);
         }
         let Guardian { rs, heap, .. } = guardian;
-        rs.housekeeping(heap, mode)?;
-        Ok(true)
+        match rs.housekeeping(heap, mode) {
+            Ok(()) => Ok(true),
+            Err(e) if e.is_crash() => {
+                self.mark_crashed(g);
+                Ok(false)
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 }

@@ -541,6 +541,28 @@ impl<P: StoreProvider> RecoverySystem for ShadowRs<P> {
             }
             new_intents.insert(rewritten.aid, rewritten);
         }
+        // Write the map on the new log and force the whole thing durable
+        // while the old log is still the active one: a crash anywhere up to
+        // here recovers from the untouched old log. Only a fully forced new
+        // log may supplant it.
+        let mut entries: Vec<(Uid, ObjKind, LogAddress)> =
+            new_map.iter().map(|(u, (k, a))| (*u, *k, *a)).collect();
+        entries.sort_by_key(|(u, _, _)| *u);
+        let mut intents: Vec<IntentBody> = new_intents.values().cloned().collect();
+        intents.sort_by_key(|i| i.aid);
+        let mut coords: Vec<(ActionId, Vec<GuardianId>)> =
+            self.coords.iter().map(|(a, g)| (*a, g.clone())).collect();
+        coords.sort_by_key(|(a, _)| *a);
+        new_log.write(&encode_record(&ShadowRecord::Map {
+            entries,
+            intents,
+            coords,
+        })?);
+        new_log.force()?;
+
+        // "In one atomic step, the new log supplants the old log."
+        self.log = new_log;
+        self.provider.store_switched();
         self.map = new_map;
         self.intents = new_intents;
         self.pd_index.clear();
@@ -549,11 +571,6 @@ impl<P: StoreProvider> RecoverySystem for ShadowRs<P> {
                 self.pd_index.entry(*other).or_default().push((*uid, *addr));
             }
         }
-        // Write the map on the new log, force, and switch.
-        let old_log = std::mem::replace(&mut self.log, new_log);
-        self.append_map()?;
-        self.log.force()?;
-        drop(old_log);
         let _ = heap;
         self.hk_open = true;
         Ok(())
@@ -595,6 +612,10 @@ impl<P: StoreProvider> RecoverySystem for ShadowRs<P> {
             bytes: self.log.stable_bytes(),
             device: self.log.store().stats().snapshot(),
         }
+    }
+
+    fn decay_page(&mut self, pno: argus_stable::PageNo) -> bool {
+        self.log.store_mut().decay_page(pno)
     }
 }
 
@@ -737,6 +758,60 @@ mod tests {
         let (heap2, _) = recovered(&mut rs);
         let root = heap2.stable_root().unwrap();
         assert_eq!(heap2.read_value(root, None).unwrap(), &Value::Int(39));
+    }
+
+    #[test]
+    fn crash_during_housekeeping_keeps_the_old_state() {
+        // Regression: housekeeping used to switch to the new log before the
+        // rewritten map was forced; a crash in that window recovered from an
+        // empty log and lost the whole guardian state. The new log may only
+        // supplant the old one after it is fully forced.
+        let plan = argus_stable::FaultPlan::new();
+        let mut rs = ShadowRs::create(MemProvider::fast().with_plan(plan.clone())).unwrap();
+        let mut heap = Heap::with_stable_root();
+        for i in 0..10 {
+            commit_root(&mut rs, &mut heap, aid(i + 1), Value::Int(i as i64));
+        }
+        // Sweep the crash point across every device write of housekeeping.
+        // The write budget comes from an un-faulted probe run: after the
+        // switch its log's store has seen exactly the housekeeping writes.
+        let total = {
+            let mut probe = ShadowRs::create(MemProvider::fast()).unwrap();
+            let mut h = Heap::with_stable_root();
+            for i in 0..10 {
+                commit_root(&mut probe, &mut h, aid(i + 1), Value::Int(i as i64));
+            }
+            probe
+                .housekeeping(&h, HousekeepingMode::Compaction)
+                .unwrap();
+            probe.log().store().stats().snapshot().writes()
+        };
+        for k in 0..total {
+            plan.heal();
+            plan.arm_after_writes(k);
+            let crashed = rs
+                .housekeeping(&heap, HousekeepingMode::Compaction)
+                .is_err();
+            plan.heal();
+            rs.simulate_crash().unwrap();
+            let mut heap2 = Heap::new();
+            rs.recover(&mut heap2).unwrap();
+            let root = heap2.stable_root().unwrap();
+            assert_eq!(
+                heap2.read_value(root, None).unwrap(),
+                &Value::Int(9),
+                "crash at housekeeping write {k} (crashed={crashed}) lost state"
+            );
+            // Continue from the recovered state for the next crash point.
+            heap = heap2;
+        }
+        // A final untroubled pass still works.
+        plan.heal();
+        rs.housekeeping(&heap, HousekeepingMode::Compaction)
+            .unwrap();
+        let (heap3, _) = recovered(&mut rs);
+        let root = heap3.stable_root().unwrap();
+        assert_eq!(heap3.read_value(root, None).unwrap(), &Value::Int(9));
     }
 
     #[test]

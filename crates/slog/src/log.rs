@@ -288,6 +288,13 @@ impl<S: PageStore> StableLog<S> {
         self.dev.store()
     }
 
+    /// Borrows the underlying store mutably — the fault-injection path for
+    /// media decay ([`PageStore::decay_page`]); anything else should go
+    /// through the log interface.
+    pub fn store_mut(&mut self) -> &mut S {
+        self.dev.store_mut()
+    }
+
     /// Appends `payload` to the volatile buffer and returns the address the
     /// entry will have once forced.
     pub fn write(&mut self, payload: &[u8]) -> LogAddress {

@@ -230,6 +230,13 @@ impl<S: PageStore> PageStore for PageCache<S> {
         self.last_miss = None;
         self.inner.invalidate_volatile();
     }
+
+    fn decay_page(&mut self, pno: PageNo) -> bool {
+        // Decay happens on the media; drop any cached copy so the next read
+        // actually visits (and repairs) the decayed page.
+        self.slots.remove(&pno);
+        self.inner.decay_page(pno)
+    }
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ mod store;
 pub use bytedev::ByteDevice;
 pub use cache::{CacheConfig, PageCache};
 pub use error::{StorageError, StorageResult};
-pub use fault::FaultPlan;
+pub use fault::{DeviceOp, FaultPlan, OpCounts, TraceEntry};
 pub use file::FileStore;
 pub use mem::MemStore;
 pub use mirror::MirroredDisk;

@@ -67,7 +67,7 @@ impl MemStore {
 impl PageStore for MemStore {
     fn read_page(&mut self, pno: PageNo) -> StorageResult<Page> {
         if let Some(plan) = &self.plan {
-            plan.note_read()?;
+            plan.note_read_at(pno)?;
         }
         let kind = if self.tracker.classify(pno) {
             OpKind::SeqRead
@@ -83,7 +83,7 @@ impl PageStore for MemStore {
 
     fn write_page(&mut self, pno: PageNo, page: &Page) -> StorageResult<()> {
         if let Some(plan) = &self.plan {
-            plan.note_write()?;
+            plan.note_write_at(pno)?;
         }
         let kind = if self.tracker.classify(pno) {
             OpKind::SeqWrite
@@ -104,7 +104,7 @@ impl PageStore for MemStore {
 
     fn sync(&mut self) -> StorageResult<()> {
         if let Some(plan) = &self.plan {
-            plan.note_read()?;
+            plan.note_force()?;
         }
         self.stats.charge(OpKind::Force, &self.model, &self.clock);
         Ok(())

@@ -167,7 +167,7 @@ impl MirroredDisk {
 
 impl PageStore for MirroredDisk {
     fn read_page(&mut self, pno: PageNo) -> StorageResult<Page> {
-        self.plan.note_read()?;
+        self.plan.note_read_at(pno)?;
         let kind = self.classify_read(pno);
         self.charge_primary(kind, true);
         if pno >= self.page_count() {
@@ -177,8 +177,10 @@ impl PageStore for MirroredDisk {
         match self.a.read(pno) {
             Ok(page) => {
                 // Lazily repair a decayed B copy so the pair stays redundant.
+                // The repair is a real device write: a crash here tears B
+                // again (A stays good) and fails this logical read.
                 if !self.b.is_good(pno) && pno < self.b.page_count() {
-                    self.b.repair(pno, &page);
+                    self.b.repair(pno, &page, &self.plan)?;
                     self.obs.repaired(pno);
                 }
                 Ok(page)
@@ -191,7 +193,7 @@ impl PageStore for MirroredDisk {
                 self.charge_secondary(kind, false);
                 match self.b.read(pno) {
                     Ok(page) => {
-                        self.a.repair(pno, &page);
+                        self.a.repair(pno, &page, &self.plan)?;
                         self.obs.repaired(pno);
                         Ok(page)
                     }
@@ -223,7 +225,7 @@ impl PageStore for MirroredDisk {
     }
 
     fn sync(&mut self) -> StorageResult<()> {
-        self.plan.note_read()?;
+        self.plan.note_force()?;
         // One logical barrier covers both legs (they share the spindle sync).
         self.stats.charge(OpKind::Force, &self.model, &self.clock);
         self.leg_a.count(OpKind::Force);
@@ -233,6 +235,24 @@ impl PageStore for MirroredDisk {
 
     fn stats(&self) -> DeviceStats {
         self.stats.clone()
+    }
+
+    fn decay_page(&mut self, pno: PageNo) -> bool {
+        if pno >= self.page_count() {
+            return false;
+        }
+        // Lampson–Sturgis decay takes at most one copy of a pair before the
+        // read path repairs it — never decay the last good copy (the twin
+        // may already be torn by an in-flight crash).
+        if pno < self.b.page_count() && self.b.is_good(pno) {
+            self.a.decay(pno);
+            true
+        } else if pno < self.a.page_count() && self.a.is_good(pno) {
+            self.b.decay(pno);
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -310,6 +330,118 @@ mod tests {
         let mut d =
             MirroredDisk::from_media(d.into_media(), plan, SimClock::new(), CostModel::fast());
         assert_eq!(d.read_page(0).unwrap(), new);
+    }
+
+    #[test]
+    fn crash_tears_at_most_one_leg() {
+        // Sweep the crash through every write of a multi-page burst: at the
+        // instant of the crash, at most one leg of one page may be torn, so
+        // every logical page stays readable after the restart.
+        for budget in 0..8 {
+            let plan = FaultPlan::new();
+            let mut d = MirroredDisk::new(plan.clone(), SimClock::new(), CostModel::fast());
+            for pno in 0..4 {
+                d.write_page(pno, &Page::from_bytes(&[0xAA, pno as u8]))
+                    .unwrap();
+            }
+            plan.arm_after_writes(budget);
+            let mut crashed = false;
+            for pno in 0..4 {
+                if d.write_page(pno, &Page::from_bytes(&[0xBB, pno as u8]))
+                    .is_err()
+                {
+                    crashed = true;
+                    break;
+                }
+            }
+            assert!(crashed, "budget {budget} should crash inside the burst");
+            plan.heal();
+            let mut d =
+                MirroredDisk::from_media(d.into_media(), plan, SimClock::new(), CostModel::fast());
+            let mut torn_legs = 0;
+            for pno in 0..4 {
+                torn_legs += usize::from(!d.a.is_good(pno)) + usize::from(!d.b.is_good(pno));
+                let got = d.read_page(pno).unwrap();
+                let old = Page::from_bytes(&[0xAA, pno as u8]);
+                let new = Page::from_bytes(&[0xBB, pno as u8]);
+                assert!(got == old || got == new, "page {pno} read garbage");
+            }
+            assert!(torn_legs <= 1, "budget {budget} tore {torn_legs} legs");
+        }
+    }
+
+    #[test]
+    fn crash_mid_repair_tears_only_the_repaired_leg_and_heals_next_read() {
+        let plan = FaultPlan::new();
+        let mut d = MirroredDisk::new(plan.clone(), SimClock::new(), CostModel::fast());
+        let p = Page::from_bytes(b"redundant");
+        d.write_page(0, &p).unwrap();
+        d.decay_b(0);
+        // The lazy repair write itself crashes: the read fails, B stays torn,
+        // A is untouched.
+        plan.arm_after_writes(0);
+        assert!(d.read_page(0).unwrap_err().is_crash());
+        assert!(d.a.is_good(0));
+        assert!(!d.b.is_good(0));
+        plan.heal();
+        // Next read-path visit finishes the repair.
+        let mut d = MirroredDisk::from_media(
+            d.into_media(),
+            plan.clone(),
+            SimClock::new(),
+            CostModel::fast(),
+        );
+        assert_eq!(d.read_page(0).unwrap(), p);
+        assert!(d.b.is_good(0));
+
+        // Same story on the fallback path: A bad, repair-from-B crashes.
+        d.decay_a(0);
+        plan.arm_after_writes(0);
+        assert!(d.read_page(0).unwrap_err().is_crash());
+        assert!(!d.a.is_good(0));
+        assert!(d.b.is_good(0));
+        plan.heal();
+        let mut d =
+            MirroredDisk::from_media(d.into_media(), plan, SimClock::new(), CostModel::fast());
+        assert_eq!(d.read_page(0).unwrap(), p);
+        assert!(d.a.is_good(0));
+    }
+
+    #[test]
+    fn decay_page_hook_decays_one_leg() {
+        let mut d = disk();
+        let p = Page::from_bytes(b"decay me");
+        d.write_page(0, &p).unwrap();
+        assert!(d.decay_page(0));
+        assert!(!d.a.is_good(0));
+        assert_eq!(d.read_page(0).unwrap(), p);
+        assert!(d.a.is_good(0));
+    }
+
+    #[test]
+    fn decay_never_takes_the_last_good_copy() {
+        // Found by the crash-schedule sweeper: a crash mid-write tears one
+        // leg; a frontier decay that then took the OTHER leg would destroy
+        // both copies — a double failure the Lampson–Sturgis model excludes.
+        let plan = FaultPlan::new();
+        let mut d = MirroredDisk::new(plan.clone(), SimClock::new(), CostModel::fast());
+        d.write_page(0, &Page::from_bytes(b"old")).unwrap();
+        // Budget 1: the crash lands on the second raw write — leg B tears,
+        // leg A already holds the new value.
+        plan.arm_after_writes(1);
+        assert!(d
+            .write_page(0, &Page::from_bytes(b"new"))
+            .unwrap_err()
+            .is_crash());
+        plan.heal();
+        let mut d =
+            MirroredDisk::from_media(d.into_media(), plan, SimClock::new(), CostModel::fast());
+        assert!(!d.b.is_good(0));
+        // Decay must land on the already-torn leg, never the last good copy.
+        assert!(d.decay_page(0));
+        assert!(d.a.is_good(0));
+        assert_eq!(d.read_page(0).unwrap(), Page::from_bytes(b"new"));
+        assert!(d.b.is_good(0), "the read repaired the torn leg");
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl RawDisk {
     /// precisely the failure the mirrored pair exists to mask.
     pub fn write(&mut self, pno: PageNo, page: &Page, plan: &FaultPlan) -> StorageResult<()> {
         self.ensure_len(pno + 1);
-        if let Err(e) = plan.note_write() {
+        if let Err(e) = plan.note_write_at(pno) {
             self.pages[pno as usize] = RawPage::Bad;
             return Err(e);
         }
@@ -65,10 +65,12 @@ impl RawDisk {
     }
 
     /// Repairs a page from known-good contents (used by the mirror after
-    /// reading the twin).
-    pub fn repair(&mut self, pno: PageNo, page: &Page) {
-        self.ensure_len(pno + 1);
-        self.pages[pno as usize] = RawPage::Good(page.clone());
+    /// reading the twin). A repair is a real device write, so it consults the
+    /// plan like any other: a crash mid-repair tears the page being repaired
+    /// — the twin the contents came from is still good, so the pair never
+    /// loses both copies to one crash.
+    pub fn repair(&mut self, pno: PageNo, page: &Page, plan: &FaultPlan) -> StorageResult<()> {
+        self.write(pno, page, plan)
     }
 
     /// Marks a page decayed — the spontaneous media failure of §1.1.
@@ -118,7 +120,22 @@ mod tests {
         d.write(0, &p, &plan).unwrap();
         d.decay(0);
         assert!(matches!(d.read(0), Err(StorageError::BadPage { .. })));
-        d.repair(0, &p);
+        d.repair(0, &p, &plan).unwrap();
+        assert_eq!(d.read(0).unwrap(), p);
+    }
+
+    #[test]
+    fn crash_mid_repair_tears_the_page_being_repaired() {
+        let mut d = RawDisk::new();
+        let plan = FaultPlan::new();
+        let p = Page::from_bytes(b"twin copy");
+        d.write(0, &p, &plan).unwrap();
+        d.decay(0);
+        plan.arm_after_writes(0);
+        assert!(d.repair(0, &p, &plan).unwrap_err().is_crash());
+        assert!(!d.is_good(0));
+        plan.heal();
+        d.repair(0, &p, &plan).unwrap();
         assert_eq!(d.read(0).unwrap(), p);
     }
 

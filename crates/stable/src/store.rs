@@ -31,6 +31,15 @@ pub trait PageStore {
     /// media. Called on simulated restart so nothing a crash would have
     /// erased survives into recovery; plain media stores have none.
     fn invalidate_volatile(&mut self) {}
+
+    /// Fault-injection hook: spontaneously decays one media copy of `pno`
+    /// (the §1.1 media failure), returning `true` if the store models decay.
+    /// Stores with redundant media ([`crate::MirroredDisk`]) lose one leg and
+    /// must repair it from the twin on the next read; always-good stores
+    /// return `false` and the harness knows decay is not being exercised.
+    fn decay_page(&mut self, _pno: PageNo) -> bool {
+        false
+    }
 }
 
 /// Classifies an access as sequential or random relative to the previous one.

@@ -12,43 +12,45 @@
 //! process committed, increments a counter, appends to a history list, and
 //! exits — a real restart rather than a simulated one.
 
+use argus::core::providers::FileProvider;
 use argus::core::{RecoverySystem, SimpleLogRs};
 use argus::objects::{ActionId, GuardianId, Heap, ObjRef, Value};
-use argus::sim::{CostModel, SimClock};
-use argus::stable::FileStore;
 use std::path::PathBuf;
 
-fn log_path() -> PathBuf {
-    std::env::temp_dir().join("argus-persistent-demo.log")
+fn state_dir() -> PathBuf {
+    std::env::temp_dir().join("argus-persistent-demo")
 }
 
 fn main() {
-    let path = log_path();
+    let dir = state_dir();
     if std::env::args().any(|a| a == "reset") {
-        let _ = std::fs::remove_file(&path);
-        println!("state at {} removed", path.display());
+        let _ = std::fs::remove_dir_all(&dir);
+        println!("state at {} removed", dir.display());
         return;
     }
 
-    let fresh = !path.exists();
-    let store = FileStore::open(&path, SimClock::new(), CostModel::fast()).expect("open store");
+    let fresh = !dir.join("root.argus").exists();
     let mut heap;
     let mut rs;
     let run: i64;
 
     if fresh {
-        println!("no state at {}; formatting a fresh log", path.display());
-        rs = SimpleLogRs::create(store).expect("format");
+        println!("no state at {}; formatting a fresh log", dir.display());
+        let provider = FileProvider::new(&dir).expect("provider");
+        rs = SimpleLogRs::create(provider).expect("format");
         heap = Heap::with_stable_root();
         run = 1;
     } else {
-        rs = SimpleLogRs::open(store).expect("open log");
+        let mut provider = FileProvider::new(&dir).expect("provider");
+        let generation = provider.active_generation().expect("read root");
+        let store = provider.open_store(generation).expect("open store");
+        rs = SimpleLogRs::open(provider, store).expect("open log");
         heap = Heap::new();
         let outcome = rs.recover(&mut heap).expect("recover");
         println!(
             "recovered {} objects from {} (examined {} entries)",
             outcome.ot.len(),
-            path.display(),
+            dir.display(),
             outcome.entries_examined
         );
         run = match find(&heap, "runs") {

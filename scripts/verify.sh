@@ -3,6 +3,7 @@
 #
 #   scripts/verify.sh          # build + default test suite
 #   scripts/verify.sh --full   # + property suites, benches, experiments smoke
+#   scripts/verify.sh --sweep  # + bounded deterministic crash-schedule sweep
 #
 # The workspace has zero external dependencies, so --offline is enforced —
 # any accidental registry dependency fails here rather than in CI.
@@ -28,6 +29,16 @@ run cargo run -q --release --offline -p argus-bench --bin experiments -- --smoke
 if [[ "${1:-}" == "--full" ]]; then
     run cargo build --offline --benches -p argus-bench
     run cargo run -q --release --offline -p argus-bench --bin experiments -- E1
+fi
+
+# Bounded crash-schedule sweep: a deterministic slice of the full matrix
+# (crash at each of the first 6 write indices per victim, plus a strided
+# second crash during recovery, for every organization/cache/media cell).
+# Any counterexample — an illegal recovered state or a lint violation —
+# makes argus-lint exit non-zero and fails the gate. The exhaustive sweep
+# is `argus-lint sweep --double` (also run by experiment E15).
+if [[ "${1:-}" == "--sweep" || "${1:-}" == "--full" ]]; then
+    run cargo run -q --release --offline --bin argus-lint -- sweep --double --stride 7 --max 6
 fi
 
 echo "verify: OK"

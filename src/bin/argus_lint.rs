@@ -1,25 +1,112 @@
-//! Lint a stable log on disk against the invariant catalogue I1–I10.
+//! Lint a stable log on disk against the invariant catalogue I1–I10, or
+//! run the exhaustive crash-schedule sweeper.
 //!
 //! ```sh
 //! cargo run --example persistent            # create some state first
 //! cargo run --bin argus-lint                # lint the demo log
-//! cargo run --bin argus-lint -- <path>      # lint any store file
+//! cargo run --bin argus-lint -- <path>      # lint any store file or dir
+//!
+//! cargo run --release --bin argus-lint -- sweep            # full matrix
+//! cargo run --release --bin argus-lint -- sweep --double   # + second crash
+//! cargo run --release --bin argus-lint -- sweep --kind hybrid --max 8
 //! ```
 //!
-//! Exits 0 when the log is clean, 1 when any invariant is violated, 2 when
-//! the file cannot be opened as a stable log.
+//! Lint mode exits 0 when the log is clean, 1 when any invariant is
+//! violated, 2 when the file cannot be opened as a stable log. Sweep mode
+//! exits 0 when every explored crash schedule recovered to a legal,
+//! lint-clean state and 1 when any counterexample was found.
 
+use argus::check::sweep::{sweep, SweepConfig};
 use argus::check::{detect_flavor, lint_log, LogImage};
+use argus::core::providers::FileProvider;
+use argus::guardian::RsKind;
 use argus::sim::{CostModel, SimClock};
 use argus::slog::StableLog;
 use argus::stable::FileStore;
 use std::path::PathBuf;
 
 fn main() {
-    let path: PathBuf = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| std::env::temp_dir().join("argus-persistent-demo.log"));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        run_sweep(&args[1..]);
+        return;
+    }
+    run_lint(args.first().map(PathBuf::from));
+}
+
+/// The crash-schedule sweeper: every write index of the 3-guardian 2PC
+/// workload, across the configuration matrix (see `argus_check::sweep`).
+fn run_sweep(args: &[String]) {
+    let mut double = false;
+    let mut stride: u64 = 1;
+    let mut max: Option<u64> = None;
+    let mut kind: Option<RsKind> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--double" => double = true,
+            "--stride" => {
+                stride = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--stride needs a positive integer"));
+            }
+            "--max" => {
+                max = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--max needs a positive integer")),
+                );
+            }
+            "--kind" => {
+                kind = Some(match it.next().map(String::as_str) {
+                    Some("simple") => RsKind::Simple,
+                    Some("hybrid") => RsKind::Hybrid,
+                    Some("shadow") => RsKind::Shadow,
+                    _ => usage("--kind needs simple|hybrid|shadow"),
+                });
+            }
+            other => usage(&format!("unknown sweep flag {other}")),
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let mut cells = SweepConfig::matrix(double, stride);
+    if let Some(k) = kind {
+        cells.retain(|c| c.kind == k);
+    }
+    let mut points = 0u64;
+    let mut counterexamples = 0u64;
+    for cell in &mut cells {
+        cell.max_points_per_victim = max;
+        let report = sweep(cell);
+        println!("{report}");
+        for cx in &report.counterexamples {
+            println!("  {cx}");
+        }
+        points += report.total_points();
+        counterexamples += report.counterexamples.len() as u64;
+    }
+    println!(
+        "swept {} cells, {} schedule points, {} counterexamples in {:.2?}",
+        cells.len(),
+        points,
+        counterexamples,
+        started.elapsed(),
+    );
+    std::process::exit(if counterexamples == 0 { 0 } else { 1 });
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!(
+        "{problem}\nusage: argus-lint [<store path>]\n       \
+         argus-lint sweep [--double] [--stride N] [--max N] [--kind simple|hybrid|shadow]"
+    );
+    std::process::exit(2);
+}
+
+fn run_lint(path: Option<PathBuf>) {
+    let path = path.unwrap_or_else(|| std::env::temp_dir().join("argus-persistent-demo"));
     if !path.exists() {
         eprintln!(
             "no log at {} (run the `persistent` example first?)",
@@ -28,17 +115,39 @@ fn main() {
         std::process::exit(2);
     }
 
-    let store = match FileStore::open(&path, SimClock::new(), CostModel::fast()) {
+    // A directory is a FileProvider state dir: its stable root names the
+    // active log generation.
+    let store_path = if path.is_dir() {
+        let mut provider = match FileProvider::new(&path) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}: cannot open state dir: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        let generation = match provider.active_generation() {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("{}: cannot read stable root: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        provider.store_path(generation)
+    } else {
+        path
+    };
+
+    let store = match FileStore::open(&store_path, SimClock::new(), CostModel::fast()) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("{}: cannot open store: {e}", path.display());
+            eprintln!("{}: cannot open store: {e}", store_path.display());
             std::process::exit(2);
         }
     };
     let mut log = match StableLog::open(store) {
         Ok(l) => l,
         Err(e) => {
-            eprintln!("{}: cannot open stable log: {e}", path.display());
+            eprintln!("{}: cannot open stable log: {e}", store_path.display());
             std::process::exit(2);
         }
     };
@@ -47,7 +156,7 @@ fn main() {
     let report = lint_log(&image);
     println!(
         "{}: {} entries ({} undecodable), {} flavor",
-        path.display(),
+        store_path.display(),
         image.len(),
         image.bad_records().len(),
         detect_flavor(&image),

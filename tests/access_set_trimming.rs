@@ -8,8 +8,6 @@
 use argus::core::providers::MemProvider;
 use argus::core::{HybridLogRs, RecoverySystem, SimpleLogRs};
 use argus::objects::{ActionId, GuardianId, Heap, Value};
-use argus::sim::{CostModel, SimClock};
-use argus::stable::MemStore;
 
 fn aid(n: u64) -> ActionId {
     ActionId::new(GuardianId(0), n)
@@ -75,7 +73,7 @@ fn trimming_preserves_correct_recovery() {
 
 #[test]
 fn trimming_works_on_the_simple_log_too() {
-    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    let mut rs = SimpleLogRs::create(MemProvider::fast()).unwrap();
     let mut heap = Heap::with_stable_root();
     let uids: Vec<_> = (1..=4)
         .map(|i| link_new_object(&mut rs, &mut heap, i))

@@ -7,9 +7,10 @@
 // Each integration-test binary uses a subset of these helpers.
 #![allow(dead_code)]
 
+use argus::check::sweep::{sweep, SweepConfig};
 use argus::check::{assert_heap_quiesced, lint_log, lint_log_against, LogImage};
 use argus::core::{LogEntry, RecoveryOutcome};
-use argus::guardian::World;
+use argus::guardian::{RsKind, World};
 use argus::slog::LogAddress;
 
 /// Lints dumped log entries; panics with the violation report if any
@@ -30,6 +31,23 @@ pub fn lint_entries_against(entries: Vec<(LogAddress, LogEntry)>, out: &Recovery
 /// of every guardian that is up against I11 (no stale locks): a lock or
 /// buffered current version still owned by a finished action is a leak the
 /// scenario's own assertions would never notice.
+/// Runs a bounded, deterministic slice of the crash-schedule sweeper for
+/// one organization: the first few crash points of every victim, across all
+/// of that organization's housekeeping/cache/media cells. Scenario figure
+/// tests call this so the organization they exercise is also swept — with
+/// crashes at arbitrary write indices, not just the figure's chosen one —
+/// on every test run. The full matrix lives in `argus-lint sweep`.
+#[track_caller]
+pub fn bounded_sweep(kind: RsKind) {
+    for mut cfg in SweepConfig::matrix(false, 1) {
+        if cfg.kind != kind {
+            continue;
+        }
+        cfg.max_points_per_victim = Some(3);
+        sweep(&cfg).assert_clean();
+    }
+}
+
 #[track_caller]
 pub fn lint_world(world: &mut World) {
     let live = world.live_actions();

@@ -2,20 +2,19 @@
 //! fabricates the smallest log that exercises one clause of the thesis's
 //! pseudocode and asserts exactly the prescribed table/heap effect.
 
+use argus::core::providers::MemProvider;
 use argus::core::{LogEntry, ObjState, PState, RecoverySystem, SimpleLogRs};
 use argus::objects::{ActionId, GuardianId, Heap, ObjKind, ObjectBody, Uid, Value};
-use argus::sim::{CostModel, SimClock};
-use argus::stable::MemStore;
 
 fn aid(n: u64) -> ActionId {
     ActionId::new(GuardianId(0), n)
 }
 
-fn rs() -> SimpleLogRs<MemStore> {
-    SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap()
+fn rs() -> SimpleLogRs<MemProvider> {
+    SimpleLogRs::create(MemProvider::fast()).unwrap()
 }
 
-fn recover(rs: &mut SimpleLogRs<MemStore>) -> (Heap, argus::core::RecoveryOutcome) {
+fn recover(rs: &mut SimpleLogRs<MemProvider>) -> (Heap, argus::core::RecoveryOutcome) {
     rs.simulate_crash().unwrap();
     let mut heap = Heap::new();
     let out = rs.recover(&mut heap).unwrap();

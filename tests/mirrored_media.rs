@@ -92,6 +92,51 @@ fn recovery_survives_single_copy_decay_of_every_page() {
 }
 
 #[test]
+fn frontier_decay_after_a_torn_write_never_loses_both_copies() {
+    // The crash may tear one leg of the in-flight page; the decay model must
+    // then land on the *other* disk of some pair — never the last good copy
+    // of the torn page. Sweep the crash through a commit, decay at the crash
+    // frontier, and demand that recovery still reads every page.
+    for budget in 0..60u64 {
+        let plan = FaultPlan::new();
+        let mut rs = HybridLogRs::create(provider(&plan)).unwrap();
+        let mut heap = Heap::with_stable_root();
+        commit_value(&mut rs, &mut heap, 1, 7);
+
+        let a = aid(2);
+        let root = heap.stable_root().unwrap();
+        heap.acquire_write(root, a).unwrap();
+        heap.write_value(root, a, |v| *v = Value::Int(8)).unwrap();
+        plan.arm_after_writes(budget);
+        let crashed = rs
+            .prepare(a, &[root], &heap)
+            .and_then(|()| rs.commit(a))
+            .is_err();
+        plan.heal();
+        plan.disarm();
+        if !crashed {
+            continue;
+        }
+
+        // Decay exactly where the crash interrupted the device.
+        if let Some(pno) = plan.frontier_page() {
+            rs.decay_page(pno);
+        }
+
+        rs.simulate_crash().unwrap();
+        let mut heap2 = Heap::new();
+        rs.recover(&mut heap2)
+            .unwrap_or_else(|e| panic!("budget {budget}: recovery failed: {e}"));
+        let root2 = heap2.stable_root().unwrap();
+        let committed = heap2.read_value(root2, None).unwrap();
+        assert!(
+            committed == &Value::Int(7) || committed == &Value::Int(8),
+            "budget {budget}: illegal committed value {committed:?}"
+        );
+    }
+}
+
+#[test]
 fn torn_write_during_commit_is_atomic_on_mirrored_media() {
     // Crash exactly during the force of the committed record at every
     // feasible write budget: recovery must see the action as either fully

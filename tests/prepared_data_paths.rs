@@ -7,8 +7,6 @@
 use argus::core::providers::MemProvider;
 use argus::core::{HousekeepingMode, HybridLogRs, PState, RecoverySystem, SimpleLogRs};
 use argus::objects::{ActionId, GuardianId, Heap, ObjectBody, Uid, Value};
-use argus::sim::{CostModel, SimClock};
-use argus::stable::MemStore;
 
 fn aid(n: u64) -> ActionId {
     ActionId::new(GuardianId(0), n)
@@ -70,7 +68,7 @@ fn check_in_doubt(rs: &mut dyn RecoverySystem, x_uid: Uid, b: ActionId) {
 
 #[test]
 fn in_doubt_writer_simple_log() {
-    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    let mut rs = SimpleLogRs::create(MemProvider::fast()).unwrap();
     let (_heap, x_uid, b) = build(&mut rs);
     check_in_doubt(&mut rs, x_uid, b);
 }
@@ -91,8 +89,7 @@ fn committed_writer_installs_the_prepared_data_version() {
             hybrid = HybridLogRs::create(MemProvider::fast()).unwrap();
             &mut hybrid
         } else {
-            simple =
-                SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+            simple = SimpleLogRs::create(MemProvider::fast()).unwrap();
             &mut simple
         };
         let (mut heap, x_uid, b) = build(rs);
@@ -127,8 +124,7 @@ fn aborted_writer_falls_back_to_the_base_committed_version() {
             hybrid = HybridLogRs::create(MemProvider::fast()).unwrap();
             &mut hybrid
         } else {
-            simple =
-                SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+            simple = SimpleLogRs::create(MemProvider::fast()).unwrap();
             &mut simple
         };
         let (mut heap, x_uid, b) = build(rs);

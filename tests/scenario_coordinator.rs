@@ -13,10 +13,9 @@
 //! — "Since the table contains no action identifier whose state is
 //! committing then no coordinator needs to be restarted."
 
+use argus::core::providers::MemProvider;
 use argus::core::{CState, LogEntry, ObjState, PState, RecoverySystem, SimpleLogRs};
 use argus::objects::{ActionId, GuardianId, Heap, ObjKind, Uid, Value};
-use argus::sim::{CostModel, SimClock};
-use argus::stable::MemStore;
 
 mod common;
 
@@ -24,12 +23,12 @@ fn aid(n: u64) -> ActionId {
     ActionId::new(GuardianId(0), n)
 }
 
-fn build_log(with_done: bool) -> SimpleLogRs<MemStore> {
+fn build_log(with_done: bool) -> SimpleLogRs<MemProvider> {
     let (t1, t2) = (aid(1), aid(2));
     let (o1, o2) = (Uid(1), Uid(2));
     let gids = vec![GuardianId(1), GuardianId(2), GuardianId(3)];
 
-    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    let mut rs = SimpleLogRs::create(MemProvider::fast()).unwrap();
     rs.append_raw(
         &LogEntry::BaseCommitted {
             uid: o1,
@@ -167,4 +166,11 @@ fn crash_before_done_restarts_the_coordinator() {
     );
 
     common::lint_entries_against(rs.dump_entries().unwrap(), &out);
+}
+
+#[test]
+fn bounded_crash_sweep_of_this_organization_is_clean() {
+    // Beyond the figure's scripted crash point: sweep the first few crash
+    // points of every victim across the simple log's configuration cells.
+    common::bounded_sweep(argus::guardian::RsKind::Simple);
 }

@@ -259,3 +259,10 @@ fn discard_drops_early_prepare_bookkeeping() {
 
     common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }
+
+#[test]
+fn bounded_crash_sweep_of_this_organization_is_clean() {
+    // Beyond the figure's scripted crash point: sweep the first few crash
+    // points of every victim across the hybrid log's configuration cells.
+    common::bounded_sweep(argus::guardian::RsKind::Hybrid);
+}

@@ -251,3 +251,10 @@ fn recovery_steps_over_a_data_entry_at_the_log_top() {
 
     common::lint_entries_against(rs.dump_entries().unwrap(), &out);
 }
+
+#[test]
+fn bounded_crash_sweep_of_this_organization_is_clean() {
+    // Beyond the figure's scripted crash point: sweep the first few crash
+    // points of every victim across the hybrid log's configuration cells.
+    common::bounded_sweep(argus::guardian::RsKind::Hybrid);
+}

@@ -5,8 +5,6 @@
 use argus::core::providers::MemProvider;
 use argus::core::{HybridLogRs, LogEntry, RecoverySystem, SimpleLogRs};
 use argus::objects::{ActionId, GuardianId, Heap, ObjKind, Uid, Value};
-use argus::sim::{CostModel, SimClock};
-use argus::stable::MemStore;
 
 mod common;
 
@@ -33,7 +31,7 @@ fn figure_3_6_simple_log_entries() {
     let t1 = aid(1);
     let (heap, o2, _uid2, _uid3) = figure_3_6_heap(t1);
 
-    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    let mut rs = SimpleLogRs::create(MemProvider::fast()).unwrap();
     // Make O2 previously accessible: pretend an earlier epoch wrote it by
     // seeding the AS through a first prepare of O2 alone... the cleanest way
     // is to run the scenario exactly: O2 accessible, O3 not. Achieve it by

@@ -10,10 +10,9 @@
 //! carries T2's current version under T2's write lock with the
 //! base-committed V1 as its base.
 
+use argus::core::providers::MemProvider;
 use argus::core::{LogEntry, ObjState, PState, RecoverySystem, SimpleLogRs};
 use argus::objects::{ActionId, GuardianId, Heap, ObjKind, ObjectBody, Uid, Value};
-use argus::sim::{CostModel, SimClock};
-use argus::stable::MemStore;
 
 mod common;
 
@@ -28,7 +27,7 @@ fn figure_3_7_recovery() {
     let o1 = Uid(1);
     let o2 = Uid(2);
 
-    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    let mut rs = SimpleLogRs::create(MemProvider::fast()).unwrap();
     rs.append_raw(
         &LogEntry::BaseCommitted {
             uid: o1,
@@ -144,7 +143,7 @@ fn figure_3_7_all_entries_are_examined_by_the_simple_scan() {
     // The defining inefficiency of the simple log: every one of the 7
     // entries is read.
     let t1 = aid(1);
-    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    let mut rs = SimpleLogRs::create(MemProvider::fast()).unwrap();
     for _ in 0..3 {
         rs.append_raw(
             &LogEntry::Data {
@@ -182,4 +181,11 @@ fn figure_3_7_all_entries_are_examined_by_the_simple_scan() {
     assert_eq!(out.data_entries_read, 3);
 
     common::lint_entries_against(rs.dump_entries().unwrap(), &out);
+}
+
+#[test]
+fn bounded_crash_sweep_of_this_organization_is_clean() {
+    // Beyond the figure's scripted crash point: sweep the first few crash
+    // points of every victim across the simple log's configuration cells.
+    common::bounded_sweep(argus::guardian::RsKind::Simple);
 }

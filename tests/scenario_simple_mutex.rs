@@ -10,10 +10,9 @@
 //! whether said action later aborted or committed." So O1 recovers to V3
 //! (T2's version, even though T2 aborted) and O2 to V2.
 
+use argus::core::providers::MemProvider;
 use argus::core::{LogEntry, ObjState, PState, RecoverySystem, SimpleLogRs};
 use argus::objects::{ActionId, GuardianId, Heap, ObjKind, Uid, Value};
-use argus::sim::{CostModel, SimClock};
-use argus::stable::MemStore;
 
 mod common;
 
@@ -28,7 +27,7 @@ fn figure_3_8_recovery() {
     let o1 = Uid(1);
     let o2 = Uid(2);
 
-    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    let mut rs = SimpleLogRs::create(MemProvider::fast()).unwrap();
     rs.append_raw(
         &LogEntry::Data {
             uid: o1,
@@ -123,7 +122,7 @@ fn mutex_of_never_prepared_action_is_discarded() {
     let t2 = aid(2);
     let o1 = Uid(1);
 
-    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    let mut rs = SimpleLogRs::create(MemProvider::fast()).unwrap();
     rs.append_raw(
         &LogEntry::Data {
             uid: o1,
@@ -171,4 +170,11 @@ fn mutex_of_never_prepared_action_is_discarded() {
     assert_eq!(heap.read_value(h1, None).unwrap(), &Value::Int(1));
 
     common::lint_entries_against(rs.dump_entries().unwrap(), &out);
+}
+
+#[test]
+fn bounded_crash_sweep_of_this_organization_is_clean() {
+    // Beyond the figure's scripted crash point: sweep the first few crash
+    // points of every victim across the simple log's configuration cells.
+    common::bounded_sweep(argus::guardian::RsKind::Simple);
 }

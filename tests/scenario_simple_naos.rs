@@ -16,10 +16,9 @@
 //! though T2 aborted, object O3 must be recovered after a crash because it
 //! is needed for T3."
 
+use argus::core::providers::MemProvider;
 use argus::core::{LogEntry, ObjState, PState, RecoverySystem, SimpleLogRs};
 use argus::objects::{ActionId, GuardianId, Heap, ObjKind, ObjectBody, Uid, Value};
-use argus::sim::{CostModel, SimClock};
-use argus::stable::MemStore;
 
 mod common;
 
@@ -32,7 +31,7 @@ fn figure_3_9_recovery() {
     let (t1, t2, t3) = (aid(1), aid(2), aid(3));
     let (o1, o2, o3) = (Uid(1), Uid(2), Uid(3));
 
-    let mut rs = SimpleLogRs::create(MemStore::new(SimClock::new(), CostModel::fast())).unwrap();
+    let mut rs = SimpleLogRs::create(MemProvider::fast()).unwrap();
     rs.append_raw(
         &LogEntry::BaseCommitted {
             uid: o1,
@@ -174,4 +173,11 @@ fn figure_3_9_recovery() {
     }
 
     common::lint_entries_against(rs.dump_entries().unwrap(), &out);
+}
+
+#[test]
+fn bounded_crash_sweep_of_this_organization_is_clean() {
+    // Beyond the figure's scripted crash point: sweep the first few crash
+    // points of every victim across the simple log's configuration cells.
+    common::bounded_sweep(argus::guardian::RsKind::Simple);
 }
