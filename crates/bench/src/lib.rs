@@ -1042,6 +1042,200 @@ pub fn e10_abort_rate() -> Table {
     table
 }
 
+/// Drives the E16 mix and returns every attributed action plus the start
+/// of the measurement window (setup actions start before it).
+///
+/// Three guardians host one hot account each; three concurrent transfer
+/// streams work the pairs (0,1), (1,2), (0,2), so the streams contend on
+/// every account and every commit is a cross-guardian two-phase commit.
+/// Locks are always taken lower-guardian-first — a global order — so the
+/// blocking policy never deadlocks and no stream ever retries. Device
+/// detail is on, so the trace carries individual storage operations and
+/// [`argus_trace::attribute`] can price the device segment exactly.
+///
+/// Every attributed action is asserted to satisfy `segment_sum == total`
+/// — the partition property E16 exists to demonstrate. Fully
+/// deterministic: same inputs, byte-identical trace.
+pub fn e16_run(kind: RsKind, transfers_per_slot: u64) -> (Vec<argus_trace::ActionLatency>, u64) {
+    use argus_guardian::{CcOutcome, CcPolicy};
+    use argus_objects::ActionId;
+
+    let mut world = World::with_config(
+        CostModel::default(),
+        WorldConfig::with_cc(CcPolicy::Blocking),
+    );
+    let tracer = world.tracer().clone();
+    tracer.set_detail(argus_trace::Detail::Device);
+    let gids: Vec<_> = (0..3)
+        .map(|_| world.add_guardian(kind).expect("guardian"))
+        .collect();
+    let mut accounts = Vec::new();
+    for (j, &g) in gids.iter().enumerate() {
+        let aid = world.begin(g).expect("begin");
+        let h = world
+            .create_atomic(g, aid, Value::Int(1_000))
+            .expect("create");
+        world
+            .set_stable(g, aid, &format!("hot{j}"), Value::heap_ref(h))
+            .expect("bind");
+        assert_eq!(world.commit(aid).expect("setup"), Outcome::Committed);
+        accounts.push(h);
+    }
+    let measure_start = world.clock.now();
+
+    struct Slot {
+        pair: (usize, usize),
+        aid: Option<ActionId>,
+        next_op: usize,
+        remaining: u64,
+    }
+    let mut slots: Vec<Slot> = [(0usize, 1usize), (1, 2), (0, 2)]
+        .iter()
+        .map(|&pair| Slot {
+            pair,
+            aid: None,
+            next_op: 0,
+            remaining: transfers_per_slot,
+        })
+        .collect();
+    loop {
+        let mut progress = false;
+        let mut all_done = true;
+        for slot in &mut slots {
+            match slot.aid {
+                None => {
+                    if slot.remaining == 0 {
+                        continue;
+                    }
+                    all_done = false;
+                    slot.aid = Some(world.begin(gids[slot.pair.0]).expect("begin"));
+                    slot.next_op = 0;
+                    progress = true;
+                }
+                Some(aid) => {
+                    all_done = false;
+                    assert!(
+                        world.cc_fate(aid).is_none(),
+                        "E16 mix is deadlock-free by lock order"
+                    );
+                    if world.cc_blocked(aid) {
+                        continue;
+                    }
+                    if slot.next_op < 2 {
+                        let j = if slot.next_op == 0 {
+                            slot.pair.0
+                        } else {
+                            slot.pair.1
+                        };
+                        let delta = if slot.next_op == 0 { -5i64 } else { 5 };
+                        let outcome = world
+                            .submit_write_atomic(gids[j], aid, accounts[j], move |v| {
+                                if let Value::Int(balance) = v {
+                                    *balance += delta;
+                                }
+                            })
+                            .expect("submit");
+                        // Parked counts as issued: the grant runs the write.
+                        assert!(
+                            !matches!(outcome, CcOutcome::Conflict),
+                            "blocking policy never refuses"
+                        );
+                        slot.next_op += 1;
+                    } else {
+                        assert_eq!(world.commit(aid).expect("2pc"), Outcome::Committed);
+                        slot.aid = None;
+                        slot.remaining -= 1;
+                    }
+                    progress = true;
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progress {
+            let next = world
+                .cc_next_deadline()
+                .expect("E16 mix stalled with no pending event");
+            world.clock.advance_to(next);
+            world.cc_tick();
+        }
+    }
+
+    let mut total = 0i64;
+    for (j, &g) in gids.iter().enumerate() {
+        let guardian = world.guardian(g).expect("guardian");
+        if let Ok(Value::Int(b)) = guardian.heap.read_value(accounts[j], None) {
+            total += *b;
+        }
+    }
+    assert_eq!(total, 3_000, "transfers must conserve the total balance");
+
+    let lats = argus_trace::attribute(&tracer.events());
+    for a in &lats {
+        assert_eq!(
+            a.segment_sum(),
+            a.total_us,
+            "E16: the five segments must partition the action window"
+        );
+    }
+    (lats, measure_start)
+}
+
+/// E16 — latency attribution from the causal trace (DESIGN.md § Tracing).
+///
+/// Where does a committed action's wall time go? The trace decomposes each
+/// action's window into lock-wait / force-wait / network / device /
+/// processing segments that partition it exactly ([`argus_trace::attribute`];
+/// the partition is asserted per action inside [`e16_run`]). The thesis
+/// prices only the device side (§4.1); the trace shows how much of an
+/// action's latency the device actually is once lock queues, the group-
+/// commit window, and 2PC round-trips are in the picture.
+///
+/// The log organizations read and write through the instrumented page
+/// cache, so their device segment is exact. Shadowing keeps its direct
+/// store (its page map is already its own cache), so its device time is
+/// not separately instrumented and reports under processing.
+pub fn e16_latency_attribution(transfers_per_slot: u64) -> Table {
+    let mut table = Table::new(
+        "E16",
+        "Latency attribution on the contended 3-guardian 2PC mix (mean simulated µs per committed action)",
+        "required: lock-wait + force-wait + network + device + processing == end-to-end latency, per action (asserted); the breakdown shows what the thesis's device-only costing leaves out",
+    );
+    table.header(vec![
+        "organization".into(),
+        "actions".into(),
+        "total".into(),
+        "lock-wait".into(),
+        "force-wait".into(),
+        "network".into(),
+        "device".into(),
+        "processing".into(),
+    ]);
+    for kind in KINDS {
+        let (lats, measure_start) = e16_run(kind, transfers_per_slot);
+        let committed: Vec<_> = lats
+            .iter()
+            .filter(|a| a.committed && a.start >= measure_start)
+            .collect();
+        let n = committed.len().max(1) as u64;
+        let mean = |f: &dyn Fn(&argus_trace::ActionLatency) -> u64| {
+            (committed.iter().map(|a| f(a)).sum::<u64>() / n).to_string()
+        };
+        table.row(vec![
+            kind_name(kind).into(),
+            committed.len().to_string(),
+            mean(&|a| a.total_us),
+            mean(&|a| a.lock_wait_us),
+            mean(&|a| a.force_wait_us),
+            mean(&|a| a.network_us),
+            mean(&|a| a.device_us),
+            mean(&|a| a.processing_us),
+        ]);
+    }
+    table
+}
+
 /// E15 — exhaustive crash-schedule sweep coverage (DESIGN.md § Fault-sweep).
 ///
 /// Runs the `argus-check` crash-schedule sweeper over its full configuration

@@ -19,6 +19,14 @@ impl LockMode {
     pub fn compatible(self, other: LockMode) -> bool {
         self == LockMode::Shared && other == LockMode::Shared
     }
+
+    /// The mode as a static name, for journal events and trace spans.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockMode::Shared => "shared",
+            LockMode::Exclusive => "exclusive",
+        }
+    }
 }
 
 /// Names one lockable object in the world: a heap slot at a guardian.
@@ -52,6 +60,11 @@ pub struct Waiter<C> {
     pub parked_at: u64,
     /// Simulated deadline after which the request times out ([`crate::CcPolicy::Timeout`]).
     pub deadline: Option<u64>,
+    /// The lock holder this request is queued behind at park time (the
+    /// writer, or the first reader blocking an exclusive request), when one
+    /// is known. Carried so the grant-time trace span can name who was
+    /// waited on.
+    pub holder: Option<ActionId>,
     /// What to run when the request is granted.
     pub cont: C,
 }
@@ -89,6 +102,23 @@ impl<C> LockManager<C> {
     /// *front*: it cannot give way to later arrivals, which would have to
     /// wait behind its shared lock anyway.
     pub fn park(&mut self, key: ObjKey, waiter: Waiter<C>, upgrade: bool) {
+        argus_obs::current().event(argus_obs::Event::LockBlocked {
+            mode: waiter.mode.name(),
+            holder_seq: waiter.holder.map(|h| h.seq),
+        });
+        argus_trace::current().instant(
+            "cc",
+            "lock_blocked",
+            key.gid.0,
+            Some(argus_trace::Key::new(
+                waiter.aid.coordinator.0,
+                waiter.aid.seq,
+            )),
+            &[
+                ("hid", u64::from(key.hid.0)),
+                ("holder_seq", waiter.holder.map_or(0, |h| h.seq)),
+            ],
+        );
         let queue = self.queues.entry(key).or_default();
         if upgrade {
             queue.push_front(waiter);
@@ -259,6 +289,7 @@ mod tests {
             mode,
             parked_at: 0,
             deadline: None,
+            holder: None,
             cont: "c",
         }
     }

@@ -252,6 +252,17 @@ struct PartNode {
     resolved: Option<bool>,
 }
 
+/// One step of the schedule that produced a state, as a singly linked list
+/// shared structurally between a state and its successors (cloning a state
+/// is still a refcount bump). This is the flight recorder's raw material:
+/// when a violation is found the chain is unwound into the exact schedule
+/// that reaches it.
+#[derive(Debug)]
+struct PathNode {
+    step: String,
+    prev: Option<Rc<PathNode>>,
+}
+
 /// One global state of the protocol.
 #[derive(Debug, Clone)]
 struct State {
@@ -260,6 +271,11 @@ struct State {
     inflight: Vec<Envelope>,
     crashes_left: u32,
     drops_left: u32,
+    /// The schedule that produced this state. Deliberately excluded from
+    /// [`State::fingerprint`]: two schedules reaching the same protocol
+    /// state are the same state, and the first one to arrive keeps its
+    /// history for the flight recorder.
+    path: Option<Rc<PathNode>>,
 }
 
 impl State {
@@ -305,6 +321,26 @@ impl State {
         self.crashes_left.hash(&mut h);
         self.drops_left.hash(&mut h);
         h.finish()
+    }
+
+    /// Records one schedule step onto this (successor) state's path.
+    fn record(&mut self, step: String) {
+        self.path = Some(Rc::new(PathNode {
+            step,
+            prev: self.path.take(),
+        }));
+    }
+
+    /// Unwinds the path chain into the schedule, root first.
+    fn schedule(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        let mut cur = self.path.as_deref();
+        while let Some(node) = cur {
+            lines.push(node.step.clone());
+            cur = node.prev.as_deref();
+        }
+        lines.reverse();
+        lines
     }
 }
 
@@ -409,6 +445,7 @@ impl Explorer {
             inflight,
             crashes_left: self.cfg.max_crashes,
             drops_left: self.cfg.max_drops,
+            path: None,
         }
     }
 
@@ -422,6 +459,28 @@ impl Explorer {
     }
 
     fn check_state(&mut self, state: &State) {
+        let before = self.violations.len();
+        self.check_state_inner(state);
+        // Flight recorder: the first state to exhibit a violation dumps the
+        // schedule that reaches it, and the violation text points at the
+        // file so the repro is one redirect away.
+        if self.violations.len() > before {
+            let mut lines = state.schedule();
+            lines.push(format!(
+                "-- {} violation(s) at this state:",
+                self.violations.len() - before
+            ));
+            lines.extend(self.violations[before..].iter().cloned());
+            if let Ok(path) = argus_trace::flight::dump_text("explore", &lines) {
+                let suffix = format!(" [schedule: {}]", path.display());
+                for v in &mut self.violations[before..] {
+                    v.push_str(&suffix);
+                }
+            }
+        }
+    }
+
+    fn check_state_inner(&mut self, state: &State) {
         let aid = self.aid;
         // A1: a committed participant implies a logged commit point.
         for (i, p) in state.parts.iter().enumerate() {
@@ -582,7 +641,13 @@ impl Explorer {
         if state.drops_left > 0 {
             for idx in 0..state.inflight.len() {
                 let mut next = state.clone();
-                next.inflight.remove(idx);
+                let env = next.inflight.remove(idx);
+                next.record(format!(
+                    "drop {} {}->{}",
+                    env.msg.kind(),
+                    env.from.0,
+                    env.to.0
+                ));
                 next.drops_left -= 1;
                 self.stats.drops += 1;
                 out.push(next);
@@ -592,6 +657,7 @@ impl Explorer {
         if state.crashes_left > 0 {
             if state.coord.up {
                 let mut next = state.clone();
+                next.record("crash coordinator".to_string());
                 next.coord.up = false;
                 next.coord.machine = None;
                 next.crashes_left -= 1;
@@ -601,6 +667,7 @@ impl Explorer {
             for i in 0..state.parts.len() {
                 if state.parts[i].up {
                     let mut next = state.clone();
+                    next.record(format!("crash participant {}", i + 1));
                     next.parts[i].up = false;
                     next.parts[i].machine = None;
                     next.parts[i].resolved = None;
@@ -661,6 +728,14 @@ impl Explorer {
         crash_after: Option<usize>,
     ) -> (State, usize) {
         let env = state.inflight.remove(idx);
+        let mut step = format!("deliver {} {}->{}", env.msg.kind(), env.from.0, env.to.0);
+        if !prepare_ok {
+            step.push_str(" vote=refuse");
+        }
+        if let Some(k) = crash_after {
+            step.push_str(&format!(" crash@{k}"));
+        }
+        state.record(step);
         let steps = if env.to == COORD {
             self.deliver_to_coord(&mut state, &env, crash_after)
         } else {
@@ -892,6 +967,7 @@ impl Explorer {
     /// two if a `committing` record survives (§2.2.3), presume abort
     /// otherwise.
     fn restart_coord(&self, mut state: State) -> State {
+        state.record("restart coordinator".to_string());
         state.coord.up = true;
         match state.coord.log.recovered_cstate(self.aid) {
             Some((true, _)) => {
@@ -924,6 +1000,7 @@ impl Explorer {
     /// Restarts a participant: rebuild the PT from the log; an in-doubt
     /// prepare resumes by querying the coordinator (§2.2.2).
     fn restart_part(&self, mut state: State, i: usize) -> State {
+        state.record(format!("restart participant {}", i + 1));
         state.parts[i].up = true;
         match state.parts[i].log.recovered_pstate(self.aid) {
             Some(argus_core::PState::Prepared) => {
@@ -962,6 +1039,7 @@ impl Explorer {
     /// re-sends its verdict to the participants it is still awaiting, and an
     /// in-doubt participant re-queries the coordinator.
     fn quiesce(&self, mut state: State) -> State {
+        state.record("quiesce (timeout moves fire)".to_string());
         if state.coord.up {
             if let Some(machine) = &mut state.coord.machine {
                 match machine.phase() {
@@ -1040,6 +1118,34 @@ mod tests {
         let report = Explorer::new(cfg).run();
         report.assert_ok();
         assert!(report.stats.terminal_states > 0);
+    }
+
+    #[test]
+    fn a_violation_dumps_the_failing_schedule() {
+        // A hand-built bad state (a participant committed with no
+        // coordinator commit point) must trip A1 and leave a schedule dump
+        // whose path the violation text names.
+        let mut ex = Explorer::new(ExploreConfig {
+            participants: 1,
+            ..ExploreConfig::default()
+        });
+        let mut state = ex.initial_state();
+        state.record("deliver prepare 0->1".to_string());
+        state.parts[0].log.append(LogEntry::Committed {
+            aid: ex.aid,
+            prev: None,
+        });
+        ex.check_state(&state);
+        assert!(!ex.violations.is_empty());
+        let v = &ex.violations[0];
+        let marker = " [schedule: ";
+        let start = v.find(marker).expect("violation names the dump") + marker.len();
+        let path = std::path::PathBuf::from(&v[start..v.len() - 1]);
+        assert!(path.exists(), "flight dump {} missing", path.display());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("deliver prepare 0->1"));
+        assert!(text.contains("violation(s) at this state"));
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

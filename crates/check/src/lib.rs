@@ -52,7 +52,8 @@ pub mod sweep;
 pub use explore::{ExploreConfig, ExploreReport, ExploreStats, Explorer};
 pub use image::{BadRecord, LogImage};
 pub use lint::{
-    assert_heap_quiesced, detect_flavor, lint_heap_quiesced, lint_log, lint_log_against, Flavor,
-    Invariant, LintReport, ReconObj, Reconstruction, Violation,
+    assert_heap_quiesced, assert_trace_consistent, detect_flavor, lint_heap_quiesced, lint_log,
+    lint_log_against, lint_trace, Flavor, Invariant, LintReport, ReconObj, Reconstruction,
+    Violation,
 };
 pub use sweep::{sweep, Counterexample, SweepConfig, SweepReport};

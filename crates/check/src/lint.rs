@@ -36,6 +36,11 @@
 //!   version owned by a non-live action, and no mutex stays seized by one
 //!   (§2.4.1: locks are released exactly at commit or abort). Checked by
 //!   [`lint_heap_quiesced`] over a volatile [`Heap`], not a log image.
+//! * **I12 trace consistent** — the one trace-level invariant: every span
+//!   the instrumentation opened also closes, event times are monotone per
+//!   guardian lane, and every cross-guardian flow edge that arrives was
+//!   sent. Checked by [`lint_trace`] over an `argus_trace::Tracer`, not a
+//!   log image.
 
 use crate::image::LogImage;
 use crate::obs::LintObs;
@@ -90,11 +95,14 @@ pub enum Invariant {
     I10TablesAgree,
     /// No quiesced heap object retains a lock of a non-live action.
     I11NoStaleLocks,
+    /// The recorded trace is self-consistent: spans close, per-guardian
+    /// times are monotone, cross-guardian flow edges resolve.
+    I12TraceConsistent,
 }
 
 impl Invariant {
     /// All invariants, in catalogue order.
-    pub const ALL: [Invariant; 11] = [
+    pub const ALL: [Invariant; 12] = [
         Invariant::I1WellFormed,
         Invariant::I2ChainTerminates,
         Invariant::I3ChainComplete,
@@ -106,6 +114,7 @@ impl Invariant {
         Invariant::I9AccessClosed,
         Invariant::I10TablesAgree,
         Invariant::I11NoStaleLocks,
+        Invariant::I12TraceConsistent,
     ];
 
     /// The catalogue code ("I1" … "I10").
@@ -122,6 +131,7 @@ impl Invariant {
             Invariant::I9AccessClosed => "I9",
             Invariant::I10TablesAgree => "I10",
             Invariant::I11NoStaleLocks => "I11",
+            Invariant::I12TraceConsistent => "I12",
         }
     }
 
@@ -139,6 +149,9 @@ impl Invariant {
             Invariant::I9AccessClosed => "the restorable set is closed under references",
             Invariant::I10TablesAgree => "reconstructed PT/CT/OT agree with core recovery",
             Invariant::I11NoStaleLocks => "no quiesced object keeps a lock of a non-live action",
+            Invariant::I12TraceConsistent => {
+                "spans close, per-guardian times are monotone, flows resolve"
+            }
         }
     }
 }
@@ -288,6 +301,38 @@ pub fn lint_heap_quiesced(heap: &Heap, live: &BTreeSet<ActionId>) -> Vec<Violati
         }
     }
     out
+}
+
+/// Lints a recorded trace against I12: every opened span closes, timestamps
+/// are monotone per guardian lane, and every cross-guardian flow edge
+/// resolves (see `argus_trace::lint_events` for the precise rules — a
+/// truncated trace skips the completeness checks). Returns the violations
+/// (empty when clean).
+pub fn lint_trace(tracer: &argus_trace::Tracer) -> Vec<Violation> {
+    argus_trace::lint_events(&tracer.events(), tracer.dropped() > 0)
+        .into_iter()
+        .map(|detail| Violation {
+            invariant: Invariant::I12TraceConsistent,
+            addr: None,
+            detail,
+        })
+        .collect()
+}
+
+/// Panics with every violation listed if [`lint_trace`] found any.
+#[track_caller]
+pub fn assert_trace_consistent(tracer: &argus_trace::Tracer) {
+    let violations = lint_trace(tracer);
+    assert!(
+        violations.is_empty(),
+        "trace lint failed ({} violation(s)):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
 
 /// Panics with every violation listed if [`lint_heap_quiesced`] found any.

@@ -196,6 +196,9 @@ pub struct Counterexample {
     pub recovery_op: Option<u64>,
     /// What broke: the lint violation or oracle clause that failed.
     pub problem: String,
+    /// Where the flight recorder dumped the failing schedule's full trace
+    /// (Chrome trace-event JSON), when the dump succeeded.
+    pub trace: Option<String>,
 }
 
 impl std::fmt::Display for Counterexample {
@@ -204,7 +207,11 @@ impl std::fmt::Display for Counterexample {
         if let Some(j) = self.recovery_op {
             write!(f, " + crash@recovery-op[{j}]")?;
         }
-        write!(f, ": {}", self.problem)
+        write!(f, ": {}", self.problem)?;
+        if let Some(trace) = &self.trace {
+            write!(f, " [trace: {trace}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -369,10 +376,16 @@ fn build_world(cfg: &SweepConfig) -> (World, Vec<GuardianId>) {
     (w, gids)
 }
 
-/// Checks the recovered, quiesced world structurally (I1–I11) and against
+/// Checks the recovered, quiesced world structurally (I1–I12) and against
 /// the legal-outcomes oracle. Returns every violation found.
 fn check_world(w: &mut World, gids: &[GuardianId], records: &[ActionRec]) -> Vec<String> {
     let mut problems = Vec::new();
+
+    // Structural: the recorded trace must be self-consistent (I12) — crash
+    // schedules are exactly where dangling spans would slip in.
+    for v in crate::lint_trace(w.tracer()) {
+        problems.push(format!("trace: {v}"));
+    }
 
     // Structural: I1–I10 per log, I11 per heap.
     let live = w.live_actions();
@@ -507,16 +520,36 @@ fn restart_and_quiesce(
     Ok(())
 }
 
+/// The flight recorder: dumps the failing schedule's full trace next to the
+/// point's repro coordinates. Returns the dump path, or `None` when the
+/// dump itself failed (the counterexample still stands on its own).
+fn dump_flight(
+    cfg: &SweepConfig,
+    w: &World,
+    victim_idx: usize,
+    k: u64,
+    recovery_crash_op: Option<u64>,
+) -> Option<String> {
+    let label = match recovery_crash_op {
+        Some(j) => format!("sweep-{}-v{victim_idx}-w{k}-r{j}", cfg.label()),
+        None => format!("sweep-{}-v{victim_idx}-w{k}", cfg.label()),
+    };
+    argus_trace::flight::dump(&label, &w.tracer().events())
+        .ok()
+        .map(|p| p.display().to_string())
+}
+
 /// Runs one schedule point end to end: workload with a crash armed at the
 /// victim's `k`-th write (and optionally a second crash at recovery op `j`),
-/// restart, quiesce, check. Returns the violations and the number of device
-/// operations the victim's recovery performed (for the second sweep).
+/// restart, quiesce, check. Returns the violations (with the flight-recorder
+/// dump path when there were any) and the number of device operations the
+/// victim's recovery performed (for the second sweep).
 fn run_point(
     cfg: &SweepConfig,
     victim_idx: usize,
     k: u64,
     recovery_crash_op: Option<u64>,
-) -> (Vec<String>, u64, u64) {
+) -> (Vec<String>, Option<String>, u64, u64) {
     let (mut w, gids) = build_world(cfg);
     let victim = gids[victim_idx];
     w.arm_crash_after_writes(victim, k).expect("arm");
@@ -528,8 +561,11 @@ fn run_point(
         // anyway — it is a free consistency check.
         w.fault_plan(victim).expect("plan").heal();
         let problems = check_world(&mut w, &gids, &records);
+        let trace = (!problems.is_empty())
+            .then(|| dump_flight(cfg, &w, victim_idx, k, recovery_crash_op))
+            .flatten();
         let sim_us = w.clock.now();
-        return (problems, 0, sim_us);
+        return (problems, trace, 0, sim_us);
     }
 
     w.crash(victim);
@@ -545,8 +581,11 @@ fn run_point(
         .since(&before)
         .total();
     problems.retain(|p| !p.is_empty());
+    let trace = (!problems.is_empty())
+        .then(|| dump_flight(cfg, &w, victim_idx, k, recovery_crash_op))
+        .flatten();
     let sim_us = w.clock.now();
-    (problems, recovery_ops, sim_us)
+    (problems, trace, recovery_ops, sim_us)
 }
 
 /// Sweeps one configuration cell exhaustively. See the module docs for the
@@ -578,6 +617,7 @@ pub fn sweep(cfg: &SweepConfig) -> SweepReport {
             first_write: 0,
             recovery_op: None,
             problem: format!("un-faulted oracle run: {problem}"),
+            trace: None,
         });
     }
 
@@ -588,7 +628,7 @@ pub fn sweep(cfg: &SweepConfig) -> SweepReport {
         for k in 0..limit {
             report.first_crash_points += 1;
             obs.points.inc();
-            let (problems, recovery_ops, sim_us) = run_point(cfg, vi, k, None);
+            let (problems, trace, recovery_ops, sim_us) = run_point(cfg, vi, k, None);
             report.sim_us += sim_us;
             for problem in problems {
                 obs.counterexamples.inc();
@@ -597,6 +637,7 @@ pub fn sweep(cfg: &SweepConfig) -> SweepReport {
                     first_write: k,
                     recovery_op: None,
                     problem,
+                    trace: trace.clone(),
                 });
             }
             if cfg.double_crash && recovery_ops > 0 {
@@ -604,7 +645,7 @@ pub fn sweep(cfg: &SweepConfig) -> SweepReport {
                 while j < recovery_ops {
                     report.double_crash_points += 1;
                     obs.double_crashes.inc();
-                    let (problems, _, sim_us) = run_point(cfg, vi, k, Some(j));
+                    let (problems, trace, _, sim_us) = run_point(cfg, vi, k, Some(j));
                     report.sim_us += sim_us;
                     for problem in problems {
                         obs.counterexamples.inc();
@@ -613,6 +654,7 @@ pub fn sweep(cfg: &SweepConfig) -> SweepReport {
                             first_write: k,
                             recovery_op: Some(j),
                             problem,
+                            trace: trace.clone(),
                         });
                     }
                     j += cfg.double_crash_stride;

@@ -44,6 +44,19 @@ pub(crate) enum StagedOp {
     Done(ActionId),
 }
 
+impl StagedOp {
+    /// The action whose durability this staged entry carries.
+    pub(crate) fn aid(&self) -> ActionId {
+        match self {
+            Self::Prepare(aid)
+            | Self::Commit(aid)
+            | Self::Abort(aid)
+            | Self::Committing(aid)
+            | Self::Done(aid) => *aid,
+        }
+    }
+}
+
 /// A guardian: a logical node with stable and volatile state (§2.1).
 ///
 /// "When a guardian's node crashes, all processes within the guardian
@@ -79,8 +92,10 @@ pub struct Guardian {
     pub(crate) hk_policy: Option<(u64, argus_core::HousekeepingMode)>,
     /// Group-commit scheduler deciding when staged entries are forced.
     pub(crate) force_sched: ForceScheduler,
-    /// Continuations awaiting the next force, in staging order.
-    pub(crate) staged: Vec<StagedOp>,
+    /// Continuations awaiting the next force, in staging order, each with
+    /// the simulated time it was staged (the start of its `force_wait`
+    /// trace span).
+    pub(crate) staged: Vec<(StagedOp, u64)>,
 }
 
 impl std::fmt::Debug for Guardian {

@@ -62,7 +62,10 @@ impl Default for NetObs {
 /// are what recover from the loss, exactly as over a real network.
 #[derive(Debug, Default)]
 pub struct SimNetwork {
-    queue: VecDeque<(Envelope, u8)>,
+    /// Pending messages: the envelope, how often it has been deferred, and
+    /// the trace flow id opened at send time (closed at delivery; a dropped
+    /// message leaves its flow unresolved, which is what the trace shows).
+    queue: VecDeque<(Envelope, u8, Option<u64>)>,
     down: HashSet<GuardianId>,
     faults: Option<NetFaults>,
     delivered: u64,
@@ -83,16 +86,24 @@ impl SimNetwork {
         self.faults = faults;
     }
 
-    /// Enqueues a message.
+    /// Enqueues a message, opening the trace flow edge that ties the send
+    /// on the sender's lane to the delivery on the receiver's.
     pub fn send(&mut self, envelope: Envelope) {
         self.obs.sent.inc();
-        self.queue.push_back((envelope, 0));
+        let aid = envelope.msg.aid();
+        let flow = argus_trace::current().flow_start(
+            "net",
+            envelope.msg.kind(),
+            envelope.from.0,
+            Some(argus_trace::Key::new(aid.coordinator.0, aid.seq)),
+        );
+        self.queue.push_back((envelope, 0, Some(flow)));
     }
 
     /// Pops the next deliverable message, silently dropping any addressed to
     /// down guardians and applying any installed fault injection.
     pub fn deliver_next(&mut self) -> Option<Envelope> {
-        while let Some((envelope, deferrals)) = self.queue.pop_front() {
+        while let Some((envelope, deferrals, flow)) = self.queue.pop_front() {
             if self.down.contains(&envelope.to) {
                 self.dropped += 1;
                 self.obs.dropped.inc();
@@ -104,16 +115,28 @@ impl SimNetwork {
                 if deferrals < 2 && !self.queue.is_empty() && faults.rng.gen_bool(faults.defer_prob)
                 {
                     self.deferred += 1;
-                    self.queue.push_back((envelope, deferrals + 1));
+                    self.queue.push_back((envelope, deferrals + 1, flow));
                     continue;
                 }
                 if faults.rng.gen_bool(faults.duplicate_prob) {
                     self.duplicated += 1;
-                    self.queue.push_back((envelope.clone(), 2));
+                    // The duplicate shares the original's flow id: both
+                    // deliveries trace back to the one send.
+                    self.queue.push_back((envelope.clone(), 2, flow));
                 }
             }
             self.delivered += 1;
             self.obs.delivered.inc();
+            if let Some(flow) = flow {
+                let aid = envelope.msg.aid();
+                argus_trace::current().flow_end(
+                    "net",
+                    envelope.msg.kind(),
+                    envelope.to.0,
+                    Some(argus_trace::Key::new(aid.coordinator.0, aid.seq)),
+                    flow,
+                );
+            }
             return Some(envelope);
         }
         None

@@ -127,6 +127,9 @@ pub struct World {
     /// The ambient observability registry, bound to `clock` so phase timers
     /// measure simulated time.
     obs: argus_obs::Registry,
+    /// The ambient tracer, bound to `clock` and reset when the world is
+    /// built: one world is one trace.
+    tracer: argus_trace::Tracer,
     guardians: BTreeMap<GuardianId, Guardian>,
     net: SimNetwork,
     /// Guardians an action has modified objects at.
@@ -150,6 +153,15 @@ pub struct World {
     /// member, i.e. the one with the largest begin index.
     begin_order: HashMap<ActionId, u64>,
     next_begin: u64,
+    /// Simulated time each live action began, consumed when the action
+    /// resolves to record its end-to-end trace span.
+    begin_ts: HashMap<ActionId, u64>,
+}
+
+/// The trace key for an action: the id, decomposed so every crate stamps
+/// events the same way.
+fn tkey(aid: ActionId) -> argus_trace::Key {
+    argus_trace::Key::new(aid.coordinator.0, aid.seq)
 }
 
 impl std::fmt::Debug for World {
@@ -172,10 +184,14 @@ impl World {
         let clock = SimClock::new();
         let obs = argus_obs::current();
         obs.set_clock(clock.clone());
+        let tracer = argus_trace::current();
+        tracer.set_clock(clock.clone());
+        tracer.reset();
         Self {
             clock,
             model,
             obs,
+            tracer,
             guardians: BTreeMap::new(),
             net: SimNetwork::new(),
             touched: HashMap::new(),
@@ -188,6 +204,7 @@ impl World {
             cc_deadlocks: Vec::new(),
             begin_order: HashMap::new(),
             next_begin: 0,
+            begin_ts: HashMap::new(),
         }
     }
 
@@ -234,6 +251,11 @@ impl World {
         &self.obs
     }
 
+    /// The tracer this world's instrumentation records into.
+    pub fn tracer(&self) -> &argus_trace::Tracer {
+        &self.tracer
+    }
+
     fn guardian_mut(&mut self, g: GuardianId) -> WorldResult<&mut Guardian> {
         self.guardians.get_mut(&g).ok_or(WorldError::NoGuardian(g))
     }
@@ -260,6 +282,7 @@ impl World {
         self.touched.entry(aid).or_default().insert(origin);
         self.begin_order.insert(aid, self.next_begin);
         self.next_begin += 1;
+        self.begin_ts.insert(aid, self.clock.now());
         Ok(aid)
     }
 
@@ -498,6 +521,17 @@ impl World {
         let now = self.clock.now();
         let deadline = matches!(self.cfg.cc.policy, CcPolicy::Timeout)
             .then(|| now + self.cfg.cc.wait_timeout_us);
+        // The holder the waiter is queuing behind right now (writer first,
+        // else the first foreign reader): the grant-time trace span names it
+        // so lock-wait time is attributable to a specific action.
+        let holder = self.guardians.get(&key.gid).and_then(|gu| {
+            gu.heap
+                .lock_holders(key.hid)
+                .ok()
+                .and_then(|(writer, readers)| {
+                    writer.or_else(|| readers.into_iter().find(|h| *h != aid))
+                })
+        });
         self.cc.park(
             key,
             Waiter {
@@ -505,6 +539,7 @@ impl World {
                 mode,
                 parked_at: now,
                 deadline,
+                holder,
                 cont,
             },
             upgrade,
@@ -534,6 +569,17 @@ impl World {
             .max_by_key(|a| self.begin_order.get(a).copied().unwrap_or(0))
             .unwrap_or(start);
         self.obs.inc("cc.victims");
+        self.obs.event(argus_obs::Event::DeadlockVictim {
+            victim_seq: victim.seq,
+            cycle_len: cycle.len() as u64,
+        });
+        self.tracer.instant(
+            "cc",
+            "deadlock_victim",
+            victim.coordinator.0,
+            Some(tkey(victim)),
+            &[("cycle_len", cycle.len() as u64)],
+        );
         self.cc_deadlocks.push(DeadlockReport { cycle, victim });
         self.cc_fates.insert(victim, CcFate::Victim);
         self.abort_local(victim);
@@ -589,6 +635,21 @@ impl World {
                 let waiter = self.cc.take_front(key).expect("front just snapshotted");
                 let waited = self.clock.now().saturating_sub(waiter.parked_at);
                 self.obs.observe("cc.wait_us", waited);
+                self.obs.event(argus_obs::Event::LockGranted {
+                    mode: waiter.mode.name(),
+                    waited_us: waited,
+                });
+                self.tracer.complete(
+                    "cc",
+                    "lock_wait",
+                    key.gid.0,
+                    Some(tkey(waiter.aid)),
+                    waiter.parked_at,
+                    &[
+                        ("hid", u64::from(key.hid.0)),
+                        ("holder_seq", waiter.holder.map_or(0, |h| h.seq)),
+                    ],
+                );
                 match waiter.cont {
                     CcCont::Read => self.note_read(key.gid, waiter.aid),
                     CcCont::Write(f) => {
@@ -743,6 +804,16 @@ impl World {
                     "aborted action {aid} still holds locks on {held:?} at {g}"
                 );
             }
+        }
+        if let Some(start) = self.begin_ts.remove(&aid) {
+            self.tracer.complete(
+                "action",
+                "action",
+                aid.coordinator.0,
+                Some(tkey(aid)),
+                start,
+                &[("committed", 0)],
+            );
         }
         self.outcomes.insert(aid, false);
         self.cc_pump();
@@ -958,6 +1029,10 @@ impl World {
         arm_ops: Option<u64>,
     ) -> WorldResult<Option<RecoveryOutcome>> {
         let timer = self.obs.phase("world.restart_us");
+        let tracer = self.tracer.clone();
+        // Begin/End (not retroactive Complete) is safe here: every exit
+        // path drops the guard, including the crash-in-recovery returns.
+        let _restart_span = tracer.begin("recovery", "restart", g.0, None);
         let guardian = self.guardian_mut(g)?;
         guardian.plan.heal();
         if let Some(n) = arm_ops {
@@ -983,6 +1058,7 @@ impl World {
         guardian.coord_done.clear();
         guardian.coordinators.clear();
         guardian.participants.clear();
+        let rec_t0 = tracer.now();
         let outcome = match guardian.rs.recover(&mut guardian.heap) {
             Ok(outcome) => outcome,
             Err(e) if e.is_crash() => {
@@ -995,6 +1071,7 @@ impl World {
             }
             Err(e) => return Err(e.into()),
         };
+        tracer.complete("recovery", "recovery_pass", g.0, None, rec_t0, &[]);
         // If recovery found nothing (fresh log), re-create the stable root.
         if guardian.heap.stable_root().is_none() {
             guardian.heap = argus_objects::Heap::with_stable_root();
@@ -1153,16 +1230,38 @@ impl World {
             return Ok(());
         }
         let staged = std::mem::take(&mut guardian.staged);
+        let batch = guardian.force_sched.batch_id();
         guardian.force_sched.flushed();
+        let force_t0 = self.clock.now();
         match guardian.rs.force_staged() {
             Ok(()) => {}
             Err(e) if e.is_crash() => {
+                // The batch died with the volatile buffer: no spans — the
+                // staged actions resolve through recovery, not this force.
                 self.mark_crashed(g);
                 return Ok(());
             }
             Err(e) => return Err(e.into()),
         }
-        for op in staged {
+        self.tracer.complete(
+            "force",
+            "force",
+            g.0,
+            None,
+            force_t0,
+            &[("batch", batch), ("ops", staged.len() as u64)],
+        );
+        for &(op, staged_at) in &staged {
+            self.tracer.complete(
+                "force",
+                "force_wait",
+                g.0,
+                Some(tkey(op.aid())),
+                staged_at,
+                &[("batch", batch)],
+            );
+        }
+        for (op, _staged_at) in staged {
             if !self.guardians.get(&g).map(|gu| gu.up).unwrap_or(false) {
                 break;
             }
@@ -1344,7 +1443,7 @@ impl World {
                         .unwrap_or_default();
                     match guardian.rs.stage_committing(aid, &gids) {
                         Ok(true) => {
-                            guardian.staged.push(StagedOp::Committing(aid));
+                            guardian.staged.push((StagedOp::Committing(aid), now));
                             guardian.force_sched.note_staged(now);
                         }
                         Ok(false) => {
@@ -1361,13 +1460,15 @@ impl World {
                         }
                         Err(e) => return Err(e.into()),
                     }
+                    self.tracer
+                        .complete("twopc", "committing", g.0, Some(tkey(aid)), now, &[]);
                 }
                 CoordEffect::ForceDone => {
                     let now = self.clock.now();
                     let guardian = self.guardian_mut(g)?;
                     match guardian.rs.stage_done(aid) {
                         Ok(true) => {
-                            guardian.staged.push(StagedOp::Done(aid));
+                            guardian.staged.push((StagedOp::Done(aid), now));
                             guardian.force_sched.note_staged(now);
                         }
                         Ok(false) => {
@@ -1384,8 +1485,20 @@ impl World {
                         }
                         Err(e) => return Err(e.into()),
                     }
+                    self.tracer
+                        .complete("twopc", "done", g.0, Some(tkey(aid)), now, &[]);
                 }
                 CoordEffect::Finished { committed } => {
+                    if let Some(start) = self.begin_ts.remove(&aid) {
+                        self.tracer.complete(
+                            "action",
+                            "action",
+                            aid.coordinator.0,
+                            Some(tkey(aid)),
+                            start,
+                            &[("committed", u64::from(committed))],
+                        );
+                    }
                     self.outcomes.insert(aid, committed);
                     let guardian = self.guardian_mut(g)?;
                     guardian.coordinators.remove(&aid);
@@ -1428,7 +1541,7 @@ impl World {
                     } = guardian;
                     match rs.stage_prepare(aid, &mos, heap) {
                         Ok(true) => {
-                            staged.push(StagedOp::Prepare(aid));
+                            staged.push((StagedOp::Prepare(aid), now));
                             force_sched.note_staged(now);
                         }
                         Ok(false) => {
@@ -1450,6 +1563,8 @@ impl World {
                             queue.extend(more);
                         }
                     }
+                    self.tracer
+                        .complete("twopc", "prepare", g.0, Some(tkey(aid)), now, &[]);
                 }
                 PartEffect::ForceCommit => {
                     let _timer = self.obs.phase("twopc.commit_us");
@@ -1457,7 +1572,7 @@ impl World {
                     let guardian = self.guardian_mut(g)?;
                     match guardian.rs.stage_commit(aid) {
                         Ok(true) => {
-                            guardian.staged.push(StagedOp::Commit(aid));
+                            guardian.staged.push((StagedOp::Commit(aid), now));
                             guardian.force_sched.note_staged(now);
                         }
                         Ok(false) => {
@@ -1476,6 +1591,8 @@ impl World {
                         }
                         Err(e) => return Err(e.into()),
                     }
+                    self.tracer
+                        .complete("twopc", "commit", g.0, Some(tkey(aid)), now, &[]);
                 }
                 PartEffect::ForceAbort => {
                     let _timer = self.obs.phase("twopc.abort_us");
@@ -1483,7 +1600,7 @@ impl World {
                     let guardian = self.guardian_mut(g)?;
                     match guardian.rs.stage_abort(aid) {
                         Ok(true) => {
-                            guardian.staged.push(StagedOp::Abort(aid));
+                            guardian.staged.push((StagedOp::Abort(aid), now));
                             guardian.force_sched.note_staged(now);
                         }
                         Ok(false) => {
@@ -1502,6 +1619,8 @@ impl World {
                         }
                         Err(e) => return Err(e.into()),
                     }
+                    self.tracer
+                        .complete("twopc", "abort", g.0, Some(tkey(aid)), now, &[]);
                 }
                 PartEffect::Finished { .. } => {
                     let guardian = self.guardian_mut(g)?;

@@ -165,6 +165,56 @@ impl HistSnapshot {
         }
         self.max
     }
+
+    /// Quantile `q` with linear interpolation inside the power-of-two
+    /// bucket the rank falls in, assuming observations are uniformly
+    /// spread over the bucket's effective range (the bucket bounds
+    /// tightened to the observed min/max). Much tighter than
+    /// [`HistSnapshot::quantile`], which reports the raw bucket upper
+    /// bound: for 1..=100 the interpolated p50 lands near 50, not 63.
+    pub fn quantile_interpolated(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Effective bounds of this bucket: `[2^(i-1), 2^i - 1]`
+                // clipped to the observed range.
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) }.max(self.min);
+                let hi = bucket_bound(i).min(self.max);
+                if hi <= lo {
+                    return lo.clamp(self.min, self.max);
+                }
+                // Position of the rank within the bucket, in (0, 1].
+                let pos = (rank - seen) as f64 / *c as f64;
+                let span = (hi - lo) as f64;
+                let v = lo + (span * pos).round() as u64;
+                return v.clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Interpolated median.
+    pub fn p50(&self) -> u64 {
+        self.quantile_interpolated(0.50)
+    }
+
+    /// Interpolated 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile_interpolated(0.95)
+    }
+
+    /// Interpolated 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile_interpolated(0.99)
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +263,54 @@ mod tests {
         assert!((64..=100).contains(&p95), "p95 = {p95}");
         assert_eq!(s.quantile(1.0), 100);
         assert_eq!(s.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn interpolated_quantiles_are_much_tighter() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // The raw bucket bound reports 63 for p50; interpolation within
+        // bucket [32, 63] (32 observations, 31 below) lands near the true
+        // median 50.
+        let p50 = s.p50();
+        assert!((45..=55).contains(&p50), "p50 = {p50}");
+        // True p95 = 95; bucket [64, 127] clips to [64, 100].
+        let p95 = s.p95();
+        assert!((90..=100).contains(&p95), "p95 = {p95}");
+        let p99 = s.p99();
+        assert!((95..=100).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.quantile_interpolated(1.0), 100);
+        assert!(s.quantile_interpolated(0.0) >= 1);
+    }
+
+    #[test]
+    fn interpolation_degenerate_cases() {
+        // Empty.
+        assert_eq!(Histogram::new().snapshot().p50(), 0);
+        // Single value: every quantile is that value.
+        let h = Histogram::new();
+        h.record(42);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 42);
+        assert_eq!(s.p99(), 42);
+        // All zeros: bucket 0 has lo == hi == 0.
+        let z = Histogram::new();
+        for _ in 0..10 {
+            z.record(0);
+        }
+        assert_eq!(z.snapshot().p95(), 0);
+        // Interpolated quantiles are monotone in q.
+        let m = Histogram::new();
+        for v in [1u64, 3, 7, 20, 500, 10_000] {
+            m.record(v);
+        }
+        let s = m.snapshot();
+        assert!(s.p50() <= s.p95());
+        assert!(s.p95() <= s.p99());
+        assert!(s.p99() <= s.max);
     }
 
     #[test]

@@ -88,6 +88,44 @@ pub enum Event {
         /// Page number repaired.
         page: u64,
     },
+    /// The lock manager granted a lock to a waiter (or immediately).
+    LockGranted {
+        /// `"shared"` or `"exclusive"`.
+        mode: &'static str,
+        /// How long the action waited in the queue, microseconds.
+        waited_us: u64,
+    },
+    /// An action parked behind an incompatible holder.
+    LockBlocked {
+        /// `"shared"` or `"exclusive"` — the mode being requested.
+        mode: &'static str,
+        /// Sequence number of the holding action, when one is known.
+        holder_seq: Option<u64>,
+    },
+    /// Deadlock detection chose this action as the victim (wait-for cycle).
+    DeadlockVictim {
+        /// Sequence number of the aborted action.
+        victim_seq: u64,
+        /// Length of the wait-for cycle broken.
+        cycle_len: u64,
+    },
+    /// A 2PC coordinator sent its prepare round.
+    PrepareSent {
+        /// Participants addressed.
+        participants: u64,
+    },
+    /// A 2PC participant sent its vote.
+    VoteSent {
+        /// `true` = prepare-ok, `false` = refused.
+        ok: bool,
+    },
+    /// A 2PC coordinator sent its verdict to the participants.
+    OutcomeSent {
+        /// The verdict.
+        committed: bool,
+        /// Participants addressed.
+        participants: u64,
+    },
 }
 
 impl Event {
@@ -105,6 +143,12 @@ impl Event {
             Event::HousekeepingDone { .. } => "housekeeping_done",
             Event::CrashFired { .. } => "crash_fired",
             Event::MirrorRepair { .. } => "mirror_repair",
+            Event::LockGranted { .. } => "lock_granted",
+            Event::LockBlocked { .. } => "lock_blocked",
+            Event::DeadlockVictim { .. } => "deadlock_victim",
+            Event::PrepareSent { .. } => "prepare_sent",
+            Event::VoteSent { .. } => "vote_sent",
+            Event::OutcomeSent { .. } => "outcome_sent",
         }
     }
 
@@ -167,6 +211,37 @@ impl Event {
                 vec![("crash_count", crash_count.to_string())]
             }
             Event::MirrorRepair { page } => vec![("page", page.to_string())],
+            Event::LockGranted { mode, waited_us } => vec![
+                ("mode", (*mode).to_string()),
+                ("waited_us", waited_us.to_string()),
+            ],
+            Event::LockBlocked { mode, holder_seq } => vec![
+                ("mode", (*mode).to_string()),
+                (
+                    "holder_seq",
+                    holder_seq
+                        .map(|s| s.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                ),
+            ],
+            Event::DeadlockVictim {
+                victim_seq,
+                cycle_len,
+            } => vec![
+                ("victim_seq", victim_seq.to_string()),
+                ("cycle_len", cycle_len.to_string()),
+            ],
+            Event::PrepareSent { participants } => {
+                vec![("participants", participants.to_string())]
+            }
+            Event::VoteSent { ok } => vec![("ok", ok.to_string())],
+            Event::OutcomeSent {
+                committed,
+                participants,
+            } => vec![
+                ("committed", committed.to_string()),
+                ("participants", participants.to_string()),
+            ],
         }
     }
 }
@@ -350,6 +425,29 @@ mod tests {
             },
             Event::CrashFired { crash_count: 1 },
             Event::MirrorRepair { page: 7 },
+            Event::LockGranted {
+                mode: "shared",
+                waited_us: 120,
+            },
+            Event::LockBlocked {
+                mode: "exclusive",
+                holder_seq: Some(3),
+            },
+            Event::LockBlocked {
+                mode: "exclusive",
+                holder_seq: None,
+            },
+            Event::DeadlockVictim {
+                victim_seq: 4,
+                cycle_len: 2,
+            },
+            Event::PrepareSent { participants: 2 },
+            Event::VoteSent { ok: true },
+            Event::VoteSent { ok: false },
+            Event::OutcomeSent {
+                committed: true,
+                participants: 2,
+            },
         ];
         for e in all {
             assert!(!e.name().is_empty());

@@ -56,6 +56,11 @@ pub struct ForceScheduler {
     pending: u64,
     /// Clock reading when the oldest pending entry was staged.
     opened_at: Option<u64>,
+    /// Identity of the batch currently accumulating. Every staged entry
+    /// belongs to the batch open when it was noted; the tracer uses the id
+    /// to link each staged action's `force_wait` span to the one shared
+    /// `force` span that published it.
+    batch: u64,
 }
 
 impl ForceScheduler {
@@ -65,6 +70,7 @@ impl ForceScheduler {
             cfg,
             pending: 0,
             opened_at: None,
+            batch: 0,
         }
     }
 
@@ -73,12 +79,20 @@ impl ForceScheduler {
         self.cfg
     }
 
-    /// Records that one entry was staged at simulated time `now`.
-    pub fn note_staged(&mut self, now: u64) {
+    /// Records that one entry was staged at simulated time `now`; returns
+    /// the id of the batch the entry joined.
+    pub fn note_staged(&mut self, now: u64) -> u64 {
         if self.pending == 0 {
             self.opened_at = Some(now);
         }
         self.pending += 1;
+        self.batch
+    }
+
+    /// The id of the batch currently accumulating (the one the next force
+    /// will publish).
+    pub fn batch_id(&self) -> u64 {
+        self.batch
     }
 
     /// Number of staged entries awaiting the next force.
@@ -96,10 +110,12 @@ impl ForceScheduler {
             || now.saturating_sub(opened_at) >= self.cfg.window_us
     }
 
-    /// Resets after the caller forced the log (clears the pending batch).
+    /// Resets after the caller forced the log (clears the pending batch and
+    /// opens the next batch id).
     pub fn flushed(&mut self) {
         self.pending = 0;
         self.opened_at = None;
+        self.batch += 1;
     }
 }
 
@@ -168,5 +184,16 @@ mod tests {
         s.flushed();
         assert_eq!(s.pending(), 0);
         assert!(!s.due(u64::MAX));
+    }
+
+    #[test]
+    fn batch_ids_advance_per_force() {
+        let mut s = ForceScheduler::new(ForceConfig::default());
+        assert_eq!(s.batch_id(), 0);
+        assert_eq!(s.note_staged(0), 0);
+        assert_eq!(s.note_staged(5), 0); // same batch until a force
+        s.flushed();
+        assert_eq!(s.batch_id(), 1);
+        assert_eq!(s.note_staged(10), 1);
     }
 }

@@ -167,6 +167,9 @@ impl<S: PageStore> PageCache<S> {
         } else {
             return;
         };
+        let tracer = argus_trace::current();
+        let t0 = tracer.device_detail().then(|| tracer.now());
+        let mut fetched = 0u64;
         for p in start..end {
             if self.slots.contains_key(&p) {
                 continue;
@@ -179,6 +182,19 @@ impl<S: PageStore> PageCache<S> {
             self.tick += 1;
             self.insert(p, page);
             self.obs.readahead.inc();
+            fetched += 1;
+        }
+        if let Some(t0) = t0 {
+            if fetched > 0 {
+                tracer.complete(
+                    "device",
+                    "readahead",
+                    argus_trace::STORE_LANE,
+                    None,
+                    t0,
+                    &[("pages", fetched), ("from", start)],
+                );
+            }
         }
     }
 }
@@ -195,7 +211,19 @@ impl<S: PageStore> PageStore for PageCache<S> {
             return Ok(slot.page.clone());
         }
         self.obs.misses.inc();
+        let tracer = argus_trace::current();
+        let t0 = tracer.device_detail().then(|| tracer.now());
         let page = self.inner.read_page(pno)?;
+        if let Some(t0) = t0 {
+            tracer.complete(
+                "device",
+                "page_read",
+                argus_trace::STORE_LANE,
+                None,
+                t0,
+                &[("pno", pno)],
+            );
+        }
         self.insert(pno, page.clone());
         self.maybe_readahead(pno);
         self.last_miss = Some(pno);
@@ -205,7 +233,19 @@ impl<S: PageStore> PageStore for PageCache<S> {
     fn write_page(&mut self, pno: PageNo, page: &Page) -> StorageResult<()> {
         // Write-through: media first, cache only after the media accepted
         // it, so the cache can never claim a write the device lost.
+        let tracer = argus_trace::current();
+        let t0 = tracer.device_detail().then(|| tracer.now());
         self.inner.write_page(pno, page)?;
+        if let Some(t0) = t0 {
+            tracer.complete(
+                "device",
+                "page_write",
+                argus_trace::STORE_LANE,
+                None,
+                t0,
+                &[("pno", pno)],
+            );
+        }
         if self.cfg.is_enabled() {
             self.tick += 1;
             self.insert(pno, page.clone());

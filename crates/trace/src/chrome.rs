@@ -1,0 +1,266 @@
+//! Chrome trace-event JSON export.
+//!
+//! Serializes a recorded event vector into the Trace Event Format that
+//! `chrome://tracing` and Perfetto load: guardians become processes,
+//! actions become threads within them, complete spans become `X` events,
+//! scoped spans `B`/`E`, instants `i`, and causal edges `s`/`f` flow
+//! pairs. The JSON is hand-rolled (the workspace has no serializer
+//! dependency) and fully deterministic: events are emitted in recording
+//! order with no floats, timestamps, or hashing, so the same event vector
+//! always yields byte-identical output — the property the determinism
+//! tests and `scripts/verify.sh --trace` pin.
+
+use crate::event::{Gid, Key, Ph, TraceEvent, STORE_LANE};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// The `tid` lane an event renders into: one lane per action within its
+/// guardian's process, lane 0 for control events with no action.
+fn tid(key: Option<Key>) -> u64 {
+    match key {
+        // Keep distinct origins apart without allocating a lane table; the
+        // per-guardian sequence numbers in one run stay far below the
+        // spacing.
+        Some(k) => 1 + u64::from(k.origin) * 100_000 + k.seq,
+        None => 0,
+    }
+}
+
+fn escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_common(out: &mut String, event: &TraceEvent, ph: &str) {
+    out.push_str("{\"name\":\"");
+    escape(out, event.name);
+    out.push_str("\",\"cat\":\"");
+    escape(out, event.cat);
+    let _ = write!(
+        out,
+        "\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+        event.ts,
+        event.gid,
+        tid(event.key)
+    );
+}
+
+fn push_args(out: &mut String, event: &TraceEvent, extra: &[(&str, u64)]) {
+    let pairs: Vec<(&str, u64)> = event
+        .args
+        .iter()
+        .flatten()
+        .map(|&(k, v)| (k, v))
+        .chain(extra.iter().copied())
+        .collect();
+    let mut keyed: Vec<(&str, String)> = pairs.iter().map(|&(k, v)| (k, v.to_string())).collect();
+    if let Some(k) = event.key {
+        keyed.push(("action", format!("\"{k}\"")));
+    }
+    if keyed.is_empty() {
+        return;
+    }
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in keyed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape(out, k);
+        out.push_str("\":");
+        out.push_str(v);
+    }
+    out.push('}');
+}
+
+fn push_metadata(out: &mut String, pid: Gid) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\""
+    );
+    if pid == STORE_LANE {
+        out.push_str("storage devices");
+    } else {
+        let _ = write!(out, "guardian {pid}");
+    }
+    out.push_str("\"}}");
+}
+
+/// Serializes `events` as Chrome trace-event JSON.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        out.push('\n');
+        *first = false;
+    };
+
+    // Name every process lane first, in pid order.
+    let pids: BTreeSet<Gid> = events.iter().map(|e| e.gid).collect();
+    for pid in pids {
+        sep(&mut out, &mut first);
+        push_metadata(&mut out, pid);
+    }
+
+    for event in events {
+        sep(&mut out, &mut first);
+        match event.ph {
+            Ph::Complete { dur } => {
+                push_common(&mut out, event, "X");
+                let _ = write!(out, ",\"dur\":{dur}");
+                push_args(&mut out, event, &[]);
+            }
+            Ph::Begin { span } => {
+                push_common(&mut out, event, "B");
+                push_args(&mut out, event, &[("span", span)]);
+            }
+            Ph::End { span } => {
+                push_common(&mut out, event, "E");
+                push_args(&mut out, event, &[("span", span)]);
+            }
+            Ph::Instant => {
+                push_common(&mut out, event, "i");
+                out.push_str(",\"s\":\"t\"");
+                push_args(&mut out, event, &[]);
+            }
+            Ph::FlowStart { flow } => {
+                push_common(&mut out, event, "s");
+                let _ = write!(out, ",\"id\":{flow}");
+                push_args(&mut out, event, &[]);
+            }
+            Ph::FlowEnd { flow } => {
+                push_common(&mut out, event, "f");
+                let _ = write!(out, ",\"bp\":\"e\",\"id\":{flow}");
+                push_args(&mut out, event, &[]);
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::args;
+
+    fn ev(name: &'static str, ph: Ph, ts: u64, gid: Gid, key: Option<Key>) -> TraceEvent {
+        TraceEvent {
+            cat: "test",
+            name,
+            ph,
+            ts,
+            gid,
+            key,
+            args: args(&[]),
+        }
+    }
+
+    /// A minimal structural validator: balanced braces/brackets outside
+    /// strings, so malformed escaping shows up in tests without a JSON
+    /// parser dependency.
+    fn check_balanced(s: &str) {
+        let mut depth_obj = 0i64;
+        let mut depth_arr = 0i64;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' => depth_obj += 1,
+                '}' => depth_obj -= 1,
+                '[' => depth_arr += 1,
+                ']' => depth_arr -= 1,
+                _ => {}
+            }
+            assert!(depth_obj >= 0 && depth_arr >= 0, "imbalance in {s}");
+        }
+        assert_eq!(depth_obj, 0);
+        assert_eq!(depth_arr, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn all_phases_serialize_and_balance() {
+        let events = vec![
+            ev(
+                "action",
+                Ph::Complete { dur: 30 },
+                10,
+                0,
+                Some(Key::new(0, 1)),
+            ),
+            ev("restart", Ph::Begin { span: 0 }, 40, 1, None),
+            ev("restart", Ph::End { span: 0 }, 55, 1, None),
+            ev("cache_miss", Ph::Instant, 60, STORE_LANE, None),
+            ev(
+                "Prepare",
+                Ph::FlowStart { flow: 0 },
+                61,
+                0,
+                Some(Key::new(0, 1)),
+            ),
+            ev(
+                "Prepare",
+                Ph::FlowEnd { flow: 0 },
+                63,
+                2,
+                Some(Key::new(0, 1)),
+            ),
+        ];
+        let json = to_chrome_json(&events);
+        check_balanced(&json);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":30"));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"bp\":\"e\""));
+        assert!(json.contains("storage devices"));
+        assert!(json.contains("guardian 2"));
+        assert!(json.contains("\"action\":\"G0/1\""));
+    }
+
+    #[test]
+    fn same_events_yield_byte_identical_json() {
+        let events = vec![
+            ev("a", Ph::Instant, 1, 0, None),
+            ev("b", Ph::Complete { dur: 5 }, 2, 1, Some(Key::new(1, 2))),
+        ];
+        assert_eq!(to_chrome_json(&events), to_chrome_json(&events));
+    }
+
+    #[test]
+    fn inline_args_render_as_integers() {
+        let mut e = ev("force", Ph::Complete { dur: 3 }, 9, 0, None);
+        e.args = args(&[("batch", 4), ("ops", 2)]);
+        let json = to_chrome_json(&[e]);
+        check_balanced(&json);
+        assert!(json.contains("\"batch\":4"));
+        assert!(json.contains("\"ops\":2"));
+    }
+}

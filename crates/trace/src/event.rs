@@ -1,0 +1,154 @@
+//! The trace event model.
+//!
+//! Events are fixed-size and allocation-free: names and categories are
+//! `&'static str`, identities are small integers, and each event carries at
+//! most two inline `(&'static str, u64)` argument pairs. That keeps
+//! recording cheap enough to leave on by default and — because every field
+//! is a plain value — makes a trace a deterministic function of the
+//! schedule that produced it.
+
+/// A guardian lane. Guardians are numbered from zero by the world; the
+/// reserved [`STORE_LANE`] collects storage-device events recorded below
+/// the guardian layer (the page cache does not know which guardian owns
+/// it).
+pub type Gid = u32;
+
+/// The lane for storage-device events not attributable to a guardian.
+pub const STORE_LANE: Gid = u32::MAX;
+
+/// The `(guardian, action)` key: which top-level action an event belongs
+/// to. Mirrors `argus_objects::ActionId` without depending on it, so every
+/// crate in the workspace can record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key {
+    /// The guardian at which the action originated (its 2PC coordinator).
+    pub origin: u32,
+    /// Sequence number unique at the origin.
+    pub seq: u64,
+}
+
+impl Key {
+    /// Creates a key.
+    pub fn new(origin: u32, seq: u64) -> Self {
+        Self { origin, seq }
+    }
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "G{}/{}", self.origin, self.seq)
+    }
+}
+
+/// The event phase, mirroring the Chrome trace-event phases the exporter
+/// emits (`X`, `B`/`E`, `i`, `s`/`f`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ph {
+    /// A complete span: `[ts, ts + dur)`. Most argus spans are recorded
+    /// retroactively as completes (at lock grant, at force time, at action
+    /// resolution) so a crash can never leave them dangling.
+    Complete {
+        /// Span length in simulated microseconds.
+        dur: u64,
+    },
+    /// A scoped span opens. `span` pairs it with its [`Ph::End`].
+    Begin {
+        /// Span id unique within one tracer generation.
+        span: u64,
+    },
+    /// A scoped span closes.
+    End {
+        /// The [`Ph::Begin`] this closes.
+        span: u64,
+    },
+    /// A point event.
+    Instant,
+    /// A causal edge leaves this guardian (e.g. a 2PC message is sent).
+    FlowStart {
+        /// Flow id unique within one tracer generation.
+        flow: u64,
+    },
+    /// A causal edge arrives (the message is delivered). A duplicated
+    /// message yields several ends for one start; a dropped message leaves
+    /// the start unresolved — both are legal, see [`crate::lint`].
+    FlowEnd {
+        /// The [`Ph::FlowStart`] this resolves.
+        flow: u64,
+    },
+}
+
+/// Inline arguments: at most two named integers.
+pub type Args = [Option<(&'static str, u64)>; 2];
+
+/// Copies up to two `(name, value)` pairs into the inline representation.
+pub fn args(pairs: &[(&'static str, u64)]) -> Args {
+    let mut out: Args = [None, None];
+    for (slot, pair) in out.iter_mut().zip(pairs.iter()) {
+        *slot = Some(*pair);
+    }
+    out
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Category (`action`, `cc`, `force`, `net`, `twopc`, `device`,
+    /// `recovery`) — the attribution report keys off this.
+    pub cat: &'static str,
+    /// Event name (`lock_wait`, `force_wait`, `Prepare`, …).
+    pub name: &'static str,
+    /// Phase and phase-specific payload.
+    pub ph: Ph,
+    /// Timestamp on the simulated clock, microseconds.
+    pub ts: u64,
+    /// The guardian lane the event belongs to.
+    pub gid: Gid,
+    /// The action the event belongs to, when one is known.
+    pub key: Option<Key>,
+    /// Inline arguments.
+    pub args: Args,
+}
+
+impl TraceEvent {
+    /// The half-open interval a complete span covers.
+    pub fn interval(&self) -> Option<(u64, u64)> {
+        match self.ph {
+            Ph::Complete { dur } => Some((self.ts, self.ts.saturating_add(dur))),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_copies_at_most_two() {
+        assert_eq!(args(&[]), [None, None]);
+        assert_eq!(args(&[("a", 1)]), [Some(("a", 1)), None]);
+        assert_eq!(
+            args(&[("a", 1), ("b", 2), ("c", 3)]),
+            [Some(("a", 1)), Some(("b", 2))]
+        );
+    }
+
+    #[test]
+    fn complete_interval_saturates() {
+        let e = TraceEvent {
+            cat: "t",
+            name: "t",
+            ph: Ph::Complete { dur: u64::MAX },
+            ts: 5,
+            gid: 0,
+            key: None,
+            args: args(&[]),
+        };
+        assert_eq!(e.interval(), Some((5, u64::MAX)));
+    }
+
+    #[test]
+    fn key_renders_origin_and_seq() {
+        assert_eq!(Key::new(2, 9).to_string(), "G2/9");
+    }
+}

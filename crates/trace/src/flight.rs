@@ -1,0 +1,85 @@
+//! The flight recorder: when a checker finds a counterexample, the full
+//! trace of the failing schedule is dumped next to the repro command so
+//! the history is preserved even though re-running may be expensive.
+//!
+//! Dumps land in `ARGUS_FLIGHT_DIR` when set, else `target/flight-recorder`
+//! under the current directory. File names are derived from the caller's
+//! label (sanitized) and never overwrite: an existing file gets a numeric
+//! suffix, so a sweep that finds several counterexamples keeps every one.
+
+use crate::chrome::to_chrome_json;
+use crate::event::TraceEvent;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Where flight dumps go.
+pub fn flight_dir() -> PathBuf {
+    match std::env::var_os("ARGUS_FLIGHT_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from("target").join("flight-recorder"),
+    }
+}
+
+fn sanitize(label: &str) -> String {
+    let mut out: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    out.truncate(120);
+    if out.is_empty() {
+        out.push_str("trace");
+    }
+    out
+}
+
+fn fresh_path(label: &str, ext: &str) -> std::io::Result<PathBuf> {
+    let dir = flight_dir();
+    std::fs::create_dir_all(&dir)?;
+    let stem = sanitize(label);
+    let mut path = dir.join(format!("{stem}.{ext}"));
+    let mut n = 1u32;
+    while path.exists() {
+        path = dir.join(format!("{stem}.{n}.{ext}"));
+        n += 1;
+    }
+    Ok(path)
+}
+
+/// Dumps `events` as a Chrome trace; returns the file written.
+pub fn dump(label: &str, events: &[TraceEvent]) -> std::io::Result<PathBuf> {
+    let path = fresh_path(label, "trace.json")?;
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(to_chrome_json(events).as_bytes())?;
+    Ok(path)
+}
+
+/// Dumps a plain-text schedule (the explorer's step list); returns the
+/// file written.
+pub fn dump_text(label: &str, lines: &[String]) -> std::io::Result<PathBuf> {
+    let path = fresh_path(label, "schedule.txt")?;
+    let mut f = std::fs::File::create(&path)?;
+    for line in lines {
+        writeln!(f, "{line}")?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_sanitize_to_safe_file_stems() {
+        assert_eq!(
+            sanitize("hybrid cached w2@write[3]"),
+            "hybrid_cached_w2_write_3_"
+        );
+        assert_eq!(sanitize(""), "trace");
+    }
+}

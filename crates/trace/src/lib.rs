@@ -1,0 +1,39 @@
+//! # argus-trace — deterministic causal tracing
+//!
+//! `argus-obs` aggregates (counters, histograms, a bounded journal); it
+//! can say *that* p99 commit latency exploded, never *why one action* took
+//! that long. This crate records the causal history itself: a span/event
+//! stream keyed by `(guardian, action)` with flow edges carried across
+//! 2PC messages, cheap enough to leave on and deterministic enough to
+//! diff — the same seed yields a byte-identical trace.
+//!
+//! * [`Tracer`] — the bounded recorder, bound to [`argus_sim::SimClock`];
+//!   scoped per thread via [`Tracer::enter`] with a per-thread default
+//!   (see [`current()`]);
+//! * [`TraceEvent`] / [`Ph`] / [`Key`] — the fixed-size event model:
+//!   complete spans, scoped begin/end pairs, instants, and flow edges;
+//! * [`to_chrome_json`] — Chrome trace-event export, loadable in
+//!   Perfetto (`argus-lint trace --seed N --out trace.json`);
+//! * [`attribute`] — per-action latency decomposition into lock-wait /
+//!   force-wait / network / device / processing segments that provably
+//!   sum to the end-to-end latency (experiment E16);
+//! * [`lint_events`] — the structural trace lint behind invariant I12;
+//! * [`flight`] — the counterexample flight recorder the sweeper and the
+//!   2PC explorer dump failing schedules through.
+//!
+//! Instrumented crates record into [`current()`]; the guardian world
+//! binds its clock and resets the current tracer when it is built, so a
+//! tracer entered around a run observes exactly that run.
+
+mod attr;
+mod chrome;
+mod event;
+pub mod flight;
+mod lint;
+mod tracer;
+
+pub use attr::{attribute, ActionLatency};
+pub use chrome::to_chrome_json;
+pub use event::{args, Args, Gid, Key, Ph, TraceEvent, STORE_LANE};
+pub use lint::lint_events;
+pub use tracer::{current, Detail, ScopedTracer, SpanGuard, Tracer, EVENT_CAP};

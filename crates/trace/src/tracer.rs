@@ -1,0 +1,451 @@
+//! The recorder: a deterministic, bounded event sink bound to the
+//! simulated clock.
+//!
+//! ## Scoped or per-thread
+//!
+//! Instrumented code records into [`current()`]: the tracer installed on
+//! the calling thread via [`Tracer::enter`], falling back to a per-thread
+//! default. Unlike `argus_obs`, the fallback is per-thread rather than
+//! process-wide: a trace is an ordered history, and interleaving events
+//! from concurrently running tests (each with its own simulated clock)
+//! would destroy the per-guardian monotonicity that lint I12 checks.
+//!
+//! ## Determinism
+//!
+//! Events are appended in program order; span and flow ids are sequence
+//! numbers from this tracer's generation. The world resets the current
+//! tracer when it is built, so one seed yields one event vector — and the
+//! Chrome exporter serializes that vector verbatim, which is what makes
+//! same-seed traces byte-identical.
+
+use crate::event::{args, Gid, Key, Ph, TraceEvent};
+use argus_sim::SimClock;
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+
+/// Hard cap on buffered events. When a run exceeds it, recording stops and
+/// the overflow is counted in [`Tracer::dropped`]; lint I12 skips the
+/// completeness checks for truncated traces. 2^18 events cover every
+/// scenario test and sweep point with room to spare.
+pub const EVENT_CAP: usize = 1 << 18;
+
+/// How much the instrumentation records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detail {
+    /// Actions, locks, forces, 2PC phases, network flows, recovery.
+    Normal,
+    /// Additionally every storage-device operation and cache miss. Enabled
+    /// by the trace CLI, experiment E16, and the determinism tests; left
+    /// off elsewhere to bound trace volume in long bench runs.
+    Device,
+}
+
+#[derive(Debug)]
+struct Inner {
+    clock: Mutex<SimClock>,
+    state: Mutex<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    next_span: u64,
+    next_flow: u64,
+    detail: Detail,
+}
+
+impl State {
+    fn new() -> Self {
+        Self {
+            events: Vec::new(),
+            dropped: 0,
+            next_span: 0,
+            next_flow: 0,
+            detail: Detail::Normal,
+        }
+    }
+}
+
+/// A handle to one trace buffer. Cloning shares the buffer.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// Creates an empty tracer at [`Detail::Normal`] on a fresh clock.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                clock: Mutex::new(SimClock::new()),
+                state: Mutex::new(State::new()),
+            }),
+        }
+    }
+
+    /// Installs this tracer as the calling thread's current tracer until
+    /// the returned guard drops.
+    #[must_use = "the tracer is current only while the guard lives"]
+    pub fn enter(&self) -> ScopedTracer {
+        CURRENT.with(|stack| stack.borrow_mut().push(self.clone()));
+        ScopedTracer { _priv: () }
+    }
+
+    /// Binds the simulated clock events are stamped against.
+    pub fn set_clock(&self, clock: SimClock) {
+        *self.inner.clock.lock().unwrap() = clock;
+    }
+
+    /// Current time on the bound clock, microseconds.
+    pub fn now(&self) -> u64 {
+        self.inner.clock.lock().unwrap().now()
+    }
+
+    /// Sets the recording detail level.
+    pub fn set_detail(&self, detail: Detail) {
+        self.inner.state.lock().unwrap().detail = detail;
+    }
+
+    /// Whether device-level events are being recorded.
+    pub fn device_detail(&self) -> bool {
+        self.inner.state.lock().unwrap().detail == Detail::Device
+    }
+
+    /// Clears the buffer and restarts the span/flow id generations. The
+    /// detail level is kept: it is a property of the observer, not the run.
+    pub fn reset(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.events.clear();
+        st.dropped = 0;
+        st.next_span = 0;
+        st.next_flow = 0;
+    }
+
+    /// Snapshot of every buffered event, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.state.lock().unwrap().events.clone()
+    }
+
+    /// Buffered event count.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events lost to the [`EVENT_CAP`].
+    pub fn dropped(&self) -> u64 {
+        self.inner.state.lock().unwrap().dropped
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.events.len() >= EVENT_CAP {
+            st.dropped += 1;
+            return;
+        }
+        st.events.push(event);
+    }
+
+    /// Records a point event.
+    pub fn instant(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        gid: Gid,
+        key: Option<Key>,
+        a: &[(&'static str, u64)],
+    ) {
+        let ts = self.now();
+        self.push(TraceEvent {
+            cat,
+            name,
+            ph: Ph::Instant,
+            ts,
+            gid,
+            key,
+            args: args(a),
+        });
+    }
+
+    /// Records a complete span that started at `start_ts` and ends now.
+    /// The retroactive form is what the lock-grant, force, and
+    /// action-resolution paths use: a crash before the end simply records
+    /// nothing, so no span can dangle.
+    pub fn complete(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        gid: Gid,
+        key: Option<Key>,
+        start_ts: u64,
+        a: &[(&'static str, u64)],
+    ) {
+        let now = self.now();
+        self.complete_at(
+            cat,
+            name,
+            gid,
+            key,
+            start_ts,
+            now.saturating_sub(start_ts),
+            a,
+        );
+    }
+
+    /// Records a complete span with an explicit start and duration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_at(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        gid: Gid,
+        key: Option<Key>,
+        ts: u64,
+        dur: u64,
+        a: &[(&'static str, u64)],
+    ) {
+        self.push(TraceEvent {
+            cat,
+            name,
+            ph: Ph::Complete { dur },
+            ts,
+            gid,
+            key,
+            args: args(a),
+        });
+    }
+
+    /// Opens a scoped span; the returned guard closes it on drop. Used
+    /// only on linear code paths (restart) that cannot leak the guard.
+    #[must_use = "dropping the guard closes the span"]
+    pub fn begin(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        gid: Gid,
+        key: Option<Key>,
+    ) -> SpanGuard {
+        let span = {
+            let mut st = self.inner.state.lock().unwrap();
+            let id = st.next_span;
+            st.next_span += 1;
+            id
+        };
+        let ts = self.now();
+        self.push(TraceEvent {
+            cat,
+            name,
+            ph: Ph::Begin { span },
+            ts,
+            gid,
+            key,
+            args: args(&[]),
+        });
+        SpanGuard {
+            tracer: self.clone(),
+            cat,
+            name,
+            gid,
+            key,
+            span,
+        }
+    }
+
+    /// Records the start of a causal edge and returns its flow id.
+    pub fn flow_start(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        gid: Gid,
+        key: Option<Key>,
+    ) -> u64 {
+        let flow = {
+            let mut st = self.inner.state.lock().unwrap();
+            let id = st.next_flow;
+            st.next_flow += 1;
+            id
+        };
+        let ts = self.now();
+        self.push(TraceEvent {
+            cat,
+            name,
+            ph: Ph::FlowStart { flow },
+            ts,
+            gid,
+            key,
+            args: args(&[]),
+        });
+        flow
+    }
+
+    /// Records the arrival of a causal edge.
+    pub fn flow_end(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        gid: Gid,
+        key: Option<Key>,
+        flow: u64,
+    ) {
+        let ts = self.now();
+        self.push(TraceEvent {
+            cat,
+            name,
+            ph: Ph::FlowEnd { flow },
+            ts,
+            gid,
+            key,
+            args: args(&[]),
+        });
+    }
+}
+
+/// Guard for a [`Tracer::begin`] span: records the matching end on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    cat: &'static str,
+    name: &'static str,
+    gid: Gid,
+    key: Option<Key>,
+    span: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let ts = self.tracer.now();
+        self.tracer.push(TraceEvent {
+            cat: self.cat,
+            name: self.name,
+            ph: Ph::End { span: self.span },
+            ts,
+            gid: self.gid,
+            key: self.key,
+            args: args(&[]),
+        });
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Tracer>> = const { RefCell::new(Vec::new()) };
+    static DEFAULT: Tracer = Tracer::new();
+}
+
+/// The calling thread's tracer: the innermost [`Tracer::enter`] scope, or
+/// the thread's default tracer.
+pub fn current() -> Tracer {
+    if let Some(t) = CURRENT.with(|stack| stack.borrow().last().cloned()) {
+        return t;
+    }
+    DEFAULT.with(Clone::clone)
+}
+
+/// Scope guard from [`Tracer::enter`].
+#[derive(Debug)]
+pub struct ScopedTracer {
+    _priv: (),
+}
+
+impl Drop for ScopedTracer {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_tracer_wins_over_default() {
+        let t = Tracer::new();
+        {
+            let _scope = t.enter();
+            current().instant("test", "hello", 0, None, &[]);
+        }
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.events()[0].name, "hello");
+    }
+
+    #[test]
+    fn events_are_stamped_with_the_bound_clock() {
+        let t = Tracer::new();
+        let clock = SimClock::new();
+        t.set_clock(clock.clone());
+        clock.advance(42);
+        t.instant("test", "tick", 1, Some(Key::new(1, 7)), &[("n", 3)]);
+        let events = t.events();
+        assert_eq!(events[0].ts, 42);
+        assert_eq!(events[0].key, Some(Key::new(1, 7)));
+        assert_eq!(events[0].args[0], Some(("n", 3)));
+    }
+
+    #[test]
+    fn retroactive_complete_measures_elapsed_time() {
+        let t = Tracer::new();
+        let clock = SimClock::new();
+        t.set_clock(clock.clone());
+        clock.advance(10);
+        let start = t.now();
+        clock.advance(25);
+        t.complete("cc", "lock_wait", 0, None, start, &[]);
+        assert_eq!(t.events()[0].ph, Ph::Complete { dur: 25 });
+        assert_eq!(t.events()[0].ts, 10);
+    }
+
+    #[test]
+    fn span_guard_closes_on_drop_with_matching_id() {
+        let t = Tracer::new();
+        {
+            let _span = t.begin("recovery", "restart", 2, None);
+            t.instant("test", "inside", 2, None, &[]);
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        let (Ph::Begin { span: b }, Ph::End { span: e }) = (events[0].ph, events[2].ph) else {
+            panic!("expected begin/end bracketing, got {events:?}");
+        };
+        assert_eq!(b, e);
+    }
+
+    #[test]
+    fn flow_ids_are_sequential_and_reset_restarts_them() {
+        let t = Tracer::new();
+        assert_eq!(t.flow_start("net", "Prepare", 0, None), 0);
+        assert_eq!(t.flow_start("net", "Prepare", 0, None), 1);
+        t.reset();
+        assert!(t.is_empty());
+        assert_eq!(t.flow_start("net", "Prepare", 0, None), 0);
+    }
+
+    #[test]
+    fn cap_stops_recording_and_counts_drops() {
+        let t = Tracer::new();
+        for _ in 0..EVENT_CAP + 5 {
+            t.instant("test", "e", 0, None, &[]);
+        }
+        assert_eq!(t.len(), EVENT_CAP);
+        assert_eq!(t.dropped(), 5);
+    }
+
+    #[test]
+    fn detail_survives_reset() {
+        let t = Tracer::new();
+        t.set_detail(Detail::Device);
+        t.reset();
+        assert!(t.device_detail());
+    }
+}

@@ -2,7 +2,13 @@
 
 use crate::Msg;
 use argus_objects::{ActionId, GuardianId};
+use argus_obs::Event;
 use std::collections::BTreeSet;
+
+/// The trace key for an action: origin guardian + sequence number.
+pub(crate) fn tkey(aid: ActionId) -> argus_trace::Key {
+    argus_trace::Key::new(aid.coordinator.0, aid.seq)
+}
 
 /// Where the coordinator stands in the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,6 +104,15 @@ impl Coordinator {
 
     /// Starts the preparing phase: prepare messages to every participant.
     pub fn start(&self) -> Vec<CoordEffect> {
+        let n = self.participants.len() as u64;
+        argus_obs::current().event(Event::PrepareSent { participants: n });
+        argus_trace::current().instant(
+            "twopc",
+            "prepare_sent",
+            self.aid.coordinator.0,
+            Some(tkey(self.aid)),
+            &[("participants", n)],
+        );
         self.participants
             .iter()
             .map(|&g| CoordEffect::Send {
@@ -197,7 +212,19 @@ impl Coordinator {
     /// The guardian forced the `committing` record; the action is now
     /// committed and phase two begins.
     pub fn committing_forced(&mut self) -> Vec<CoordEffect> {
-        argus_obs::current().inc("twopc.coord.committed");
+        let obs = argus_obs::current();
+        obs.inc("twopc.coord.committed");
+        obs.event(Event::OutcomeSent {
+            committed: true,
+            participants: self.participants.len() as u64,
+        });
+        argus_trace::current().instant(
+            "twopc",
+            "outcome_sent",
+            self.aid.coordinator.0,
+            Some(tkey(self.aid)),
+            &[("committed", 1)],
+        );
         self.phase = CoordPhase::Committing;
         self.waiting = self.participants.iter().copied().collect();
         self.commit_msgs()
@@ -216,7 +243,19 @@ impl Coordinator {
             // Past the commit point: aborting is no longer possible.
             return Vec::new();
         }
-        argus_obs::current().inc("twopc.coord.aborted");
+        let obs = argus_obs::current();
+        obs.inc("twopc.coord.aborted");
+        obs.event(Event::OutcomeSent {
+            committed: false,
+            participants: self.participants.len() as u64,
+        });
+        argus_trace::current().instant(
+            "twopc",
+            "outcome_sent",
+            self.aid.coordinator.0,
+            Some(tkey(self.aid)),
+            &[("committed", 0)],
+        );
         self.phase = CoordPhase::Aborting;
         self.waiting = self.participants.iter().copied().collect();
         self.abort_msgs()

@@ -71,6 +71,22 @@ impl Msg {
             | Msg::Outcome { aid, .. } => *aid,
         }
     }
+
+    /// The message kind as a static name — the label the network tracer
+    /// puts on the causal flow edge for this message.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::Prepare { .. } => "Prepare",
+            Msg::PrepareOk { .. } => "PrepareOk",
+            Msg::PrepareRefused { .. } => "PrepareRefused",
+            Msg::Commit { .. } => "Commit",
+            Msg::CommitAck { .. } => "CommitAck",
+            Msg::Abort { .. } => "Abort",
+            Msg::AbortAck { .. } => "AbortAck",
+            Msg::QueryOutcome { .. } => "QueryOutcome",
+            Msg::Outcome { .. } => "Outcome",
+        }
+    }
 }
 
 /// A message in flight between two guardians.
@@ -106,6 +122,29 @@ mod tests {
             },
         ] {
             assert_eq!(msg.aid(), aid);
+            assert!(!msg.kind().is_empty());
         }
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let aid = ActionId::new(GuardianId(0), 1);
+        let kinds = [
+            Msg::Prepare { aid }.kind(),
+            Msg::PrepareOk { aid }.kind(),
+            Msg::PrepareRefused { aid }.kind(),
+            Msg::Commit { aid }.kind(),
+            Msg::CommitAck { aid }.kind(),
+            Msg::Abort { aid }.kind(),
+            Msg::AbortAck { aid }.kind(),
+            Msg::QueryOutcome { aid }.kind(),
+            Msg::Outcome {
+                aid,
+                committed: false,
+            }
+            .kind(),
+        ];
+        let set: std::collections::HashSet<_> = kinds.iter().collect();
+        assert_eq!(set.len(), kinds.len());
     }
 }

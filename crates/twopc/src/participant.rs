@@ -1,7 +1,9 @@
 //! The participant state machine (§2.2.2).
 
+use crate::coordinator::tkey;
 use crate::Msg;
 use argus_objects::{ActionId, GuardianId};
+use argus_obs::Event;
 
 /// Where the participant stands in the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,7 +93,16 @@ impl Participant {
     /// The local prepare finished: data entries and `prepared` record are on
     /// stable storage.
     pub fn prepare_succeeded(&mut self) -> Vec<PartEffect> {
-        argus_obs::current().inc("twopc.part.prepare_ok");
+        let obs = argus_obs::current();
+        obs.inc("twopc.part.prepare_ok");
+        obs.event(Event::VoteSent { ok: true });
+        argus_trace::current().instant(
+            "twopc",
+            "vote_sent",
+            self.aid.coordinator.0,
+            Some(tkey(self.aid)),
+            &[("ok", 1)],
+        );
         self.phase = PartPhase::Prepared;
         vec![PartEffect::Send {
             to: self.coordinator,
@@ -102,7 +113,16 @@ impl Participant {
     /// The local prepare could not run (lock conflict, unknown action, …):
     /// reply aborted (§2.2.2).
     pub fn prepare_failed(&mut self) -> Vec<PartEffect> {
-        argus_obs::current().inc("twopc.part.prepare_refused");
+        let obs = argus_obs::current();
+        obs.inc("twopc.part.prepare_refused");
+        obs.event(Event::VoteSent { ok: false });
+        argus_trace::current().instant(
+            "twopc",
+            "vote_sent",
+            self.aid.coordinator.0,
+            Some(tkey(self.aid)),
+            &[("ok", 0)],
+        );
         self.phase = PartPhase::Aborted;
         vec![PartEffect::Send {
             to: self.coordinator,

@@ -4,6 +4,7 @@
 #   scripts/verify.sh          # build + default test suite
 #   scripts/verify.sh --full   # + property suites, benches, experiments smoke
 #   scripts/verify.sh --sweep  # + bounded deterministic crash-schedule sweep
+#   scripts/verify.sh --trace  # + trace selftest (determinism, I12, flight)
 #
 # The workspace has zero external dependencies, so --offline is enforced —
 # any accidental registry dependency fails here rather than in CI.
@@ -39,6 +40,13 @@ fi
 # is `argus-lint sweep --double` (also run by experiment E15).
 if [[ "${1:-}" == "--sweep" || "${1:-}" == "--full" ]]; then
     run cargo run -q --release --offline --bin argus-lint -- sweep --double --stride 7 --max 6
+fi
+
+# Trace tier: the seeded 3-guardian 2PC smoke workload must pass the I12
+# structural trace lint, export byte-identical Chrome JSON across two runs
+# of the same seed, and round-trip through the flight recorder.
+if [[ "${1:-}" == "--trace" || "${1:-}" == "--full" ]]; then
+    run cargo run -q --release --offline --bin argus-lint -- trace --selftest
 fi
 
 echo "verify: OK"

@@ -1,5 +1,5 @@
-//! Lint a stable log on disk against the invariant catalogue I1–I10, or
-//! run the exhaustive crash-schedule sweeper.
+//! Lint a stable log on disk against the invariant catalogue I1–I10, run
+//! the exhaustive crash-schedule sweeper, or record a causal trace.
 //!
 //! ```sh
 //! cargo run --example persistent            # create some state first
@@ -9,15 +9,26 @@
 //! cargo run --release --bin argus-lint -- sweep            # full matrix
 //! cargo run --release --bin argus-lint -- sweep --double   # + second crash
 //! cargo run --release --bin argus-lint -- sweep --kind hybrid --max 8
+//!
+//! cargo run --release --bin argus-lint -- trace --seed 7 --out trace.json
+//! cargo run --release --bin argus-lint -- trace --selftest
 //! ```
 //!
 //! Lint mode exits 0 when the log is clean, 1 when any invariant is
 //! violated, 2 when the file cannot be opened as a stable log. Sweep mode
 //! exits 0 when every explored crash schedule recovered to a legal,
 //! lint-clean state and 1 when any counterexample was found.
+//!
+//! Trace mode runs a seeded 3-guardian 2PC banking workload with
+//! device-detail tracing on and writes the Chrome trace-event JSON (open
+//! `chrome://tracing` or <https://ui.perfetto.dev> and load the file). The
+//! trace is byte-identical for a given seed. `--selftest` additionally
+//! checks exactly that (two runs, compared byte for byte), runs the I12
+//! structural trace lint, and round-trips the trace through the flight
+//! recorder; it exits 1 on any failure.
 
 use argus::check::sweep::{sweep, SweepConfig};
-use argus::check::{detect_flavor, lint_log, LogImage};
+use argus::check::{detect_flavor, lint_log, lint_trace, LogImage};
 use argus::core::providers::FileProvider;
 use argus::guardian::RsKind;
 use argus::sim::{CostModel, SimClock};
@@ -27,11 +38,135 @@ use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("sweep") {
-        run_sweep(&args[1..]);
-        return;
+    match args.first().map(String::as_str) {
+        Some("sweep") => run_sweep(&args[1..]),
+        Some("trace") => run_trace(&args[1..]),
+        _ => run_lint(args.first().map(PathBuf::from)),
     }
-    run_lint(args.first().map(PathBuf::from));
+}
+
+/// One seeded, device-detail traced run of the 3-guardian cross-guardian
+/// banking mix. Returns the Chrome JSON export and the I12 lint verdicts.
+fn traced_run(seed: u64) -> (String, Vec<argus::check::Violation>) {
+    use argus::guardian::World;
+    use argus::workload::{Banking, BankingConfig};
+
+    let reg = argus::obs::Registry::new();
+    let _scope = reg.enter();
+    let tracer = argus::trace::current();
+    tracer.set_detail(argus::trace::Detail::Device);
+    // Building the world binds the simulated clock and resets the tracer:
+    // one world, one trace.
+    let mut world = World::new(CostModel::default());
+    let bank = Banking::setup(
+        &mut world,
+        RsKind::Hybrid,
+        BankingConfig {
+            guardians: 3,
+            cross_prob: 1.0,
+            abort_prob: 0.1,
+            ..Default::default()
+        },
+    )
+    .expect("banking setup");
+    let mut rng = argus::sim::DetRng::new(seed);
+    bank.run(&mut world, &mut rng, 40).expect("banking run");
+    assert_eq!(
+        bank.total_balance(&world).expect("balance"),
+        bank.expected_total(),
+        "transfers must conserve the total balance"
+    );
+    let violations = lint_trace(world.tracer());
+    (argus::trace::to_chrome_json(&tracer.events()), violations)
+}
+
+/// The `trace` subcommand: record a seeded run, export Chrome JSON, and
+/// (with `--selftest`) verify determinism, I12, and the flight recorder.
+fn run_trace(args: &[String]) {
+    let mut seed = 1u64;
+    let mut out: Option<PathBuf> = None;
+    let mut selftest = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--out" => {
+                out = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| usage("--out needs a path")),
+                ));
+            }
+            "--selftest" => selftest = true,
+            other => usage(&format!("unknown trace flag {other}")),
+        }
+    }
+
+    let (json, violations) = traced_run(seed);
+    let mut failed = false;
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("I12: {v}");
+        }
+        failed = true;
+    }
+    if selftest {
+        let (again, _) = traced_run(seed);
+        if json != again {
+            eprintln!("selftest: two seed-{seed} runs produced different trace bytes");
+            failed = true;
+        } else {
+            eprintln!("selftest: seed {seed} trace is byte-identical across runs");
+        }
+        // Flight-recorder round trip: the dump must reproduce the export
+        // exactly.
+        let events: Vec<argus::trace::TraceEvent> = {
+            // Re-record so the dump sees the events, not the JSON.
+            let tracer = argus::trace::current();
+            let _ = traced_run(seed);
+            tracer.events()
+        };
+        match argus::trace::flight::dump(&format!("lint-selftest-seed{seed}"), &events) {
+            Ok(path) => {
+                let round = std::fs::read_to_string(&path).unwrap_or_default();
+                if round == json {
+                    eprintln!("selftest: flight dump {} round-trips", path.display());
+                } else {
+                    eprintln!(
+                        "selftest: flight dump {} differs from export",
+                        path.display()
+                    );
+                    failed = true;
+                }
+                let _ = std::fs::remove_file(&path);
+            }
+            Err(e) => {
+                eprintln!("selftest: flight dump failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| {
+                eprintln!("{}: cannot write trace: {e}", path.display());
+                std::process::exit(2);
+            });
+            eprintln!(
+                "wrote {} ({} bytes; load in chrome://tracing or ui.perfetto.dev)",
+                path.display(),
+                json.len()
+            );
+        }
+        None if !selftest => print!("{json}"),
+        None => {}
+    }
 }
 
 /// The crash-schedule sweeper: every write index of the 3-guardian 2PC
@@ -100,7 +235,8 @@ fn run_sweep(args: &[String]) {
 fn usage(problem: &str) -> ! {
     eprintln!(
         "{problem}\nusage: argus-lint [<store path>]\n       \
-         argus-lint sweep [--double] [--stride N] [--max N] [--kind simple|hybrid|shadow]"
+         argus-lint sweep [--double] [--stride N] [--max N] [--kind simple|hybrid|shadow]\n       \
+         argus-lint trace [--seed N] [--out PATH] [--selftest]"
     );
     std::process::exit(2);
 }

@@ -26,9 +26,12 @@
 //! * [`obs`] — the zero-dependency observability layer: counters,
 //!   histograms, phase timers on the simulated clock, the bounded event
 //!   journal, and the bench harness;
+//! * [`trace`] — deterministic causal tracing: per-action spans with 2PC
+//!   flow edges, exact latency attribution, Chrome trace-event export
+//!   (`argus-lint trace`), and the counterexample flight recorder;
 //! * [`check`] — the log-invariant linter (I1–I10, also the `argus-lint`
-//!   CLI), the heap stale-lock lint I11, and the bounded 2PC interleaving
-//!   explorer.
+//!   CLI), the heap stale-lock lint I11, the structural trace lint I12,
+//!   and the bounded 2PC interleaving explorer.
 //!
 //! ## Quickstart
 //!
@@ -63,5 +66,6 @@ pub use argus_shadow as shadow;
 pub use argus_sim as sim;
 pub use argus_slog as slog;
 pub use argus_stable as stable;
+pub use argus_trace as trace;
 pub use argus_twopc as twopc;
 pub use argus_workload as workload;

@@ -1,14 +1,18 @@
 //! Shared test support: every scenario and housekeeping test ends by
 //! linting the log(s) it produced against the invariant catalogue I1–I10 —
-//! and every up guardian's heap against the stale-lock invariant I11 — so a
-//! regression that leaves a structurally broken log or a leaked lock fails
-//! loudly even when the test's own assertions still pass.
+//! every up guardian's heap against the stale-lock invariant I11 — and the
+//! world's trace against the structural trace invariant I12 — so a
+//! regression that leaves a structurally broken log, a leaked lock, or an
+//! inconsistent trace fails loudly even when the test's own assertions
+//! still pass.
 
 // Each integration-test binary uses a subset of these helpers.
 #![allow(dead_code)]
 
 use argus::check::sweep::{sweep, SweepConfig};
-use argus::check::{assert_heap_quiesced, lint_log, lint_log_against, LogImage};
+use argus::check::{
+    assert_heap_quiesced, assert_trace_consistent, lint_log, lint_log_against, LogImage,
+};
 use argus::core::{LogEntry, RecoveryOutcome};
 use argus::guardian::{RsKind, World};
 use argus::slog::LogAddress;
@@ -59,4 +63,8 @@ pub fn lint_world(world: &mut World) {
             assert_heap_quiesced(&world.guardian(g).unwrap().heap, &live);
         }
     }
+    // I12: the trace this world recorded is structurally consistent —
+    // every opened span closed, per-guardian completion times are
+    // monotone, and every resolved flow edge has its start.
+    assert_trace_consistent(world.tracer());
 }
