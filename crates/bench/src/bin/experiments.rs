@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E16). See DESIGN.md for the
+//! Regenerates every experiment table (E1–E17). See DESIGN.md for the
 //! experiment index and EXPERIMENTS.md for recorded results.
 //!
 //! Each experiment runs under its own `argus_obs::Registry` scope, so the
@@ -22,8 +22,9 @@
 use argus_bench::{
     cc_perf, commit_perf, e10_abort_rate, e11_explore_coverage, e12_group_commit,
     e13_recovery_cache, e14_cc_policies, e15_sweep_coverage, e16_latency_attribution,
-    e1_write_cost, e2_recovery_cost, e4_housekeeping_cost, e5_checkpoint_bounds_recovery,
-    e6_early_prepare, e7_map_scaling, e8_crash_matrix, e9_device_sensitivity, recovery_perf, Table,
+    e17_vopr_coverage, e1_write_cost, e2_recovery_cost, e4_housekeeping_cost,
+    e5_checkpoint_bounds_recovery, e6_early_prepare, e7_map_scaling, e8_crash_matrix,
+    e9_device_sensitivity, recovery_perf, Table,
 };
 use argus_guardian::{CcPolicy, RsKind, WorldConfig};
 use argus_obs::Registry;
@@ -240,5 +241,11 @@ fn main() {
         println!("{table}");
         emit_json(&json_dir, &table);
         print_metrics("E16", &metrics);
+    }
+    if want("E17") {
+        let (table, metrics) = scoped(|| e17_vopr_coverage(24, 64));
+        println!("{table}");
+        emit_json(&json_dir, &table);
+        print_metrics("E17", &metrics);
     }
 }

@@ -1299,3 +1299,85 @@ pub fn e15_sweep_coverage(max_points_per_victim: Option<u64>, double_crash: bool
     }
     table
 }
+
+/// E17: randomized fault-composition (VOPR) coverage per organization.
+///
+/// Runs a batch of seeded `argus_check::vopr` explorations per recovery
+/// organization — each seed composes message drop, duplication, reorder,
+/// partitions with heals, guardian pauses (clock skew), media decay, and
+/// crashes with recovery against the multi-guardian 2PC workload, checking
+/// I1–I12 and the legal-outcomes oracle at every quiesce point — and
+/// reports coverage: actions driven, quiesce-point checks ("states
+/// explored"), per-kind fault counts, and violations (which must be
+/// **zero**). The same counters are exported through `argus-obs`
+/// (`vopr.*`). Any violating seed replays exactly with
+/// `argus-lint vopr --seed N --iterations M`.
+pub fn e17_vopr_coverage(seeds: u64, iterations: u64) -> Table {
+    use argus_check::{vopr, FaultTally, VoprConfig};
+    use argus_guardian::RsKind;
+
+    let mut table = Table::new(
+        "E17",
+        "VOPR randomized fault composition: drop/dup/reorder + partition/heal + pause/skew + decay + crash/recovery",
+        "required: zero violations across every seed, with every fault kind firing in each organization's batch",
+    );
+    table.header(vec![
+        "organization".into(),
+        "seeds".into(),
+        "actions".into(),
+        "committed".into(),
+        "aborted".into(),
+        "in-doubt".into(),
+        "checks".into(),
+        "net faults".into(),
+        "partitions".into(),
+        "pauses".into(),
+        "skews".into(),
+        "decays".into(),
+        "crashes".into(),
+        "violations".into(),
+        "simulated ms".into(),
+        "wall ms".into(),
+    ]);
+    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow] {
+        let started = std::time::Instant::now();
+        let mut actions = 0u64;
+        let (mut committed, mut aborted, mut in_doubt) = (0u64, 0u64, 0u64);
+        let mut checks = 0u64;
+        let mut tally = FaultTally::default();
+        let mut violations = 0u64;
+        let mut sim_us = 0u64;
+        for seed in 1..=seeds {
+            let mut cfg = VoprConfig::new(seed, iterations);
+            cfg.kind = kind;
+            let s = vopr(&cfg);
+            actions += s.actions;
+            committed += s.committed;
+            aborted += s.aborted;
+            in_doubt += s.in_doubt;
+            checks += s.checks;
+            tally.absorb(&s.faults);
+            violations += s.violations.len() as u64;
+            sim_us += s.sim_us;
+        }
+        table.row(vec![
+            format!("{kind:?}").to_lowercase(),
+            seeds.to_string(),
+            actions.to_string(),
+            committed.to_string(),
+            aborted.to_string(),
+            in_doubt.to_string(),
+            checks.to_string(),
+            (tally.drops + tally.duplicates + tally.defers).to_string(),
+            tally.partitions.to_string(),
+            tally.pauses.to_string(),
+            tally.skews.to_string(),
+            tally.decays.to_string(),
+            tally.crashes.to_string(),
+            violations.to_string(),
+            (sim_us / 1_000).to_string(),
+            started.elapsed().as_millis().to_string(),
+        ]);
+    }
+    table
+}

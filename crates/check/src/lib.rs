@@ -1,6 +1,6 @@
 //! argus-check: correctness tooling for the recovery system.
 //!
-//! Two engines, per "Guaranteeing Recoverability via Partially Constrained
+//! Three engines, per "Guaranteeing Recoverability via Partially Constrained
 //! Transaction Logs" (PAPERS.md) applied to the Oki thesis's hybrid log:
 //!
 //! * **The static log linter** ([`lint_log`] / [`lint_log_against`]): a pure
@@ -17,6 +17,15 @@
 //!   machines that enumerates message reorderings, drops, and crash points
 //!   up to a configurable budget, asserting atomicity at every reachable
 //!   state and linting every node's log along the way.
+//! * **The VOPR** ([`vopr`]): a seeded randomized fault-composition
+//!   explorer — one u64 seed deterministically composes message
+//!   drop/duplication/reordering, partitions with scheduled heals, guardian
+//!   pauses with clock skew, media decay, and crashes with recovery against
+//!   a rolling multi-guardian 2PC workload, running the lint, the
+//!   legal-outcomes oracle, heap quiescence, and trace consistency at every
+//!   quiesce point. Violations replay byte-for-byte from the seed
+//!   (`argus-lint vopr --seed N --iterations M`) and dump their schedule
+//!   through the flight recorder.
 //!
 //! # Examples
 //!
@@ -48,6 +57,7 @@ mod image;
 mod lint;
 mod obs;
 pub mod sweep;
+pub mod vopr;
 
 pub use explore::{ExploreConfig, ExploreReport, ExploreStats, Explorer};
 pub use image::{BadRecord, LogImage};
@@ -57,3 +67,4 @@ pub use lint::{
     Violation,
 };
 pub use sweep::{sweep, Counterexample, SweepConfig, SweepReport};
+pub use vopr::{vopr, FaultTally, VoprConfig, VoprSummary};

@@ -60,6 +60,63 @@ impl ExploreObs {
     }
 }
 
+/// Randomized fault-composition explorer counters — feed experiment E17.
+/// The per-kind fault counters are the proof that a smoke batch actually
+/// composed every fault shape, not just the cheap ones.
+#[derive(Debug, Clone)]
+pub(crate) struct VoprObs {
+    /// Explorer steps executed.
+    pub steps: Counter,
+    /// Workload actions driven.
+    pub actions: Counter,
+    /// Quiesce-point invariant checks run.
+    pub checks: Counter,
+    /// Invariant or oracle violations found.
+    pub violations: Counter,
+    /// Messages lost by the injector (`drop_prob`).
+    pub drops: Counter,
+    /// Duplicate deliveries injected.
+    pub duplicates: Counter,
+    /// Deferrals (reorderings) injected.
+    pub defers: Counter,
+    /// Partitions opened.
+    pub partitions: Counter,
+    /// Partitions healed.
+    pub heals: Counter,
+    /// Guardian pauses begun.
+    pub pauses: Counter,
+    /// Clock-skew advances applied.
+    pub skews: Counter,
+    /// Media pages decayed.
+    pub decays: Counter,
+    /// Crashes injected (explicit and armed).
+    pub crashes: Counter,
+    /// Restarts (recoveries) driven.
+    pub restarts: Counter,
+}
+
+impl VoprObs {
+    pub fn resolve() -> Self {
+        let reg = argus_obs::current();
+        Self {
+            steps: reg.counter("vopr.steps"),
+            actions: reg.counter("vopr.actions"),
+            checks: reg.counter("vopr.checks"),
+            violations: reg.counter("vopr.violations"),
+            drops: reg.counter("vopr.fault.drop"),
+            duplicates: reg.counter("vopr.fault.duplicate"),
+            defers: reg.counter("vopr.fault.defer"),
+            partitions: reg.counter("vopr.fault.partition"),
+            heals: reg.counter("vopr.fault.heal"),
+            pauses: reg.counter("vopr.fault.pause"),
+            skews: reg.counter("vopr.fault.skew"),
+            decays: reg.counter("vopr.fault.decay"),
+            crashes: reg.counter("vopr.fault.crash"),
+            restarts: reg.counter("vopr.fault.restart"),
+        }
+    }
+}
+
 /// Crash-schedule sweeper coverage counters — feed experiment E15.
 #[derive(Debug, Clone)]
 pub(crate) struct SweepObs {

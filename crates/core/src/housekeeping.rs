@@ -21,7 +21,7 @@ use crate::entry::{decode_entry, encode_entry, LogEntry};
 use crate::hybrid::{HybridLogRs, PendingPair};
 use crate::tables::{CState, CoordinatorTable, ObjState, PState, ParticipantTable};
 use crate::{MutexTable, RsError, RsResult};
-use argus_objects::{flatten_value, Heap, ObjKind, ObjectBody, Uid, Value};
+use argus_objects::{flatten_value, ActionId, GuardianId, Heap, ObjKind, ObjectBody, Uid, Value};
 use argus_slog::{LogAddress, StableLog};
 use argus_stable::PageStore;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -397,6 +397,44 @@ impl<P: StoreProvider> HybridLogRs<P> {
                 }
             }
         }
+
+        // Same deviation from the thesis as compaction (§5.1.1): every
+        // in-doubt action must leave a prepared entry on the new log, even
+        // if none of its writes were reachable atomic objects — otherwise a
+        // participant that snapshots while prepared forgets its PrepareOk
+        // vote across a crash, and a late outcome forces an aborted or
+        // committed record with no prepared entry below it (lint I4). The
+        // prepared *data* is already covered: atomic current versions were
+        // copied above, mutex prepared versions travel via the MT.
+        let mut in_doubt: Vec<ActionId> = self.pat.iter().copied().collect();
+        in_doubt.sort_unstable();
+        for aid in in_doubt {
+            hk.append_outcome(LogEntry::Prepared {
+                aid,
+                pairs: Vec::new(),
+                prev: None,
+            })?;
+        }
+
+        // Likewise for this guardian's coordinator side: an action past the
+        // commit point but not yet `done` must keep its committing record,
+        // or a crash after the snapshot forgets phase two and in-doubt
+        // participants are never told the verdict (and a late `done` lands
+        // with no committing entry below it — lint I6).
+        let mut committing: Vec<(ActionId, Vec<GuardianId>)> = self
+            .cat
+            .iter()
+            .map(|(aid, gids)| (*aid, gids.clone()))
+            .collect();
+        committing.sort_by_key(|a| a.0);
+        for (aid, gids) in committing {
+            hk.append_outcome(LogEntry::Committing {
+                aid,
+                gids,
+                prev: None,
+            })?;
+        }
+
         hk.new_access = Some(new_access);
         Ok(())
     }

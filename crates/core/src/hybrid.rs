@@ -124,6 +124,12 @@ pub struct HybridLogRs<P: StoreProvider> {
     pub(crate) access: HashSet<Uid>,
     /// The prepared-actions table (PAT).
     pub(crate) pat: HashSet<ActionId>,
+    /// The committing-actions table (CAT): coordinators past the commit
+    /// point whose `done` is not yet logged. Volatile twin of the
+    /// recovery CT, kept so a snapshot can re-emit `committing` entries —
+    /// the snapshot reads no log, and phase-two state lives nowhere in
+    /// the heap.
+    pub(crate) cat: HashMap<ActionId, Vec<GuardianId>>,
     /// Address of the most recent outcome entry: the chain head.
     pub(crate) last_outcome: Option<LogAddress>,
     /// Early-prepared data entries per action, not yet covered by a
@@ -148,6 +154,7 @@ impl<P: StoreProvider> HybridLogRs<P> {
             log,
             access: [Uid::STABLE_ROOT].into_iter().collect(),
             pat: HashSet::new(),
+            cat: HashMap::new(),
             last_outcome: None,
             pending: HashMap::new(),
             mt: MutexTable::new(),
@@ -165,6 +172,7 @@ impl<P: StoreProvider> HybridLogRs<P> {
             log: StableLog::open(store)?,
             access: HashSet::new(),
             pat: HashSet::new(),
+            cat: HashMap::new(),
             last_outcome: None,
             pending: HashMap::new(),
             mt: MutexTable::new(),
@@ -293,9 +301,13 @@ impl<P: StoreProvider> HybridLogRs<P> {
             PState::Committed => match resident {
                 Some(entry) => match Self::resident_kind(ctx, uid)?.expect("entry implies kind") {
                     ObjKind::Atomic => {
-                        if entry.state == ObjState::Prepared {
+                        // A resident base restored from a checkpoint below
+                        // this action's commit point is stale; this pair
+                        // holds the real committed state (checkpoint
+                        // ordering fix, see DESIGN.md).
+                        if entry.state == ObjState::Prepared || ctx.stale_committed_base(uid, aid) {
                             let (kind, value) = self.read_data_counted(ctx, daddr)?;
-                            ctx.restore_committed(uid, kind, value, Some(daddr))?;
+                            ctx.restore_committed_by(aid, uid, kind, value, Some(daddr))?;
                         }
                     }
                     ObjKind::Mutex => {
@@ -509,12 +521,14 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
             },
             false,
         )?;
+        self.cat.insert(aid, gids.to_vec());
         self.obs.committings.inc();
         Ok(true)
     }
 
     fn stage_done(&mut self, aid: ActionId) -> RsResult<bool> {
         self.append_outcome(LogEntry::Done { aid, prev: None }, false)?;
+        self.cat.remove(&aid);
         self.obs.dones.inc();
         Ok(true)
     }
@@ -604,6 +618,7 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
             self.access.insert(Uid::STABLE_ROOT);
         }
         self.pat = outcome.pt.prepared_actions().into_iter().collect();
+        self.cat = outcome.ct.committing_actions().into_iter().collect();
         self.mt = outcome
             .ot
             .iter()
@@ -626,6 +641,7 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
         self.log.reopen()?;
         self.access.clear();
         self.pat.clear();
+        self.cat.clear();
         self.mt.clear();
         self.last_outcome = None;
         self.pending.clear();

@@ -11,6 +11,7 @@ use crate::tables::{
 use crate::{RsError, RsResult};
 use argus_objects::{ActionId, AtomicObject, Heap, MutexObject, ObjKind, ObjectBody, Uid, Value};
 use argus_slog::LogAddress;
+use std::collections::HashMap;
 
 /// Mutable recovery state threaded through one recovery pass.
 #[derive(Debug)]
@@ -22,6 +23,15 @@ pub(crate) struct RecoverCtx<'h> {
     pub entries_examined: u64,
     pub data_entries_read: u64,
     pub chain_hops: u64,
+    /// The walk position (`entries_examined`) of each action's *oldest*
+    /// `committed` entry seen so far — its true commit point. Entries at
+    /// larger positions were logged before the commit.
+    committed_seen: HashMap<ActionId, u64>,
+    /// The walk position of the restore that produced each atomic uid's
+    /// resident committed base. Compared against `committed_seen` to detect
+    /// a base restored from a checkpoint older than a later commit (the
+    /// checkpoint ordering fix; see DESIGN.md).
+    committed_restore_seq: HashMap<Uid, u64>,
 }
 
 impl<'h> RecoverCtx<'h> {
@@ -34,6 +44,8 @@ impl<'h> RecoverCtx<'h> {
             entries_examined: 0,
             data_entries_read: 0,
             chain_hops: 0,
+            committed_seen: HashMap::new(),
+            committed_restore_seq: HashMap::new(),
         }
     }
 
@@ -48,6 +60,9 @@ impl<'h> RecoverCtx<'h> {
     /// `committed` outcome entry (2.b).
     pub fn on_committed(&mut self, aid: ActionId) {
         self.pt.enter(aid, PState::Committed);
+        // Keep updating past duplicates: the *oldest* committed record is
+        // the commit point, and everything below it predates the commit.
+        self.committed_seen.insert(aid, self.entries_examined);
     }
 
     /// `aborted` outcome entry (2.c).
@@ -96,6 +111,8 @@ impl<'h> RecoverCtx<'h> {
                         if let Some(e) = self.ot.get_mut(uid) {
                             e.state = ObjState::Restored;
                         }
+                        self.committed_restore_seq
+                            .insert(uid, self.entries_examined);
                         Ok(true)
                     }
                     ObjState::Restored => Ok(false),
@@ -116,8 +133,59 @@ impl<'h> RecoverCtx<'h> {
                     mutex_addr: if kind == ObjKind::Mutex { addr } else { None },
                 },
             );
+            if kind == ObjKind::Atomic {
+                self.committed_restore_seq
+                    .insert(uid, self.entries_examined);
+            }
             Ok(true)
         }
+    }
+
+    /// True when `uid`'s resident committed base was restored from an entry
+    /// *below* (older than) `aid`'s commit point. A housekeeping checkpoint
+    /// writes its base while `aid` is still in doubt; if `aid`'s `committed`
+    /// entry lands above the checkpoint, the base on the chain head side is
+    /// stale and `aid`'s prepared version is the real committed state. See
+    /// DESIGN.md ("checkpoint ordering fix").
+    pub fn stale_committed_base(&self, uid: Uid, aid: ActionId) -> bool {
+        matches!(self.ot.get(uid), Some(e) if e.state == ObjState::Restored)
+            && match (
+                self.committed_restore_seq.get(&uid),
+                self.committed_seen.get(&aid),
+            ) {
+                (Some(&restored), Some(&committed)) => restored > committed,
+                _ => false,
+            }
+    }
+
+    /// [`Self::restore_committed`] for a version attributed to the
+    /// *committed* action `aid`: additionally overwrites a base restored
+    /// from an entry older than `aid`'s commit point (the checkpoint
+    /// ordering fix).
+    pub fn restore_committed_by(
+        &mut self,
+        aid: ActionId,
+        uid: Uid,
+        kind: ObjKind,
+        value: Value,
+        addr: Option<LogAddress>,
+    ) -> RsResult<bool> {
+        if kind == ObjKind::Atomic && self.stale_committed_base(uid, aid) {
+            let entry = self.ot.get(uid).copied().expect("stale base is resident");
+            let slot = self.heap.get_mut(entry.heap)?;
+            match &mut slot.body {
+                ObjectBody::Atomic(obj) => obj.base = value,
+                ObjectBody::Mutex(_) => {
+                    return Err(RsError::Internal("kind changed between entries"))
+                }
+            }
+            // The overwriting version is the state as of the commit point,
+            // so a second copy of it compares as not-stale and is skipped.
+            let commit_point = self.committed_seen[&aid];
+            self.committed_restore_seq.insert(uid, commit_point);
+            return Ok(true);
+        }
+        self.restore_committed(uid, kind, value, addr)
     }
 
     /// Restores a *prepared* version of `uid` written by the in-doubt action
@@ -233,7 +301,7 @@ impl<'h> RecoverCtx<'h> {
     ) -> RsResult<()> {
         match self.pt.get(aid) {
             Some(PState::Committed) => {
-                self.restore_committed(uid, kind, value, Some(addr))?;
+                self.restore_committed_by(aid, uid, kind, value, Some(addr))?;
             }
             Some(PState::Prepared) => {
                 self.restore_prepared(uid, kind, value, aid, Some(addr))?;
@@ -265,7 +333,7 @@ impl<'h> RecoverCtx<'h> {
         match self.pt.get(aid) {
             Some(PState::Aborted) => {}
             Some(PState::Committed) => {
-                self.restore_committed(uid, ObjKind::Atomic, value, None)?;
+                self.restore_committed_by(aid, uid, ObjKind::Atomic, value, None)?;
             }
             Some(PState::Prepared) => {
                 self.restore_prepared(uid, ObjKind::Atomic, value, aid, None)?;
@@ -417,6 +485,52 @@ mod tests {
         ctx.on_prepared_data(Uid(4), Value::Int(1), aid(5)).unwrap();
         assert_eq!(ctx.pt.get(aid(5)), Some(PState::Prepared));
         assert_eq!(ctx.ot.get(Uid(4)).unwrap().state, ObjState::Prepared);
+    }
+
+    #[test]
+    fn checkpoint_ordering_fix_overwrites_stale_base_of_committed_action() {
+        // Backward walk of a log whose housekeeping ran while aid(4) was in
+        // doubt and whose commit landed above the checkpoint: `committed`
+        // first, then the checkpoint's (pre-commit) base, then the
+        // prepared_data below it. The prepared version is aid(4)'s
+        // committed state and must win over the stale base.
+        let mut heap = Heap::new();
+        let mut ctx = RecoverCtx::new(&mut heap);
+        ctx.entries_examined = 1;
+        ctx.on_committed(aid(4));
+        ctx.entries_examined = 2;
+        ctx.restore_committed(
+            Uid(1),
+            ObjKind::Atomic,
+            Value::Int(5),
+            Some(LogAddress(512)),
+        )
+        .unwrap();
+        ctx.entries_examined = 3;
+        ctx.on_prepared_data(Uid(1), Value::Int(9), aid(4)).unwrap();
+        let h = ctx.ot.get(Uid(1)).unwrap().heap;
+        assert_eq!(ctx.heap.read_value(h, None).unwrap(), &Value::Int(9));
+        // Idempotent: a duplicate copy of the same version is not "newer".
+        assert!(!ctx.stale_committed_base(Uid(1), aid(4)));
+    }
+
+    #[test]
+    fn committed_version_above_the_commit_point_still_wins() {
+        // A later action's version restored *above* aid(4)'s `committed`
+        // entry already includes (or supersedes) aid(4)'s write; the
+        // prepared_data below must not clobber it.
+        let mut heap = Heap::new();
+        let mut ctx = RecoverCtx::new(&mut heap);
+        ctx.entries_examined = 1;
+        ctx.on_committed(aid(8));
+        ctx.restore_committed_by(aid(8), Uid(1), ObjKind::Atomic, Value::Int(7), None)
+            .unwrap();
+        ctx.entries_examined = 2;
+        ctx.on_committed(aid(4));
+        ctx.entries_examined = 3;
+        ctx.on_prepared_data(Uid(1), Value::Int(9), aid(4)).unwrap();
+        let h = ctx.ot.get(Uid(1)).unwrap().heap;
+        assert_eq!(ctx.heap.read_value(h, None).unwrap(), &Value::Int(7));
     }
 
     #[test]

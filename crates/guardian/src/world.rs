@@ -1649,6 +1649,41 @@ impl World {
             .set_faults(Some(NetFaults::new(seed, duplicate_prob, defer_prob)));
     }
 
+    /// Installs (or removes) a fully-specified network fault injector —
+    /// the general form of [`World::enable_network_faults`], used by fault
+    /// explorers that also want message loss ([`NetFaults::with_drop`]).
+    pub fn set_network_faults(&mut self, faults: Option<NetFaults>) {
+        self.net.set_faults(faults);
+    }
+
+    /// Partitions the network between `a` and `b`: mail between them (both
+    /// directions) is held — not lost — until the pair is healed.
+    pub fn partition(&mut self, a: GuardianId, b: GuardianId) {
+        self.net.partition(a, b);
+    }
+
+    /// Heals the partition between `a` and `b`; held mail flows again.
+    pub fn heal_partition(&mut self, a: GuardianId, b: GuardianId) {
+        self.net.heal(a, b);
+    }
+
+    /// Heals every active partition.
+    pub fn heal_all_partitions(&mut self) {
+        self.net.heal_all();
+    }
+
+    /// Pauses a guardian: it stops receiving mail (held, not lost) while
+    /// the rest of the world — including the shared clock — runs on. The
+    /// cheap model of a stalled node whose clock has skewed behind.
+    pub fn pause_guardian(&mut self, g: GuardianId) {
+        self.net.pause(g);
+    }
+
+    /// Resumes a paused guardian; its held mail flows again.
+    pub fn resume_guardian(&mut self, g: GuardianId) {
+        self.net.resume(g);
+    }
+
     /// Installs an automatic housekeeping policy at `g`: after each commit
     /// or abort record, if the guardian's log has grown past `max_entries`,
     /// the world runs a housekeeping pass — "Whenever the Argus system has

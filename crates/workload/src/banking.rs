@@ -1,6 +1,7 @@
 //! The banking workload: transfers between accounts.
 
-use argus_guardian::{Outcome, RsKind, World, WorldResult};
+use argus_guardian::{Outcome, RsKind, World, WorldError, WorldResult};
+use argus_objects::HeapError;
 use argus_objects::{ActionId, GuardianId, HeapId, ObjRef, Value};
 use argus_sim::{DetRng, Zipf};
 
@@ -39,8 +40,13 @@ impl Default for BankingConfig {
 pub struct BankingStats {
     /// Transfers committed.
     pub committed: u64,
-    /// Transfers aborted by the client.
+    /// Transfers aborted by the client, including lock-conflict give-ups:
+    /// under a faulty network an in-doubt transfer holds its locks until
+    /// the verdict arrives, and a colliding client gives up rather than
+    /// wait.
     pub aborted: u64,
+    /// Transfers left in doubt (commit driven to no verdict yet).
+    pub in_doubt: u64,
 }
 
 /// A deployed banking workload.
@@ -116,16 +122,30 @@ impl Banking {
         let aid = world.begin(from_g)?;
         let from_h = self.account(world, from_g, from_i)?;
         let to_h = self.account(world, to_g, to_i)?;
-        world.write_atomic(from_g, aid, from_h, |v| {
-            if let Value::Int(balance) = v {
-                *balance -= amount;
-            }
-        })?;
-        world.write_atomic(to_g, aid, to_h, |v| {
-            if let Value::Int(balance) = v {
-                *balance += amount;
-            }
-        })?;
+        let written = world
+            .write_atomic(from_g, aid, from_h, |v| {
+                if let Value::Int(balance) = v {
+                    *balance -= amount;
+                }
+            })
+            .and_then(|()| {
+                world.write_atomic(to_g, aid, to_h, |v| {
+                    if let Value::Int(balance) = v {
+                        *balance += amount;
+                    }
+                })
+            });
+        if let Err(e) = written {
+            // The action must not dangle holding half its locks.
+            world.abort_local(aid);
+            return match e {
+                // Under a faulty network the lock holder may be in doubt
+                // for a while; a real client gives up and aborts rather
+                // than error out.
+                WorldError::Heap(HeapError::LockConflict { .. }) => Ok(Outcome::Aborted),
+                other => Err(other),
+            };
+        }
         if rng.gen_bool(self.cfg.abort_prob) {
             world.abort_local(aid);
             return Ok(Outcome::Aborted);
@@ -141,7 +161,7 @@ impl Banking {
             match self.transfer(world, rng, amount)? {
                 Outcome::Committed => stats.committed += 1,
                 Outcome::Aborted => stats.aborted += 1,
-                Outcome::Pending => {}
+                Outcome::Pending => stats.in_doubt += 1,
             }
         }
         Ok(stats)

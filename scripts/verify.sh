@@ -5,6 +5,7 @@
 #   scripts/verify.sh --full   # + property suites, benches, experiments smoke
 #   scripts/verify.sh --sweep  # + bounded deterministic crash-schedule sweep
 #   scripts/verify.sh --trace  # + trace selftest (determinism, I12, flight)
+#   scripts/verify.sh --vopr   # + seeded fault-composition batch + selftest
 #
 # The workspace has zero external dependencies, so --offline is enforced —
 # any accidental registry dependency fails here rather than in CI.
@@ -47,6 +48,20 @@ fi
 # of the same seed, and round-trip through the flight recorder.
 if [[ "${1:-}" == "--trace" || "${1:-}" == "--full" ]]; then
     run cargo run -q --release --offline --bin argus-lint -- trace --selftest
+fi
+
+# VOPR tier: a seeded randomized fault-composition batch over every recovery
+# organization (drops, duplication, delay, partitions, pauses, decay, crashes
+# composed in one schedule) must come back violation-free, and the selftest
+# must prove the detection path end to end — a planted impossible oracle
+# expectation is caught, replays byte-identically, and dumps a flight
+# schedule. Any violation makes argus-lint exit non-zero and fails the gate.
+if [[ "${1:-}" == "--vopr" || "${1:-}" == "--full" ]]; then
+    for kind in simple hybrid shadow; do
+        run cargo run -q --release --offline --bin argus-lint -- \
+            vopr --seed 1 --seeds 16 --iterations 64 --kind "$kind"
+    done
+    run cargo run -q --release --offline --bin argus-lint -- vopr --selftest
 fi
 
 echo "verify: OK"

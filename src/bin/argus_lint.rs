@@ -1,5 +1,6 @@
 //! Lint a stable log on disk against the invariant catalogue I1–I10, run
-//! the exhaustive crash-schedule sweeper, or record a causal trace.
+//! the exhaustive crash-schedule sweeper, run the randomized
+//! fault-composition explorer (the VOPR), or record a causal trace.
 //!
 //! ```sh
 //! cargo run --example persistent            # create some state first
@@ -10,6 +11,10 @@
 //! cargo run --release --bin argus-lint -- sweep --double   # + second crash
 //! cargo run --release --bin argus-lint -- sweep --kind hybrid --max 8
 //!
+//! cargo run --release --bin argus-lint -- vopr --seed 7 --iterations 96
+//! cargo run --release --bin argus-lint -- vopr --seeds 32 --kind shadow
+//! cargo run --release --bin argus-lint -- vopr --selftest
+//!
 //! cargo run --release --bin argus-lint -- trace --seed 7 --out trace.json
 //! cargo run --release --bin argus-lint -- trace --selftest
 //! ```
@@ -18,6 +23,17 @@
 //! violated, 2 when the file cannot be opened as a stable log. Sweep mode
 //! exits 0 when every explored crash schedule recovered to a legal,
 //! lint-clean state and 1 when any counterexample was found.
+//!
+//! Vopr mode runs seeded randomized fault-composition runs (message drop,
+//! duplication, reorder, partitions with heals, pauses, clock skew, media
+//! decay, crashes with recovery) against a multi-guardian 2PC workload,
+//! checking I1–I12 and the legal-outcomes oracle at every quiesce point.
+//! One summary line per seed; on any violation the schedule is dumped
+//! through the flight recorder and the same `--seed N --iterations M`
+//! replays it byte for byte. `--seeds K` runs seeds `seed..seed+K`.
+//! `--selftest` proves the detection path: it plants an impossible oracle
+//! expectation, requires the run to catch it, replays it, and checks the
+//! flight dumps landed. Exits 1 on violations (or a failed selftest).
 //!
 //! Trace mode runs a seeded 3-guardian 2PC banking workload with
 //! device-detail tracing on and writes the Chrome trace-event JSON (open
@@ -28,7 +44,7 @@
 //! recorder; it exits 1 on any failure.
 
 use argus::check::sweep::{sweep, SweepConfig};
-use argus::check::{detect_flavor, lint_log, lint_trace, LogImage};
+use argus::check::{detect_flavor, lint_log, lint_trace, FaultTally, LogImage, VoprConfig};
 use argus::core::providers::FileProvider;
 use argus::guardian::RsKind;
 use argus::sim::{CostModel, SimClock};
@@ -40,9 +56,122 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("sweep") => run_sweep(&args[1..]),
+        Some("vopr") => run_vopr(&args[1..]),
         Some("trace") => run_trace(&args[1..]),
         _ => run_lint(args.first().map(PathBuf::from)),
     }
+}
+
+/// The `vopr` subcommand: seeded randomized fault-composition runs, one
+/// summary line per seed, exit 1 on any violation.
+fn run_vopr(args: &[String]) {
+    let mut seed = 1u64;
+    let mut iterations = 96u64;
+    let mut seeds = 1u64;
+    let mut kind = RsKind::Hybrid;
+    let mut selftest = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--iterations" => {
+                iterations = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--iterations needs a positive integer"));
+            }
+            "--seeds" => {
+                seeds = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seeds needs a positive integer"));
+            }
+            "--kind" => {
+                kind = match it.next().map(String::as_str) {
+                    Some("simple") => RsKind::Simple,
+                    Some("hybrid") => RsKind::Hybrid,
+                    Some("shadow") => RsKind::Shadow,
+                    _ => usage("--kind needs simple|hybrid|shadow"),
+                };
+            }
+            "--selftest" => selftest = true,
+            other => usage(&format!("unknown vopr flag {other}")),
+        }
+    }
+
+    let reg = argus::obs::Registry::new();
+    let _scope = reg.enter();
+
+    if selftest {
+        // Prove the detection-and-replay path end to end: plant an
+        // impossible committed expectation, require the explorer to catch
+        // it, replay it identically, and dump the schedule.
+        let mut cfg = VoprConfig::new(seed, iterations.min(32));
+        cfg.kind = kind;
+        cfg.break_oracle = true;
+        let a = argus::check::vopr(&cfg);
+        let b = argus::check::vopr(&cfg);
+        let mut failed = false;
+        if a.is_clean() {
+            eprintln!("selftest: the planted oracle bug was NOT detected");
+            failed = true;
+        } else {
+            eprintln!(
+                "selftest: planted bug detected ({} violations)",
+                a.violations.len()
+            );
+        }
+        if a.line() != b.line() || a.violations != b.violations {
+            eprintln!("selftest: two seed-{seed} runs diverged");
+            eprintln!("  a: {}", a.line());
+            eprintln!("  b: {}", b.line());
+            failed = true;
+        } else {
+            eprintln!("selftest: seed {seed} replays byte-identically");
+        }
+        if a.flight.is_empty() {
+            eprintln!("selftest: no flight-recorder dump was written");
+            failed = true;
+        }
+        for p in a.flight.iter().chain(&b.flight) {
+            if std::path::Path::new(p).exists() {
+                eprintln!("selftest: flight dump {p}");
+            } else {
+                eprintln!("selftest: flight dump {p} is missing");
+                failed = true;
+            }
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
+
+    let started = std::time::Instant::now();
+    let mut tally = FaultTally::default();
+    let mut violations = 0u64;
+    for s in seed..seed + seeds {
+        let mut cfg = VoprConfig::new(s, iterations);
+        cfg.kind = kind;
+        let summary = argus::check::vopr(&cfg);
+        println!("{summary}");
+        for p in &summary.flight {
+            println!("  flight: {p}");
+        }
+        tally.absorb(&summary.faults);
+        violations += summary.violations.len() as u64;
+    }
+    println!(
+        "vopr: {} seed(s) x {} iterations ({:?}), faults[{tally}], {} violations in {:.2?}",
+        seeds,
+        iterations,
+        kind,
+        violations,
+        started.elapsed(),
+    );
+    std::process::exit(if violations == 0 { 0 } else { 1 });
 }
 
 /// One seeded, device-detail traced run of the 3-guardian cross-guardian
@@ -236,6 +365,8 @@ fn usage(problem: &str) -> ! {
     eprintln!(
         "{problem}\nusage: argus-lint [<store path>]\n       \
          argus-lint sweep [--double] [--stride N] [--max N] [--kind simple|hybrid|shadow]\n       \
+         argus-lint vopr [--seed N] [--iterations M] [--seeds K] \
+         [--kind simple|hybrid|shadow] [--selftest]\n       \
          argus-lint trace [--seed N] [--out PATH] [--selftest]"
     );
     std::process::exit(2);
