@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E17). See DESIGN.md for the
+//! Regenerates every experiment table (E1–E19). See DESIGN.md for the
 //! experiment index and EXPERIMENTS.md for recorded results.
 //!
 //! Each experiment runs under its own `argus_obs::Registry` scope, so the
@@ -13,7 +13,10 @@
 //! ```
 //!
 //! `--json-dir DIR` additionally writes each table as `DIR/BENCH_<id>.json`.
-//! `--smoke` runs a tiny E12/E13/E14 and asserts the optimization and
+//! `--wall-smoke` runs a tiny E18 on real files (tmpfs when
+//! `ARGUS_BENCH_DIR` points there) and asserts the group-commit fsync
+//! reduction holds outside the simulator — the `scripts/verify.sh --wall`
+//! tier. `--smoke` runs a tiny E12/E13/E14 and asserts the optimization and
 //! scheduling invariants (batching never increases forces per commit; the
 //! cache hits during recovery; the contended lock mix completes without a
 //! hang and blocking mode actually detects deadlocks) instead of printing
@@ -22,9 +25,9 @@
 use argus_bench::{
     cc_perf, commit_perf, e10_abort_rate, e11_explore_coverage, e12_group_commit,
     e13_recovery_cache, e14_cc_policies, e15_sweep_coverage, e16_latency_attribution,
-    e17_vopr_coverage, e1_write_cost, e2_recovery_cost, e4_housekeeping_cost,
-    e5_checkpoint_bounds_recovery, e6_early_prepare, e7_map_scaling, e8_crash_matrix,
-    e9_device_sensitivity, recovery_perf, Table,
+    e17_vopr_coverage, e18_wall_group_commit, e19_wall_recovery, e1_write_cost, e2_recovery_cost,
+    e4_housekeeping_cost, e5_checkpoint_bounds_recovery, e6_early_prepare, e7_map_scaling,
+    e8_crash_matrix, e9_device_sensitivity, recovery_perf, Table,
 };
 use argus_guardian::{CcPolicy, RsKind, WorldConfig};
 use argus_obs::Registry;
@@ -122,10 +125,53 @@ fn smoke() {
     println!("smoke: ok");
 }
 
+/// The `--wall-smoke` mode: E12's group-commit claim checked against a real
+/// file with real fsyncs. At 8 concurrent actions the shared force schedule
+/// must need at most half the fsyncs per commit of the immediate schedule
+/// (in practice it is ~8x fewer; the loose bound keeps slow CI filesystems
+/// from flaking). Panics (exits non-zero) on violation.
+fn wall_smoke() {
+    use argus_bench::wall_commit_perf;
+    let dir = std::env::var("ARGUS_BENCH_DIR").ok();
+    for kind in [RsKind::Simple, RsKind::Hybrid] {
+        let immediate = wall_commit_perf(
+            kind,
+            8,
+            5,
+            argus_bench::file_config_for(dir.as_deref(), &format!("wall-smoke-imm-{kind:?}"), true),
+        );
+        let group = wall_commit_perf(
+            kind,
+            8,
+            5,
+            argus_bench::file_config_for(
+                dir.as_deref(),
+                &format!("wall-smoke-grp-{kind:?}"),
+                false,
+            ),
+        );
+        assert!(
+            group.fsyncs_per_commit <= immediate.fsyncs_per_commit / 2.0,
+            "{kind:?}: group commit did not reduce real fsyncs/commit              ({:.2} !<= {:.2}/2)",
+            group.fsyncs_per_commit,
+            immediate.fsyncs_per_commit
+        );
+        println!(
+            "wall-smoke {kind:?}: fsyncs/commit {:.2} immediate -> {:.2} group;              {} -> {} ns/commit",
+            immediate.fsyncs_per_commit,
+            group.fsyncs_per_commit,
+            immediate.ns_per_commit,
+            group.ns_per_commit
+        );
+    }
+    println!("wall-smoke: ok");
+}
+
 fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut json_dir: Option<PathBuf> = None;
     let mut run_smoke = false;
+    let mut run_wall_smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -135,11 +181,16 @@ fn main() {
                 json_dir = Some(dir);
             }
             "--smoke" => run_smoke = true,
+            "--wall-smoke" => run_wall_smoke = true,
             other => ids.push(other.to_uppercase()),
         }
     }
     if run_smoke {
         let (_, _) = scoped(smoke);
+        return;
+    }
+    if run_wall_smoke {
+        wall_smoke();
         return;
     }
     let want = |id: &str| ids.is_empty() || ids.iter().any(|a| a == id);
@@ -247,5 +298,23 @@ fn main() {
         println!("{table}");
         emit_json(&json_dir, &table);
         print_metrics("E17", &metrics);
+    }
+    // E18/E19 run on real files (the OS temp dir by default; set
+    // ARGUS_BENCH_DIR to point them at tmpfs or a specific disk) and time
+    // with a monotonic clock, so their numbers vary run to run — the
+    // *ordering* (group commit ≪ immediate fsyncs; hybrid restart ≪ simple)
+    // is the reproducible claim.
+    let wall_dir = std::env::var("ARGUS_BENCH_DIR").ok();
+    if want("E18") {
+        let (table, metrics) = scoped(|| e18_wall_group_commit(25, wall_dir.as_deref()));
+        println!("{table}");
+        emit_json(&json_dir, &table);
+        print_metrics("E18", &metrics);
+    }
+    if want("E19") {
+        let (table, metrics) = scoped(|| e19_wall_recovery(2_000, wall_dir.as_deref()));
+        println!("{table}");
+        emit_json(&json_dir, &table);
+        print_metrics("E19", &metrics);
     }
 }

@@ -1381,3 +1381,250 @@ pub fn e17_vopr_coverage(seeds: u64, iterations: u64) -> Table {
     }
     table
 }
+
+/// Per-commit wall-clock costs on a real file, measured by
+/// [`wall_commit_perf`].
+#[derive(Debug, Clone, Copy)]
+pub struct WallCommitPerf {
+    /// Wall-clock nanoseconds per committed action.
+    pub ns_per_commit: u64,
+    /// Real `fsync`/`fdatasync` calls per committed action (from the
+    /// `stable.file.fsyncs` counter).
+    pub fsyncs_per_commit: f64,
+    /// Bytes handed to `write(2)` per committed action.
+    pub bytes_per_commit: u64,
+}
+
+/// The wall-clock twin of [`commit_perf`]: `rounds` batches of
+/// `concurrency` concurrent committed actions on a file-backed guardian,
+/// timed with a monotonic clock and counted in real fsyncs.
+///
+/// `cfg.media` must be [`argus_guardian::MediaKind::File`]; the caller picks
+/// the directory (tmpfs vs. a real disk) and the force schedule.
+pub fn wall_commit_perf(
+    kind: RsKind,
+    concurrency: usize,
+    rounds: u64,
+    cfg: WorldConfig,
+) -> WallCommitPerf {
+    let reg = argus_obs::Registry::new();
+    let _scope = reg.enter();
+    let mut world = World::with_config(CostModel::fast(), cfg);
+    let g = world.add_guardian(kind).expect("guardian");
+    let setup = world.begin(g).expect("begin");
+    let mut objs = Vec::new();
+    for i in 0..concurrency {
+        let h = world
+            .create_atomic(g, setup, Value::Bytes(vec![0; 48]))
+            .expect("create");
+        world
+            .set_stable(g, setup, &format!("o{i}"), Value::heap_ref(h))
+            .expect("bind");
+        objs.push(h);
+    }
+    assert_eq!(
+        world.commit(setup).expect("setup commit"),
+        Outcome::Committed
+    );
+
+    let batch = |world: &mut World, round: u64| {
+        let aids: Vec<_> = (0..concurrency)
+            .map(|_| world.begin(g).expect("begin"))
+            .collect();
+        for (i, &aid) in aids.iter().enumerate() {
+            let fill = (round & 0xFF) as u8;
+            world
+                .write_atomic(g, aid, objs[i], move |v| *v = Value::Bytes(vec![fill; 48]))
+                .expect("write");
+        }
+        for &aid in &aids {
+            world.commit_start(aid).expect("start");
+        }
+        for &aid in &aids {
+            assert_eq!(
+                world.commit_settle(aid).expect("settle"),
+                Outcome::Committed
+            );
+        }
+    };
+
+    // Warm up file growth and caches before the timed window.
+    for round in 0..2 {
+        batch(&mut world, round);
+    }
+    let fsyncs0 = reg.counter("stable.file.fsyncs").get();
+    let bytes0 = reg.counter("stable.file.bytes_written").get();
+    let start = std::time::Instant::now();
+    for round in 0..rounds {
+        batch(&mut world, 2 + round);
+    }
+    let elapsed = start.elapsed();
+    let commits = rounds * concurrency as u64;
+    WallCommitPerf {
+        ns_per_commit: (elapsed.as_nanos() / u128::from(commits)) as u64,
+        fsyncs_per_commit: (reg.counter("stable.file.fsyncs").get() - fsyncs0) as f64
+            / commits as f64,
+        bytes_per_commit: (reg.counter("stable.file.bytes_written").get() - bytes0) / commits,
+    }
+}
+
+/// A `MediaKind::File` config over a fresh subdirectory of `base` (or a
+/// temp dir when `base` is `None`) with the given force schedule —
+/// `immediate` picks one-fsync-per-record, otherwise the group-commit
+/// default (the `--wall-smoke` entry point of the experiments binary).
+pub fn file_config_for(base: Option<&str>, tag: &str, immediate: bool) -> WorldConfig {
+    let force = if immediate {
+        argus_slog::ForceConfig::immediate()
+    } else {
+        argus_slog::ForceConfig::default()
+    };
+    file_config(base, tag, force)
+}
+
+/// A `MediaKind::File` config over a fresh subdirectory of `base` (or a
+/// temp dir when `base` is `None`). The path is leaked: `WorldConfig` is
+/// `Copy`, so the media variant holds a `&'static str`.
+fn file_config(base: Option<&str>, tag: &str, force: argus_slog::ForceConfig) -> WorldConfig {
+    let dir = match base {
+        Some(b) => std::path::PathBuf::from(b).join(format!("argus-bench-{tag}")),
+        None => std::env::temp_dir().join(format!("argus-bench-{}-{tag}", std::process::id())),
+    };
+    let dir: &'static str = Box::leak(dir.to_string_lossy().into_owned().into_boxed_str());
+    WorldConfig {
+        force,
+        media: argus_guardian::MediaKind::File { dir: Some(dir) },
+        ..Default::default()
+    }
+}
+
+/// E18 — group commit on a real file: wall-clock ns and fsyncs per commit.
+///
+/// The wall-clock reproduction of E12's ordering outside the simulator: at
+/// 8 concurrent actions the group-commit scheduler folds the batch's forced
+/// records into a shared `fdatasync`, so fsyncs/commit falls well below the
+/// one-force-per-action immediate schedule.
+///
+/// `dir` picks the backing filesystem (`None` = the OS temp dir; point it
+/// at tmpfs and a real disk to see the medium's sync cost).
+pub fn e18_wall_group_commit(rounds: u64, dir: Option<&str>) -> Table {
+    let mut table = Table::new(
+        "E18",
+        "Wall-clock group commit on a real file: ns and fsyncs per commit",
+        "claim: E12's ordering survives contact with a real file — at 8 concurrent actions, group commit needs ~1/8th the fsyncs of the immediate schedule",
+    );
+    table.header(vec![
+        "organization".into(),
+        "schedule".into(),
+        "concurrent".into(),
+        "ns/commit".into(),
+        "fsyncs/commit".into(),
+        "bytes/commit".into(),
+    ]);
+    for kind in [RsKind::Simple, RsKind::Hybrid] {
+        for (schedule, force, n) in [
+            ("immediate", argus_slog::ForceConfig::immediate(), 1usize),
+            ("immediate", argus_slog::ForceConfig::immediate(), 8),
+            ("group", argus_slog::ForceConfig::default(), 1),
+            ("group", argus_slog::ForceConfig::default(), 8),
+        ] {
+            let tag = format!("e18-{}-{schedule}-{n}", kind_name(kind).replace(' ', "-"));
+            let perf = wall_commit_perf(kind, n, rounds, file_config(dir, &tag, force));
+            table.row(vec![
+                kind_name(kind).into(),
+                schedule.into(),
+                n.to_string(),
+                perf.ns_per_commit.to_string(),
+                format!("{:.2}", perf.fsyncs_per_commit),
+                perf.bytes_per_commit.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// Wall-clock recovery throughput on a real file, measured by
+/// [`wall_recovery_perf`].
+#[derive(Debug, Clone, Copy)]
+pub struct WallRecoveryPerf {
+    /// Stable log bytes at the crash point.
+    pub log_bytes: u64,
+    /// Wall-clock microseconds the restart took (recovery included).
+    pub restart_us: u64,
+}
+
+impl WallRecoveryPerf {
+    /// Recovery throughput in MB/s of stable log processed.
+    pub fn mb_per_s(&self) -> f64 {
+        if self.restart_us == 0 {
+            return f64::INFINITY;
+        }
+        self.log_bytes as f64 / self.restart_us as f64
+    }
+}
+
+/// Builds `history` committed actions on a file-backed guardian, crashes
+/// it, and times the restart with a monotonic clock.
+pub fn wall_recovery_perf(kind: RsKind, history: u64, cfg: WorldConfig) -> WallRecoveryPerf {
+    let reg = argus_obs::Registry::new();
+    let _scope = reg.enter();
+    let mut world = World::with_config(CostModel::fast(), cfg);
+    let mut synth = Synth::setup(
+        &mut world,
+        kind,
+        SynthConfig {
+            objects: 128,
+            writes_per_action: 4,
+            value_size: 48,
+            ..Default::default()
+        },
+    )
+    .expect("setup");
+    let g = synth.guardian();
+    let mut rng = argus_sim::DetRng::new(18);
+    synth.run(&mut world, &mut rng, history).expect("run");
+    let log_bytes = world.guardian(g).expect("guardian").log_stats().bytes;
+    world.crash(g);
+    let start = std::time::Instant::now();
+    world.restart(g).expect("recover");
+    WallRecoveryPerf {
+        log_bytes,
+        restart_us: start.elapsed().as_micros() as u64,
+    }
+}
+
+/// E19 — wall-clock recovery throughput on a real file.
+///
+/// E2's shape in real time: the simple log re-reads its whole history, the
+/// hybrid log walks only the outcome chain, shadowing reads the newest map.
+/// Reported as MB/s of stable log bytes processed by the restart, so the
+/// organizations' *selectivity* (not just the medium) sets the number.
+pub fn e19_wall_recovery(history: u64, dir: Option<&str>) -> Table {
+    let mut table = Table::new(
+        "E19",
+        "Wall-clock recovery on a real file: restart time vs. log size",
+        "claim: hybrid restarts in near-constant time while the simple log's restart grows with the log; MB/s is log bytes at crash over restart wall time",
+    );
+    table.header(vec![
+        "organization".into(),
+        "committed actions".into(),
+        "log KiB".into(),
+        "restart µs".into(),
+        "MB/s".into(),
+    ]);
+    for kind in KINDS {
+        let tag = format!("e19-{}-{history}", kind_name(kind).replace(' ', "-"));
+        let perf = wall_recovery_perf(
+            kind,
+            history,
+            file_config(dir, &tag, argus_slog::ForceConfig::default()),
+        );
+        table.row(vec![
+            kind_name(kind).into(),
+            history.to_string(),
+            (perf.log_bytes / 1024).to_string(),
+            perf.restart_us.to_string(),
+            format!("{:.1}", perf.mb_per_s()),
+        ]);
+    }
+    table
+}

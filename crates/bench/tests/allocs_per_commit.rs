@@ -1,0 +1,137 @@
+//! Counting-allocator harness: pins heap allocations per committed action
+//! on the steady-state commit path.
+//!
+//! A `#[global_allocator]` wrapper counts every `alloc`/`realloc` call made
+//! by this test binary. After a warm-up phase (so table growth, cache fills,
+//! and network buffers are out of the way), the harness runs batches of
+//! concurrent commits exactly like `argus_bench::commit_perf` and divides
+//! the allocation delta by the number of commits. The resulting
+//! `allocs/commit` is published as the `bench.allocs_per_commit` obs counter
+//! and asserted against a ceiling.
+//!
+//! The ceilings encode the allocation audit of the borrowed-entry-view work
+//! (encode directly into the log's pending buffer via `write_with`, decode
+//! values lazily through `EntryView`): the pre-change baseline was **simple
+//! 37.5 / hybrid 40.4** allocs per commit at concurrency 8 (recorded in
+//! EXPERIMENTS.md). A regression that reintroduces per-entry encode buffers
+//! or eager value decode pushes the number back above the ceiling and fails
+//! here.
+
+use argus_guardian::{Outcome, RsKind, World, WorldConfig};
+use argus_objects::Value;
+use argus_sim::CostModel;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps the system allocator, counting allocation calls (not bytes):
+/// `alloc` and `realloc` each count one; `dealloc` is free.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Runs `rounds` batches of `concurrency` concurrent committed actions on a
+/// warmed-up single-guardian world and returns the allocation calls per
+/// commit over the measured batches.
+fn allocs_per_commit(kind: RsKind, concurrency: usize, rounds: u64) -> f64 {
+    let mut world = World::with_config(CostModel::fast(), WorldConfig::default());
+    let g = world.add_guardian(kind).expect("guardian");
+    let setup = world.begin(g).expect("begin");
+    let mut objs = Vec::new();
+    for i in 0..concurrency {
+        let h = world
+            .create_atomic(g, setup, Value::Bytes(vec![0; 48]))
+            .expect("create");
+        world
+            .set_stable(g, setup, &format!("o{i}"), Value::heap_ref(h))
+            .expect("bind");
+        objs.push(h);
+    }
+    assert_eq!(
+        world.commit(setup).expect("setup commit"),
+        Outcome::Committed
+    );
+
+    let batch = |world: &mut World, round: u64| {
+        let aids: Vec<_> = (0..concurrency)
+            .map(|_| world.begin(g).expect("begin"))
+            .collect();
+        for (i, &aid) in aids.iter().enumerate() {
+            let fill = (round & 0xFF) as u8;
+            world
+                .write_atomic(g, aid, objs[i], move |v| *v = Value::Bytes(vec![fill; 48]))
+                .expect("write");
+        }
+        for &aid in &aids {
+            world.commit_start(aid).expect("start");
+        }
+        for &aid in &aids {
+            assert_eq!(
+                world.commit_settle(aid).expect("settle"),
+                Outcome::Committed
+            );
+        }
+    };
+
+    // Warm up: table growth, log pending-buffer capacity, scheduler state.
+    for round in 0..8 {
+        batch(&mut world, round);
+    }
+    let before = allocs();
+    for round in 0..rounds {
+        batch(&mut world, 8 + round);
+    }
+    let delta = allocs() - before;
+    delta as f64 / (rounds * concurrency as u64) as f64
+}
+
+#[test]
+fn steady_state_allocs_per_commit_stay_bounded() {
+    let reg = argus_obs::Registry::new();
+    let _scope = reg.enter();
+    // Ceilings sit ~12% above the measured post-audit numbers (simple 30.5,
+    // hybrid 34.4 at concurrency 8) and below the pre-change baseline
+    // (simple 37.5 / hybrid 40.4) so the audit's win cannot silently
+    // regress. The absolute numbers include the whole stack: workload value
+    // construction, 2PC messages, and scheduler queues — not just the log.
+    for (kind, ceiling) in [(RsKind::Simple, 34.5), (RsKind::Hybrid, 38.5)] {
+        let per_commit = allocs_per_commit(kind, 8, 16);
+        reg.counter("bench.allocs_per_commit")
+            .add(per_commit as u64);
+        println!("{kind:?}: {per_commit:.1} allocs/commit");
+        assert!(
+            per_commit < ceiling,
+            "{kind:?}: {per_commit:.1} allocs/commit exceeds the {ceiling} \
+             ceiling — the commit hot path regressed (pre-audit baseline was \
+             37.5 simple / 40.4 hybrid; see EXPERIMENTS.md)"
+        );
+    }
+    assert!(reg.counter("bench.allocs_per_commit").get() > 0);
+}

@@ -156,6 +156,7 @@ impl SweepConfig {
             match self.media {
                 MediaKind::Mem => "mem",
                 MediaKind::Mirrored => "mirrored",
+                MediaKind::File { .. } => "file",
             },
             match self.housekeeping {
                 Some(HousekeepingMode::Snapshot) => "/snapshot",

@@ -267,14 +267,25 @@ pub mod providers {
         pub clock: SimClock,
         /// Device cost profile.
         pub model: CostModel,
+        /// Durability mode applied to every store file (fsync vs. O_DSYNC).
+        pub mode: argus_stable::DurabilityMode,
         counter: u64,
         root: argus_slog::LogRoot<argus_stable::FileStore>,
     }
 
     impl FileProvider {
+        /// Creates a provider over `dir` (created if absent) in the default
+        /// [`argus_stable::DurabilityMode::Fsync`].
+        pub fn new(dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+            Self::with_mode(dir, argus_stable::DurabilityMode::default())
+        }
+
         /// Creates a provider over `dir` (created if absent). The root file
         /// is created pointing at generation 0 if it does not exist yet.
-        pub fn new(dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        pub fn with_mode(
+            dir: impl Into<std::path::PathBuf>,
+            mode: argus_stable::DurabilityMode,
+        ) -> std::io::Result<Self> {
             let dir = dir.into();
             std::fs::create_dir_all(&dir)?;
             let clock = SimClock::new();
@@ -292,6 +303,7 @@ pub mod providers {
                 dir,
                 clock,
                 model,
+                mode,
                 counter: 0,
                 root,
             };
@@ -300,6 +312,13 @@ pub mod providers {
                 provider.counter += 1;
             }
             Ok(provider)
+        }
+
+        /// Shares a world's clock and cost model for device accounting.
+        pub fn with_device(mut self, clock: SimClock, model: CostModel) -> Self {
+            self.clock = clock;
+            self.model = model;
+            self
         }
 
         /// The generation the stable root currently points at.
@@ -318,10 +337,11 @@ pub mod providers {
             &self,
             n: u64,
         ) -> Result<argus_stable::FileStore, argus_stable::StorageError> {
-            argus_stable::FileStore::open(
+            argus_stable::FileStore::open_with(
                 &self.store_path(n),
                 self.clock.clone(),
                 self.model.clone(),
+                self.mode,
             )
         }
 
@@ -338,8 +358,13 @@ pub mod providers {
             let path = self.store_path(self.counter);
             self.counter += 1;
             let _ = std::fs::remove_file(&path);
-            argus_stable::FileStore::open(&path, self.clock.clone(), self.model.clone())
-                .expect("create store file")
+            argus_stable::FileStore::open_with(
+                &path,
+                self.clock.clone(),
+                self.model.clone(),
+                self.mode,
+            )
+            .expect("create store file")
         }
 
         fn store_switched(&mut self) {

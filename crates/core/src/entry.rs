@@ -315,11 +315,200 @@ pub fn decode_value(dec: &mut Decoder<'_>) -> CodecResult<Value> {
     })
 }
 
-/// Encodes a log entry to bytes.
-pub fn encode_entry(entry: &LogEntry) -> RsResult<Vec<u8>> {
-    let mut enc = Encoder::with_capacity(64);
-    match entry {
-        LogEntry::Data {
+// ---- borrowed encode views -----------------------------------------------
+
+/// A borrowed view of a log entry, for encoding without building an owned
+/// [`LogEntry`] first. The commit hot path encodes straight from the values
+/// it already holds (the flattened version, the pending pairs, the
+/// participant list) into the log's pending buffer via
+/// [`argus_slog::StableLog::write_with`], so a record write allocates
+/// nothing beyond amortized buffer growth.
+#[derive(Debug, Clone, Copy)]
+pub enum EntryRef<'a> {
+    /// Simple-log data entry.
+    Data {
+        /// The recoverable object's uid.
+        uid: Uid,
+        /// Atomic or mutex.
+        kind: ObjKind,
+        /// The flattened object version.
+        value: &'a Value,
+        /// The preparing action that wrote the entry.
+        aid: ActionId,
+    },
+    /// Hybrid-log data entry.
+    DataH {
+        /// Atomic or mutex.
+        kind: ObjKind,
+        /// The flattened object version.
+        value: &'a Value,
+    },
+    /// Participant outcome: prepared, with the map fragment.
+    Prepared {
+        /// The prepared action.
+        aid: ActionId,
+        /// `(uid, data-entry address)` for every object the action wrote.
+        pairs: &'a [(Uid, LogAddress)],
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Participant outcome: committed.
+    Committed {
+        /// The committed action.
+        aid: ActionId,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Participant outcome: aborted.
+    Aborted {
+        /// The aborted action.
+        aid: ActionId,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Newly accessible object's base version.
+    BaseCommitted {
+        /// The newly accessible object.
+        uid: Uid,
+        /// Its flattened base version.
+        value: &'a Value,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Newly accessible object's current version under another prepared
+    /// action's write lock.
+    PreparedData {
+        /// The newly accessible object.
+        uid: Uid,
+        /// Its flattened current version.
+        value: &'a Value,
+        /// The already-prepared action that holds the write lock.
+        aid: ActionId,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Coordinator outcome: committing, with the participant list.
+    Committing {
+        /// The committing action.
+        aid: ActionId,
+        /// The guardians participating in the action.
+        gids: &'a [GuardianId],
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Coordinator outcome: done.
+    Done {
+        /// The finished action.
+        aid: ActionId,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Housekeeping checkpoint.
+    CommittedSs {
+        /// `(uid, data-entry address)` for the whole committed stable state.
+        cssl: &'a [(Uid, LogAddress)],
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+}
+
+impl EntryRef<'_> {
+    /// Rewrites the chain pointer on an outcome entry (no-op on data
+    /// entries), mirroring [`LogEntry::set_prev`].
+    pub fn set_prev(&mut self, new_prev: Option<LogAddress>) {
+        match self {
+            EntryRef::Prepared { prev, .. }
+            | EntryRef::Committed { prev, .. }
+            | EntryRef::Aborted { prev, .. }
+            | EntryRef::BaseCommitted { prev, .. }
+            | EntryRef::PreparedData { prev, .. }
+            | EntryRef::Committing { prev, .. }
+            | EntryRef::Done { prev, .. }
+            | EntryRef::CommittedSs { prev, .. } => *prev = new_prev,
+            EntryRef::Data { .. } | EntryRef::DataH { .. } => {}
+        }
+    }
+
+    /// A short tag for diagnostics, mirroring [`LogEntry::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            EntryRef::Data { .. } | EntryRef::DataH { .. } => "data",
+            EntryRef::Prepared { .. } => "prepared",
+            EntryRef::Committed { .. } => "committed",
+            EntryRef::Aborted { .. } => "aborted",
+            EntryRef::BaseCommitted { .. } => "base_committed",
+            EntryRef::PreparedData { .. } => "prepared_data",
+            EntryRef::Committing { .. } => "committing",
+            EntryRef::Done { .. } => "done",
+            EntryRef::CommittedSs { .. } => "committed_ss",
+        }
+    }
+}
+
+impl LogEntry {
+    /// A borrowed view of this entry for allocation-free encoding.
+    pub fn as_entry_ref(&self) -> EntryRef<'_> {
+        match self {
+            LogEntry::Data {
+                uid,
+                kind,
+                value,
+                aid,
+            } => EntryRef::Data {
+                uid: *uid,
+                kind: *kind,
+                value,
+                aid: *aid,
+            },
+            LogEntry::DataH { kind, value } => EntryRef::DataH { kind: *kind, value },
+            LogEntry::Prepared { aid, pairs, prev } => EntryRef::Prepared {
+                aid: *aid,
+                pairs,
+                prev: *prev,
+            },
+            LogEntry::Committed { aid, prev } => EntryRef::Committed {
+                aid: *aid,
+                prev: *prev,
+            },
+            LogEntry::Aborted { aid, prev } => EntryRef::Aborted {
+                aid: *aid,
+                prev: *prev,
+            },
+            LogEntry::BaseCommitted { uid, value, prev } => EntryRef::BaseCommitted {
+                uid: *uid,
+                value,
+                prev: *prev,
+            },
+            LogEntry::PreparedData {
+                uid,
+                value,
+                aid,
+                prev,
+            } => EntryRef::PreparedData {
+                uid: *uid,
+                value,
+                aid: *aid,
+                prev: *prev,
+            },
+            LogEntry::Committing { aid, gids, prev } => EntryRef::Committing {
+                aid: *aid,
+                gids,
+                prev: *prev,
+            },
+            LogEntry::Done { aid, prev } => EntryRef::Done {
+                aid: *aid,
+                prev: *prev,
+            },
+            LogEntry::CommittedSs { cssl, prev } => EntryRef::CommittedSs { cssl, prev: *prev },
+        }
+    }
+}
+
+/// Encodes a borrowed entry view into an existing encoder (typically the
+/// log's pending buffer, via [`argus_slog::StableLog::write_with`]).
+pub fn encode_entry_into(enc: &mut Encoder, entry: &EntryRef<'_>) -> RsResult<()> {
+    match *entry {
+        EntryRef::Data {
             uid,
             kind,
             value,
@@ -327,38 +516,38 @@ pub fn encode_entry(entry: &LogEntry) -> RsResult<Vec<u8>> {
         } => {
             enc.put_u8(TAG_DATA);
             enc.put_u64(uid.0);
-            put_kind(&mut enc, *kind);
-            put_aid(&mut enc, *aid);
-            encode_value(&mut enc, value)?;
+            put_kind(enc, kind);
+            put_aid(enc, aid);
+            encode_value(enc, value)?;
         }
-        LogEntry::DataH { kind, value } => {
+        EntryRef::DataH { kind, value } => {
             enc.put_u8(TAG_DATA_H);
-            put_kind(&mut enc, *kind);
-            encode_value(&mut enc, value)?;
+            put_kind(enc, kind);
+            encode_value(enc, value)?;
         }
-        LogEntry::Prepared { aid, pairs, prev } => {
+        EntryRef::Prepared { aid, pairs, prev } => {
             enc.put_u8(TAG_PREPARED);
-            put_aid(&mut enc, *aid);
-            put_prev(&mut enc, *prev);
-            put_pairs(&mut enc, pairs);
+            put_aid(enc, aid);
+            put_prev(enc, prev);
+            put_pairs(enc, pairs);
         }
-        LogEntry::Committed { aid, prev } => {
+        EntryRef::Committed { aid, prev } => {
             enc.put_u8(TAG_COMMITTED);
-            put_aid(&mut enc, *aid);
-            put_prev(&mut enc, *prev);
+            put_aid(enc, aid);
+            put_prev(enc, prev);
         }
-        LogEntry::Aborted { aid, prev } => {
+        EntryRef::Aborted { aid, prev } => {
             enc.put_u8(TAG_ABORTED);
-            put_aid(&mut enc, *aid);
-            put_prev(&mut enc, *prev);
+            put_aid(enc, aid);
+            put_prev(enc, prev);
         }
-        LogEntry::BaseCommitted { uid, value, prev } => {
+        EntryRef::BaseCommitted { uid, value, prev } => {
             enc.put_u8(TAG_BASE_COMMITTED);
             enc.put_u64(uid.0);
-            put_prev(&mut enc, *prev);
-            encode_value(&mut enc, value)?;
+            put_prev(enc, prev);
+            encode_value(enc, value)?;
         }
-        LogEntry::PreparedData {
+        EntryRef::PreparedData {
             uid,
             value,
             aid,
@@ -366,30 +555,37 @@ pub fn encode_entry(entry: &LogEntry) -> RsResult<Vec<u8>> {
         } => {
             enc.put_u8(TAG_PREPARED_DATA);
             enc.put_u64(uid.0);
-            put_aid(&mut enc, *aid);
-            put_prev(&mut enc, *prev);
-            encode_value(&mut enc, value)?;
+            put_aid(enc, aid);
+            put_prev(enc, prev);
+            encode_value(enc, value)?;
         }
-        LogEntry::Committing { aid, gids, prev } => {
+        EntryRef::Committing { aid, gids, prev } => {
             enc.put_u8(TAG_COMMITTING);
-            put_aid(&mut enc, *aid);
-            put_prev(&mut enc, *prev);
+            put_aid(enc, aid);
+            put_prev(enc, prev);
             enc.put_u32(gids.len() as u32);
             for g in gids {
                 enc.put_u32(g.0);
             }
         }
-        LogEntry::Done { aid, prev } => {
+        EntryRef::Done { aid, prev } => {
             enc.put_u8(TAG_DONE);
-            put_aid(&mut enc, *aid);
-            put_prev(&mut enc, *prev);
+            put_aid(enc, aid);
+            put_prev(enc, prev);
         }
-        LogEntry::CommittedSs { cssl, prev } => {
+        EntryRef::CommittedSs { cssl, prev } => {
             enc.put_u8(TAG_COMMITTED_SS);
-            put_prev(&mut enc, *prev);
-            put_pairs(&mut enc, cssl);
+            put_prev(enc, prev);
+            put_pairs(enc, cssl);
         }
     }
+    Ok(())
+}
+
+/// Encodes a log entry to bytes.
+pub fn encode_entry(entry: &LogEntry) -> RsResult<Vec<u8>> {
+    let mut enc = Encoder::with_capacity(64);
+    encode_entry_into(&mut enc, &entry.as_entry_ref())?;
     Ok(enc.finish())
 }
 
@@ -485,6 +681,400 @@ pub fn decode_entry(payload: &[u8]) -> RsResult<LogEntry> {
     Ok(entry)
 }
 
+// ---- zero-copy decode views ----------------------------------------------
+
+/// A structurally validated but not-yet-materialized flattened value: the
+/// byte span of the value inside a record payload. [`decode_entry_view`]
+/// bounds-checks the structure; [`RawValue::decode`] allocates the [`Value`]
+/// only when recovery actually needs the version — superseded versions and
+/// entries of wiped-out actions are never materialized.
+#[derive(Debug, Clone, Copy)]
+pub struct RawValue<'a>(&'a [u8]);
+
+impl RawValue<'_> {
+    /// Materializes the value.
+    pub fn decode(&self) -> RsResult<Value> {
+        let mut dec = Decoder::new(self.0);
+        let value = decode_value(&mut dec)?;
+        debug_assert!(dec.is_empty(), "value span was validated to be exact");
+        Ok(value)
+    }
+}
+
+/// A flattened value that is either already owned or still sitting in a
+/// record payload. Threaded through the restore rules so a version is
+/// decoded exactly when it is copied into volatile memory, never when the
+/// rules discard it.
+#[derive(Debug)]
+pub enum LazyValue<'a> {
+    /// Already materialized (in-memory paths, tests).
+    Owned(Value),
+    /// Still encoded in a record payload.
+    Raw(RawValue<'a>),
+}
+
+impl LazyValue<'_> {
+    /// Consumes the lazy value, materializing it if necessary.
+    pub fn take(self) -> RsResult<Value> {
+        match self {
+            LazyValue::Owned(v) => Ok(v),
+            LazyValue::Raw(raw) => raw.decode(),
+        }
+    }
+}
+
+impl From<Value> for LazyValue<'static> {
+    fn from(v: Value) -> Self {
+        LazyValue::Owned(v)
+    }
+}
+
+impl<'a> From<RawValue<'a>> for LazyValue<'a> {
+    fn from(raw: RawValue<'a>) -> Self {
+        LazyValue::Raw(raw)
+    }
+}
+
+/// A borrowed `(uid, log address)` pair list, iterated straight off the
+/// record payload (16 bytes per pair, no `Vec`).
+#[derive(Debug, Clone, Copy)]
+pub struct PairsView<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> PairsView<'a> {
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.buf.len() / 16
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Iterates the pairs in log order.
+    pub fn iter(&self) -> impl Iterator<Item = (Uid, LogAddress)> + 'a {
+        self.buf.chunks_exact(16).map(|c| {
+            (
+                Uid(u64::from_le_bytes(c[..8].try_into().unwrap())),
+                LogAddress(u64::from_le_bytes(c[8..].try_into().unwrap())),
+            )
+        })
+    }
+
+    /// Collects the pairs into an owned list.
+    pub fn to_vec(&self) -> Vec<(Uid, LogAddress)> {
+        self.iter().collect()
+    }
+}
+
+/// A borrowed guardian-id list (4 bytes per id, no `Vec`).
+#[derive(Debug, Clone, Copy)]
+pub struct GidsView<'a> {
+    buf: &'a [u8],
+}
+
+impl GidsView<'_> {
+    /// Number of guardian ids.
+    pub fn len(&self) -> usize {
+        self.buf.len() / 4
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Collects the ids into an owned list.
+    pub fn to_vec(&self) -> Vec<GuardianId> {
+        self.buf
+            .chunks_exact(4)
+            .map(|c| GuardianId(u32::from_le_bytes(c.try_into().unwrap())))
+            .collect()
+    }
+}
+
+/// A zero-copy decoded view of a log entry: fixed fields are materialized,
+/// values stay as validated [`RawValue`] spans, and pair / guardian lists
+/// stay as slice-backed views. Recovery walks decode with this and touch the
+/// heap allocator only for versions they actually restore.
+#[derive(Debug, Clone, Copy)]
+pub enum EntryView<'a> {
+    /// Simple-log data entry.
+    Data {
+        /// The recoverable object's uid.
+        uid: Uid,
+        /// Atomic or mutex.
+        kind: ObjKind,
+        /// The preparing action that wrote the entry.
+        aid: ActionId,
+        /// The flattened object version, not yet materialized.
+        value: RawValue<'a>,
+    },
+    /// Hybrid-log data entry.
+    DataH {
+        /// Atomic or mutex.
+        kind: ObjKind,
+        /// The flattened object version, not yet materialized.
+        value: RawValue<'a>,
+    },
+    /// Participant outcome: prepared.
+    Prepared {
+        /// The prepared action.
+        aid: ActionId,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+        /// The action's map fragment.
+        pairs: PairsView<'a>,
+    },
+    /// Participant outcome: committed.
+    Committed {
+        /// The committed action.
+        aid: ActionId,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Participant outcome: aborted.
+    Aborted {
+        /// The aborted action.
+        aid: ActionId,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Newly accessible object's base version.
+    BaseCommitted {
+        /// The newly accessible object.
+        uid: Uid,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+        /// Its flattened base version, not yet materialized.
+        value: RawValue<'a>,
+    },
+    /// Newly accessible object's current version under another prepared
+    /// action's write lock.
+    PreparedData {
+        /// The newly accessible object.
+        uid: Uid,
+        /// The already-prepared action that holds the write lock.
+        aid: ActionId,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+        /// Its flattened current version, not yet materialized.
+        value: RawValue<'a>,
+    },
+    /// Coordinator outcome: committing.
+    Committing {
+        /// The committing action.
+        aid: ActionId,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+        /// The guardians participating in the action.
+        gids: GidsView<'a>,
+    },
+    /// Coordinator outcome: done.
+    Done {
+        /// The finished action.
+        aid: ActionId,
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+    },
+    /// Housekeeping checkpoint.
+    CommittedSs {
+        /// Backward chain pointer.
+        prev: Option<LogAddress>,
+        /// The committed stable state list.
+        cssl: PairsView<'a>,
+    },
+}
+
+impl EntryView<'_> {
+    /// Whether this entry participates in the backward chain of outcome
+    /// entries, mirroring [`LogEntry::is_outcome`].
+    pub fn is_outcome(&self) -> bool {
+        !matches!(self, EntryView::Data { .. } | EntryView::DataH { .. })
+    }
+
+    /// The chain pointer, if this is an outcome entry.
+    pub fn prev(&self) -> Option<LogAddress> {
+        match self {
+            EntryView::Prepared { prev, .. }
+            | EntryView::Committed { prev, .. }
+            | EntryView::Aborted { prev, .. }
+            | EntryView::BaseCommitted { prev, .. }
+            | EntryView::PreparedData { prev, .. }
+            | EntryView::Committing { prev, .. }
+            | EntryView::Done { prev, .. }
+            | EntryView::CommittedSs { prev, .. } => *prev,
+            EntryView::Data { .. } | EntryView::DataH { .. } => None,
+        }
+    }
+
+    /// A short tag for diagnostics, mirroring [`LogEntry::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            EntryView::Data { .. } | EntryView::DataH { .. } => "data",
+            EntryView::Prepared { .. } => "prepared",
+            EntryView::Committed { .. } => "committed",
+            EntryView::Aborted { .. } => "aborted",
+            EntryView::BaseCommitted { .. } => "base_committed",
+            EntryView::PreparedData { .. } => "prepared_data",
+            EntryView::Committing { .. } => "committing",
+            EntryView::Done { .. } => "done",
+            EntryView::CommittedSs { .. } => "committed_ss",
+        }
+    }
+}
+
+/// Walks a flattened value without materializing it, leaving the decoder
+/// positioned after it. Corruption surfaces exactly as it would in
+/// [`decode_value`].
+fn skip_value(dec: &mut Decoder<'_>) -> CodecResult<()> {
+    match dec.take_u8()? {
+        VTAG_UNIT => {}
+        VTAG_INT => {
+            dec.take_i64()?;
+        }
+        VTAG_BOOL => {
+            dec.take_bool()?;
+        }
+        VTAG_STR => {
+            dec.take_str()?;
+        }
+        VTAG_BYTES => {
+            dec.take_bytes()?;
+        }
+        VTAG_SEQ => {
+            let n = dec.take_u32()?;
+            for _ in 0..n {
+                skip_value(dec)?;
+            }
+        }
+        VTAG_REF => {
+            dec.take_u64()?;
+        }
+        tag => {
+            return Err(CodecError::BadTag {
+                tag,
+                context: "value",
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Validates a value's structure and captures its exact byte span.
+fn take_value_span<'a>(payload: &'a [u8], dec: &mut Decoder<'a>) -> CodecResult<RawValue<'a>> {
+    let start = payload.len() - dec.remaining();
+    skip_value(dec)?;
+    let end = payload.len() - dec.remaining();
+    Ok(RawValue(&payload[start..end]))
+}
+
+fn take_pairs_view<'a>(dec: &mut Decoder<'a>) -> CodecResult<PairsView<'a>> {
+    let n = dec.take_u32()? as usize;
+    Ok(PairsView {
+        buf: dec.take_raw(n * 16)?,
+    })
+}
+
+fn take_gids_view<'a>(dec: &mut Decoder<'a>) -> CodecResult<GidsView<'a>> {
+    let n = dec.take_u32()? as usize;
+    Ok(GidsView {
+        buf: dec.take_raw(n * 4)?,
+    })
+}
+
+/// Decodes a log entry as a zero-copy view. The whole payload is
+/// structurally validated (including the value spans and trailing-byte
+/// check), but nothing variable-length is copied or allocated.
+pub fn decode_entry_view(payload: &[u8]) -> RsResult<EntryView<'_>> {
+    let mut dec = Decoder::new(payload);
+    let view = match dec.take_u8()? {
+        TAG_DATA => {
+            let uid = Uid(dec.take_u64()?);
+            let kind = take_kind(&mut dec)?;
+            let aid = take_aid(&mut dec)?;
+            let value = take_value_span(payload, &mut dec)?;
+            EntryView::Data {
+                uid,
+                kind,
+                aid,
+                value,
+            }
+        }
+        TAG_DATA_H => {
+            let kind = take_kind(&mut dec)?;
+            let value = take_value_span(payload, &mut dec)?;
+            EntryView::DataH { kind, value }
+        }
+        TAG_PREPARED => {
+            let aid = take_aid(&mut dec)?;
+            let prev = take_prev(&mut dec)?;
+            let pairs = take_pairs_view(&mut dec)?;
+            EntryView::Prepared { aid, prev, pairs }
+        }
+        TAG_COMMITTED => {
+            let aid = take_aid(&mut dec)?;
+            let prev = take_prev(&mut dec)?;
+            EntryView::Committed { aid, prev }
+        }
+        TAG_ABORTED => {
+            let aid = take_aid(&mut dec)?;
+            let prev = take_prev(&mut dec)?;
+            EntryView::Aborted { aid, prev }
+        }
+        TAG_BASE_COMMITTED => {
+            let uid = Uid(dec.take_u64()?);
+            let prev = take_prev(&mut dec)?;
+            let value = take_value_span(payload, &mut dec)?;
+            EntryView::BaseCommitted { uid, prev, value }
+        }
+        TAG_PREPARED_DATA => {
+            let uid = Uid(dec.take_u64()?);
+            let aid = take_aid(&mut dec)?;
+            let prev = take_prev(&mut dec)?;
+            let value = take_value_span(payload, &mut dec)?;
+            EntryView::PreparedData {
+                uid,
+                aid,
+                prev,
+                value,
+            }
+        }
+        TAG_COMMITTING => {
+            let aid = take_aid(&mut dec)?;
+            let prev = take_prev(&mut dec)?;
+            let gids = take_gids_view(&mut dec)?;
+            EntryView::Committing { aid, prev, gids }
+        }
+        TAG_DONE => {
+            let aid = take_aid(&mut dec)?;
+            let prev = take_prev(&mut dec)?;
+            EntryView::Done { aid, prev }
+        }
+        TAG_COMMITTED_SS => {
+            let prev = take_prev(&mut dec)?;
+            let cssl = take_pairs_view(&mut dec)?;
+            EntryView::CommittedSs { prev, cssl }
+        }
+        tag => {
+            return Err(CodecError::BadTag {
+                tag,
+                context: "log entry",
+            }
+            .into())
+        }
+    };
+    if !dec.is_empty() {
+        return Err(RsError::Codec(CodecError::BadTag {
+            tag: 0xFF,
+            context: "trailing bytes after log entry",
+        }));
+    }
+    Ok(view)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -555,6 +1145,190 @@ mod tests {
             cssl: vec![(Uid(3), LogAddress(512))],
             prev: Some(LogAddress(812)),
         });
+    }
+
+    /// Materializes a view back into an owned entry, exercising every lazy
+    /// field, so the view decoder can be checked against the owned one.
+    fn materialize(view: EntryView<'_>) -> LogEntry {
+        match view {
+            EntryView::Data {
+                uid,
+                kind,
+                aid,
+                value,
+            } => LogEntry::Data {
+                uid,
+                kind,
+                value: value.decode().unwrap(),
+                aid,
+            },
+            EntryView::DataH { kind, value } => LogEntry::DataH {
+                kind,
+                value: value.decode().unwrap(),
+            },
+            EntryView::Prepared { aid, prev, pairs } => LogEntry::Prepared {
+                aid,
+                pairs: pairs.to_vec(),
+                prev,
+            },
+            EntryView::Committed { aid, prev } => LogEntry::Committed { aid, prev },
+            EntryView::Aborted { aid, prev } => LogEntry::Aborted { aid, prev },
+            EntryView::BaseCommitted { uid, prev, value } => LogEntry::BaseCommitted {
+                uid,
+                value: value.decode().unwrap(),
+                prev,
+            },
+            EntryView::PreparedData {
+                uid,
+                aid,
+                prev,
+                value,
+            } => LogEntry::PreparedData {
+                uid,
+                value: value.decode().unwrap(),
+                aid,
+                prev,
+            },
+            EntryView::Committing { aid, prev, gids } => LogEntry::Committing {
+                aid,
+                gids: gids.to_vec(),
+                prev,
+            },
+            EntryView::Done { aid, prev } => LogEntry::Done { aid, prev },
+            EntryView::CommittedSs { prev, cssl } => LogEntry::CommittedSs {
+                cssl: cssl.to_vec(),
+                prev,
+            },
+        }
+    }
+
+    #[test]
+    fn views_roundtrip_all_variants() {
+        let value = Value::Seq(vec![
+            Value::Int(-3),
+            Value::Str("s".into()),
+            Value::Bytes(vec![0, 255]),
+            Value::Bool(false),
+            Value::Unit,
+            Value::uid_ref(Uid(11)),
+        ]);
+        let entries = vec![
+            LogEntry::Data {
+                uid: Uid(5),
+                kind: ObjKind::Mutex,
+                value: value.clone(),
+                aid: aid(1),
+            },
+            LogEntry::DataH {
+                kind: ObjKind::Atomic,
+                value,
+            },
+            LogEntry::Prepared {
+                aid: aid(2),
+                pairs: vec![(Uid(1), LogAddress(512)), (Uid(2), LogAddress(600))],
+                prev: Some(LogAddress(700)),
+            },
+            LogEntry::Committed {
+                aid: aid(3),
+                prev: None,
+            },
+            LogEntry::Aborted {
+                aid: aid(4),
+                prev: Some(LogAddress(512)),
+            },
+            LogEntry::BaseCommitted {
+                uid: Uid(9),
+                value: Value::Int(1),
+                prev: None,
+            },
+            LogEntry::PreparedData {
+                uid: Uid(10),
+                value: Value::Int(2),
+                aid: aid(5),
+                prev: Some(LogAddress(99)),
+            },
+            LogEntry::Committing {
+                aid: aid(6),
+                gids: vec![GuardianId(1), GuardianId(2)],
+                prev: None,
+            },
+            LogEntry::Done {
+                aid: aid(7),
+                prev: Some(LogAddress(1)),
+            },
+            LogEntry::CommittedSs {
+                cssl: vec![(Uid(3), LogAddress(512))],
+                prev: Some(LogAddress(812)),
+            },
+        ];
+        for entry in entries {
+            let bytes = encode_entry(&entry).unwrap();
+            let view = decode_entry_view(&bytes).unwrap();
+            assert_eq!(view.is_outcome(), entry.is_outcome());
+            assert_eq!(view.prev(), entry.prev());
+            assert_eq!(view.name(), entry.name());
+            assert_eq!(materialize(view), entry);
+        }
+    }
+
+    #[test]
+    fn view_rejects_trailing_garbage_and_junk_tags() {
+        let mut bytes = encode_entry(&LogEntry::Done {
+            aid: aid(1),
+            prev: None,
+        })
+        .unwrap();
+        bytes.push(0);
+        assert!(decode_entry_view(&bytes).is_err());
+        assert!(decode_entry_view(&[99]).is_err());
+        assert!(decode_entry_view(&[]).is_err());
+    }
+
+    #[test]
+    fn view_validates_value_structure_without_decoding() {
+        let bytes = encode_entry(&LogEntry::DataH {
+            kind: ObjKind::Atomic,
+            value: Value::Str("hello".into()),
+        })
+        .unwrap();
+        // Truncate inside the value: the view decode itself must fail.
+        assert!(decode_entry_view(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn lazy_value_decodes_on_take() {
+        let owned: LazyValue<'_> = Value::Int(7).into();
+        assert_eq!(owned.take().unwrap(), Value::Int(7));
+        let bytes = encode_entry(&LogEntry::DataH {
+            kind: ObjKind::Atomic,
+            value: Value::Seq(vec![Value::Int(1), Value::Bool(true)]),
+        })
+        .unwrap();
+        match decode_entry_view(&bytes).unwrap() {
+            EntryView::DataH { value, .. } => {
+                let lazy: LazyValue<'_> = value.into();
+                assert_eq!(
+                    lazy.take().unwrap(),
+                    Value::Seq(vec![Value::Int(1), Value::Bool(true)])
+                );
+            }
+            other => panic!("expected DataH, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn encode_entry_into_matches_encode_entry() {
+        let entry = LogEntry::Prepared {
+            aid: aid(2),
+            pairs: vec![(Uid(1), LogAddress(512))],
+            prev: Some(LogAddress(700)),
+        };
+        let mut enc = Encoder::new();
+        enc.put_u8(0xAB); // pre-existing bytes stay untouched
+        encode_entry_into(&mut enc, &entry.as_entry_ref()).unwrap();
+        let buf = enc.finish();
+        assert_eq!(buf[0], 0xAB);
+        assert_eq!(&buf[1..], encode_entry(&entry).unwrap().as_slice());
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! entries than the simple log (experiments E2/E3).
 
 use crate::api::{HousekeepingMode, LogStats, RecoverySystem, StoreProvider};
-use crate::entry::{decode_entry, encode_entry, LogEntry};
+use crate::entry::{
+    decode_entry, decode_entry_view, encode_entry, encode_entry_into, EntryRef, EntryView, LogEntry,
+};
 use crate::housekeeping::HkState;
 use crate::metrics::CoreObs;
 use crate::restore::RecoverCtx;
@@ -41,10 +43,10 @@ struct HybridSink<'a, S: argus_stable::PageStore> {
 }
 
 impl<S: argus_stable::PageStore> HybridSink<'_, S> {
-    fn chain(&mut self, mut entry: LogEntry) -> RsResult<LogAddress> {
+    fn chain(&mut self, mut entry: EntryRef<'_>) -> RsResult<LogAddress> {
         let prev = self.last_outcome.map(|a| a.0);
         entry.set_prev(*self.last_outcome);
-        let addr = self.log.write(&encode_entry(&entry)?);
+        let addr = self.log.write_with(|enc| encode_entry_into(enc, &entry))?;
         self.obs.outcome(entry.name(), prev);
         *self.last_outcome = Some(addr);
         if let Some(oel) = self.oel {
@@ -56,26 +58,37 @@ impl<S: argus_stable::PageStore> HybridSink<'_, S> {
 
 impl<S: argus_stable::PageStore> EntrySink for HybridSink<'_, S> {
     fn data(&mut self, uid: Uid, kind: ObjKind, value: Value, _aid: ActionId) -> RsResult<()> {
-        let bytes = encode_entry(&LogEntry::DataH { kind, value })?;
-        let addr = self.log.write(&bytes);
-        self.obs.data_entry(bytes.len() as u64);
+        let mut len = 0;
+        let addr = self.log.write_with(|enc| {
+            let start = enc.len();
+            encode_entry_into(
+                enc,
+                &EntryRef::DataH {
+                    kind,
+                    value: &value,
+                },
+            )?;
+            len = (enc.len() - start) as u64;
+            Ok::<_, RsError>(())
+        })?;
+        self.obs.data_entry(len);
         self.pairs.push(PendingPair { uid, addr, kind });
         Ok(())
     }
 
     fn base_committed(&mut self, uid: Uid, value: Value) -> RsResult<()> {
-        self.chain(LogEntry::BaseCommitted {
+        self.chain(EntryRef::BaseCommitted {
             uid,
-            value,
+            value: &value,
             prev: None,
         })?;
         Ok(())
     }
 
     fn prepared_data(&mut self, uid: Uid, value: Value, aid: ActionId) -> RsResult<()> {
-        self.chain(LogEntry::PreparedData {
+        self.chain(EntryRef::PreparedData {
             uid,
-            value,
+            value: &value,
             aid,
             prev: None,
         })?;
@@ -229,12 +242,12 @@ impl<P: StoreProvider> HybridLogRs<P> {
     /// Appends a chained outcome entry, updating the chain head and the OEL.
     pub(crate) fn append_outcome(
         &mut self,
-        mut entry: LogEntry,
+        mut entry: EntryRef<'_>,
         force: bool,
     ) -> RsResult<LogAddress> {
         let prev = self.last_outcome.map(|a| a.0);
         entry.set_prev(self.last_outcome);
-        let addr = self.log.write(&encode_entry(&entry)?);
+        let addr = self.log.write_with(|enc| encode_entry_into(enc, &entry))?;
         // Chain invariant I2: prev pointers strictly decrease, so the
         // recovery walk always terminates.
         debug_assert!(
@@ -307,19 +320,19 @@ impl<P: StoreProvider> HybridLogRs<P> {
                         // ordering fix, see DESIGN.md).
                         if entry.state == ObjState::Prepared || ctx.stale_committed_base(uid, aid) {
                             let (kind, value) = self.read_data_counted(ctx, daddr)?;
-                            ctx.restore_committed_by(aid, uid, kind, value, Some(daddr))?;
+                            ctx.restore_committed_by(aid, uid, kind, value.into(), Some(daddr))?;
                         }
                     }
                     ObjKind::Mutex => {
                         if entry.mutex_addr.is_some_and(|old| daddr > old) {
                             let (kind, value) = self.read_data_counted(ctx, daddr)?;
-                            ctx.restore_committed(uid, kind, value, Some(daddr))?;
+                            ctx.restore_committed(uid, kind, value.into(), Some(daddr))?;
                         }
                     }
                 },
                 None => {
                     let (kind, value) = self.read_data_counted(ctx, daddr)?;
-                    ctx.restore_committed(uid, kind, value, Some(daddr))?;
+                    ctx.restore_committed(uid, kind, value.into(), Some(daddr))?;
                 }
             },
             PState::Prepared => match resident {
@@ -333,19 +346,19 @@ impl<P: StoreProvider> HybridLogRs<P> {
                         };
                         if needs_current {
                             let (kind, value) = self.read_data_counted(ctx, daddr)?;
-                            ctx.restore_prepared(uid, kind, value, aid, Some(daddr))?;
+                            ctx.restore_prepared(uid, kind, value.into(), aid, Some(daddr))?;
                         }
                     }
                     ObjKind::Mutex => {
                         if entry.mutex_addr.is_some_and(|old| daddr > old) {
                             let (kind, value) = self.read_data_counted(ctx, daddr)?;
-                            ctx.restore_prepared(uid, kind, value, aid, Some(daddr))?;
+                            ctx.restore_prepared(uid, kind, value.into(), aid, Some(daddr))?;
                         }
                     }
                 },
                 None => {
                     let (kind, value) = self.read_data_counted(ctx, daddr)?;
-                    ctx.restore_prepared(uid, kind, value, aid, Some(daddr))?;
+                    ctx.restore_prepared(uid, kind, value.into(), aid, Some(daddr))?;
                 }
             },
             PState::Aborted => match resident {
@@ -354,7 +367,7 @@ impl<P: StoreProvider> HybridLogRs<P> {
                         && entry.mutex_addr.is_some_and(|old| daddr > old)
                     {
                         let (kind, value) = self.read_data_counted(ctx, daddr)?;
-                        ctx.restore_committed(uid, kind, value, Some(daddr))?;
+                        ctx.restore_committed(uid, kind, value.into(), Some(daddr))?;
                     }
                 }
                 None => {
@@ -362,7 +375,7 @@ impl<P: StoreProvider> HybridLogRs<P> {
                     // an aborted-but-prepared action must still be restored.
                     let (kind, value) = self.read_data_counted(ctx, daddr)?;
                     if kind == ObjKind::Mutex {
-                        ctx.restore_committed(uid, kind, value, Some(daddr))?;
+                        ctx.restore_committed(uid, kind, value.into(), Some(daddr))?;
                     }
                 }
             },
@@ -389,10 +402,11 @@ impl<P: StoreProvider> HybridLogRs<P> {
     /// which case the scan steps back over data entries.
     fn find_chain_head(&mut self, ctx: &mut RecoverCtx<'_>) -> RsResult<Option<LogAddress>> {
         let mut cursor = self.log.get_top();
+        let mut scratch = Vec::new();
         while let Some(addr) = cursor {
-            let (_seq, payload) = self.log.read(addr)?;
+            self.log.read_into(addr, &mut scratch)?;
             ctx.entries_examined += 1;
-            if decode_entry(&payload)?.is_outcome() {
+            if decode_entry_view(&scratch)?.is_outcome() {
                 return Ok(Some(addr));
             }
             // Step over the data entry.
@@ -477,9 +491,9 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
         Self::merge_pairs(&mut all, fresh);
         let pairs: Vec<(Uid, LogAddress)> = all.iter().map(|p| (p.uid, p.addr)).collect();
         self.append_outcome(
-            LogEntry::Prepared {
+            EntryRef::Prepared {
                 aid,
-                pairs,
+                pairs: &pairs,
                 prev: None,
             },
             false,
@@ -497,7 +511,7 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
     }
 
     fn stage_commit(&mut self, aid: ActionId) -> RsResult<bool> {
-        self.append_outcome(LogEntry::Committed { aid, prev: None }, false)?;
+        self.append_outcome(EntryRef::Committed { aid, prev: None }, false)?;
         self.pat.remove(&aid);
         self.pending.remove(&aid);
         self.obs.commits.inc();
@@ -505,7 +519,7 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
     }
 
     fn stage_abort(&mut self, aid: ActionId) -> RsResult<bool> {
-        self.append_outcome(LogEntry::Aborted { aid, prev: None }, false)?;
+        self.append_outcome(EntryRef::Aborted { aid, prev: None }, false)?;
         self.pat.remove(&aid);
         self.pending.remove(&aid);
         self.obs.aborts.inc();
@@ -514,9 +528,9 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
 
     fn stage_committing(&mut self, aid: ActionId, gids: &[GuardianId]) -> RsResult<bool> {
         self.append_outcome(
-            LogEntry::Committing {
+            EntryRef::Committing {
                 aid,
-                gids: gids.to_vec(),
+                gids,
                 prev: None,
             },
             false,
@@ -527,7 +541,7 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
     }
 
     fn stage_done(&mut self, aid: ActionId) -> RsResult<bool> {
-        self.append_outcome(LogEntry::Done { aid, prev: None }, false)?;
+        self.append_outcome(EntryRef::Done { aid, prev: None }, false)?;
         self.cat.remove(&aid);
         self.obs.dones.inc();
         Ok(true)
@@ -544,14 +558,15 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
         let head = self.find_chain_head(&mut ctx)?;
 
         let mut cursor = head;
+        let mut scratch = Vec::new();
         while let Some(addr) = cursor {
-            let (_seq, payload) = self.log.read(addr)?;
+            self.log.read_into(addr, &mut scratch)?;
             ctx.entries_examined += 1;
             ctx.chain_hops += 1;
             self.obs
                 .reg
                 .event(argus_obs::Event::ChainHop { addr: addr.0 });
-            let entry = decode_entry(&payload)?;
+            let entry = decode_entry_view(&scratch)?;
             cursor = entry.prev();
             // A corrupt prev pointer that does not strictly decrease would
             // loop the walk forever (invariant I2); fail recovery instead.
@@ -563,37 +578,39 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
                 }
             }
             match entry {
-                LogEntry::Prepared { aid, pairs, .. } => {
+                EntryView::Prepared { aid, pairs, .. } => {
                     let st = ctx.on_prepared(aid);
-                    for (uid, daddr) in pairs {
+                    for (uid, daddr) in pairs.iter() {
                         self.process_pair(&mut ctx, st, aid, uid, daddr)?;
                     }
                 }
-                LogEntry::Committed { aid, .. } => ctx.on_committed(aid),
-                LogEntry::Aborted { aid, .. } => ctx.on_aborted(aid),
-                LogEntry::Committing { aid, gids, .. } => ctx.on_committing(aid, gids),
-                LogEntry::Done { aid, .. } => ctx.on_done(aid),
-                LogEntry::BaseCommitted { uid, value, .. } => ctx.on_base_committed(uid, value)?,
-                LogEntry::PreparedData {
+                EntryView::Committed { aid, .. } => ctx.on_committed(aid),
+                EntryView::Aborted { aid, .. } => ctx.on_aborted(aid),
+                EntryView::Committing { aid, gids, .. } => ctx.on_committing(aid, gids.to_vec()),
+                EntryView::Done { aid, .. } => ctx.on_done(aid),
+                EntryView::BaseCommitted { uid, value, .. } => {
+                    ctx.on_base_committed(uid, value.into())?
+                }
+                EntryView::PreparedData {
                     uid, value, aid, ..
-                } => ctx.on_prepared_data(uid, value, aid)?,
-                LogEntry::CommittedSs { cssl, .. } => {
-                    for (uid, daddr) in cssl {
+                } => ctx.on_prepared_data(uid, value.into(), aid)?,
+                EntryView::CommittedSs { cssl, .. } => {
+                    for (uid, daddr) in cssl.iter() {
                         match ctx.ot.get(uid).copied() {
                             Some(entry) => {
                                 if entry.state == ObjState::Prepared {
                                     let (kind, value) = self.read_data_counted(&mut ctx, daddr)?;
-                                    ctx.restore_committed(uid, kind, value, Some(daddr))?;
+                                    ctx.restore_committed(uid, kind, value.into(), Some(daddr))?;
                                 }
                             }
                             None => {
                                 let (kind, value) = self.read_data_counted(&mut ctx, daddr)?;
-                                ctx.restore_committed(uid, kind, value, Some(daddr))?;
+                                ctx.restore_committed(uid, kind, value.into(), Some(daddr))?;
                             }
                         }
                     }
                 }
-                LogEntry::Data { .. } | LogEntry::DataH { .. } => {
+                EntryView::Data { .. } | EntryView::DataH { .. } => {
                     return Err(RsError::BadState("data entry on the outcome chain".into()))
                 }
             }

@@ -37,7 +37,10 @@ mod tables;
 mod writer;
 
 pub use api::{providers, HousekeepingMode, LogStats, RecoverySystem, StoreProvider};
-pub use entry::{decode_entry, decode_value, encode_entry, encode_value, LogEntry};
+pub use entry::{
+    decode_entry, decode_entry_view, decode_value, encode_entry, encode_entry_into, encode_value,
+    EntryRef, EntryView, GidsView, LazyValue, LogEntry, PairsView, RawValue,
+};
 pub use error::{RsError, RsResult};
 pub use hybrid::HybridLogRs;
 pub use simple::SimpleLogRs;

@@ -5,6 +5,7 @@
 //! feeds it outcome entries and lazily-read data entries. The restore rules
 //! and the OT/PT/CT bookkeeping are identical between the two.
 
+use crate::entry::LazyValue;
 use crate::tables::{
     CState, CoordinatorTable, ObjState, ObjectTable, OtEntry, PState, ParticipantTable,
 };
@@ -91,7 +92,7 @@ impl<'h> RecoverCtx<'h> {
         &mut self,
         uid: Uid,
         kind: ObjKind,
-        value: Value,
+        value: LazyValue<'_>,
         addr: Option<LogAddress>,
     ) -> RsResult<bool> {
         if let Some(entry) = self.ot.get(uid).copied() {
@@ -101,6 +102,7 @@ impl<'h> RecoverCtx<'h> {
                         // The object's current (prepared) version is already
                         // in place; this is "the latest committed version"
                         // that becomes its base (scenario 1, step 7).
+                        let value = value.take()?;
                         let slot = self.heap.get_mut(entry.heap)?;
                         match &mut slot.body {
                             ObjectBody::Atomic(obj) => obj.base = value,
@@ -120,6 +122,7 @@ impl<'h> RecoverCtx<'h> {
                 ObjKind::Mutex => self.maybe_replace_mutex(uid, entry, value, addr),
             }
         } else {
+            let value = value.take()?;
             let body = match kind {
                 ObjKind::Atomic => ObjectBody::Atomic(AtomicObject::new(value)),
                 ObjKind::Mutex => ObjectBody::Mutex(MutexObject::new(value)),
@@ -167,11 +170,12 @@ impl<'h> RecoverCtx<'h> {
         aid: ActionId,
         uid: Uid,
         kind: ObjKind,
-        value: Value,
+        value: LazyValue<'_>,
         addr: Option<LogAddress>,
     ) -> RsResult<bool> {
         if kind == ObjKind::Atomic && self.stale_committed_base(uid, aid) {
             let entry = self.ot.get(uid).copied().expect("stale base is resident");
+            let value = value.take()?;
             let slot = self.heap.get_mut(entry.heap)?;
             match &mut slot.body {
                 ObjectBody::Atomic(obj) => obj.base = value,
@@ -196,7 +200,7 @@ impl<'h> RecoverCtx<'h> {
         &mut self,
         uid: Uid,
         kind: ObjKind,
-        value: Value,
+        value: LazyValue<'_>,
         aid: ActionId,
         addr: Option<LogAddress>,
     ) -> RsResult<bool> {
@@ -209,6 +213,14 @@ impl<'h> RecoverCtx<'h> {
                     // head and restores the base *first*; attach the
                     // prepared current version to it. See DESIGN.md
                     // ("compaction ordering fix").
+                    let needs_current = matches!(
+                        &self.heap.get(entry.heap)?.body,
+                        ObjectBody::Atomic(obj) if obj.writer.is_none()
+                    );
+                    if !needs_current {
+                        return Ok(false);
+                    }
+                    let value = value.take()?;
                     let slot = self.heap.get_mut(entry.heap)?;
                     match &mut slot.body {
                         ObjectBody::Atomic(obj) if obj.writer.is_none() => {
@@ -228,7 +240,7 @@ impl<'h> RecoverCtx<'h> {
                     // it (object state: prepared).
                     let obj = AtomicObject {
                         base: Value::Unit,
-                        current: Some(value),
+                        current: Some(value.take()?),
                         writer: Some(aid),
                         readers: Default::default(),
                     };
@@ -245,7 +257,7 @@ impl<'h> RecoverCtx<'h> {
                 ObjKind::Mutex => {
                     let heap_id = self
                         .heap
-                        .insert_with_uid(uid, ObjectBody::Mutex(MutexObject::new(value)))?;
+                        .insert_with_uid(uid, ObjectBody::Mutex(MutexObject::new(value.take()?)))?;
                     self.ot.insert(
                         uid,
                         OtEntry {
@@ -266,7 +278,7 @@ impl<'h> RecoverCtx<'h> {
         &mut self,
         uid: Uid,
         entry: OtEntry,
-        value: Value,
+        value: LazyValue<'_>,
         addr: Option<LogAddress>,
     ) -> RsResult<bool> {
         let newer = match (addr, entry.mutex_addr) {
@@ -278,6 +290,7 @@ impl<'h> RecoverCtx<'h> {
         if !newer {
             return Ok(false);
         }
+        let value = value.take()?;
         let slot = self.heap.get_mut(entry.heap)?;
         match &mut slot.body {
             ObjectBody::Mutex(obj) => obj.value = value,
@@ -296,7 +309,7 @@ impl<'h> RecoverCtx<'h> {
         addr: LogAddress,
         uid: Uid,
         kind: ObjKind,
-        value: Value,
+        value: LazyValue<'_>,
         aid: ActionId,
     ) -> RsResult<()> {
         match self.pt.get(aid) {
@@ -323,13 +336,18 @@ impl<'h> RecoverCtx<'h> {
     }
 
     /// Applies a `base_committed` outcome entry (§3.4.4 2.d).
-    pub fn on_base_committed(&mut self, uid: Uid, value: Value) -> RsResult<()> {
+    pub fn on_base_committed(&mut self, uid: Uid, value: LazyValue<'_>) -> RsResult<()> {
         self.restore_committed(uid, ObjKind::Atomic, value, None)?;
         Ok(())
     }
 
     /// Applies a `prepared_data` outcome entry (§3.4.4 2.e).
-    pub fn on_prepared_data(&mut self, uid: Uid, value: Value, aid: ActionId) -> RsResult<()> {
+    pub fn on_prepared_data(
+        &mut self,
+        uid: Uid,
+        value: LazyValue<'_>,
+        aid: ActionId,
+    ) -> RsResult<()> {
         match self.pt.get(aid) {
             Some(PState::Aborted) => {}
             Some(PState::Committed) => {
@@ -368,7 +386,7 @@ mod tests {
             .restore_committed(
                 Uid(1),
                 ObjKind::Atomic,
-                Value::Int(2),
+                Value::Int(2).into(),
                 Some(LogAddress(900))
             )
             .unwrap());
@@ -377,7 +395,7 @@ mod tests {
             .restore_committed(
                 Uid(1),
                 ObjKind::Atomic,
-                Value::Int(1),
+                Value::Int(1).into(),
                 Some(LogAddress(600))
             )
             .unwrap());
@@ -390,11 +408,11 @@ mod tests {
         let mut heap = Heap::new();
         let mut ctx = RecoverCtx::new(&mut heap);
         ctx.on_prepared(aid(2));
-        ctx.restore_prepared(Uid(1), ObjKind::Atomic, Value::Int(9), aid(2), None)
+        ctx.restore_prepared(Uid(1), ObjKind::Atomic, Value::Int(9).into(), aid(2), None)
             .unwrap();
         assert_eq!(ctx.ot.get(Uid(1)).unwrap().state, ObjState::Prepared);
         // Earlier committed version becomes the base.
-        ctx.restore_committed(Uid(1), ObjKind::Atomic, Value::Int(5), None)
+        ctx.restore_committed(Uid(1), ObjKind::Atomic, Value::Int(5).into(), None)
             .unwrap();
         assert_eq!(ctx.ot.get(Uid(1)).unwrap().state, ObjState::Restored);
         let h = ctx.ot.get(Uid(1)).unwrap().heap;
@@ -415,15 +433,30 @@ mod tests {
         let mut ctx = RecoverCtx::new(&mut heap);
         ctx.on_committed(aid(1));
         // A mid-log version arrives first (e.g. via a hybrid pair)...
-        ctx.restore_committed(Uid(7), ObjKind::Mutex, Value::Int(1), Some(LogAddress(700)))
-            .unwrap();
+        ctx.restore_committed(
+            Uid(7),
+            ObjKind::Mutex,
+            Value::Int(1).into(),
+            Some(LogAddress(700)),
+        )
+        .unwrap();
         // ...then a later one: replaced.
         assert!(ctx
-            .restore_committed(Uid(7), ObjKind::Mutex, Value::Int(2), Some(LogAddress(800)))
+            .restore_committed(
+                Uid(7),
+                ObjKind::Mutex,
+                Value::Int(2).into(),
+                Some(LogAddress(800))
+            )
             .unwrap());
         // An earlier one: ignored.
         assert!(!ctx
-            .restore_committed(Uid(7), ObjKind::Mutex, Value::Int(0), Some(LogAddress(600)))
+            .restore_committed(
+                Uid(7),
+                ObjKind::Mutex,
+                Value::Int(0).into(),
+                Some(LogAddress(600))
+            )
             .unwrap());
         let h = ctx.ot.get(Uid(7)).unwrap().heap;
         assert_eq!(ctx.heap.read_value(h, None).unwrap(), &Value::Int(2));
@@ -437,7 +470,7 @@ mod tests {
             LogAddress(512),
             Uid(1),
             ObjKind::Atomic,
-            Value::Int(1),
+            Value::Int(1).into(),
             aid(9),
         )
         .unwrap();
@@ -445,7 +478,7 @@ mod tests {
             LogAddress(600),
             Uid(2),
             ObjKind::Mutex,
-            Value::Int(1),
+            Value::Int(1).into(),
             aid(9),
         )
         .unwrap();
@@ -462,7 +495,7 @@ mod tests {
             LogAddress(512),
             Uid(1),
             ObjKind::Atomic,
-            Value::Int(8),
+            Value::Int(8).into(),
             aid(3),
         )
         .unwrap();
@@ -470,7 +503,7 @@ mod tests {
             LogAddress(600),
             Uid(2),
             ObjKind::Mutex,
-            Value::Int(8),
+            Value::Int(8).into(),
             aid(3),
         )
         .unwrap();
@@ -482,7 +515,8 @@ mod tests {
     fn prepared_data_for_unknown_action_enters_pt() {
         let mut heap = Heap::new();
         let mut ctx = RecoverCtx::new(&mut heap);
-        ctx.on_prepared_data(Uid(4), Value::Int(1), aid(5)).unwrap();
+        ctx.on_prepared_data(Uid(4), Value::Int(1).into(), aid(5))
+            .unwrap();
         assert_eq!(ctx.pt.get(aid(5)), Some(PState::Prepared));
         assert_eq!(ctx.ot.get(Uid(4)).unwrap().state, ObjState::Prepared);
     }
@@ -502,12 +536,13 @@ mod tests {
         ctx.restore_committed(
             Uid(1),
             ObjKind::Atomic,
-            Value::Int(5),
+            Value::Int(5).into(),
             Some(LogAddress(512)),
         )
         .unwrap();
         ctx.entries_examined = 3;
-        ctx.on_prepared_data(Uid(1), Value::Int(9), aid(4)).unwrap();
+        ctx.on_prepared_data(Uid(1), Value::Int(9).into(), aid(4))
+            .unwrap();
         let h = ctx.ot.get(Uid(1)).unwrap().heap;
         assert_eq!(ctx.heap.read_value(h, None).unwrap(), &Value::Int(9));
         // Idempotent: a duplicate copy of the same version is not "newer".
@@ -523,12 +558,13 @@ mod tests {
         let mut ctx = RecoverCtx::new(&mut heap);
         ctx.entries_examined = 1;
         ctx.on_committed(aid(8));
-        ctx.restore_committed_by(aid(8), Uid(1), ObjKind::Atomic, Value::Int(7), None)
+        ctx.restore_committed_by(aid(8), Uid(1), ObjKind::Atomic, Value::Int(7).into(), None)
             .unwrap();
         ctx.entries_examined = 2;
         ctx.on_committed(aid(4));
         ctx.entries_examined = 3;
-        ctx.on_prepared_data(Uid(1), Value::Int(9), aid(4)).unwrap();
+        ctx.on_prepared_data(Uid(1), Value::Int(9).into(), aid(4))
+            .unwrap();
         let h = ctx.ot.get(Uid(1)).unwrap().heap;
         assert_eq!(ctx.heap.read_value(h, None).unwrap(), &Value::Int(7));
     }
@@ -539,11 +575,11 @@ mod tests {
         // version must still attach with its write lock.
         let mut heap = Heap::new();
         let mut ctx = RecoverCtx::new(&mut heap);
-        ctx.restore_committed(Uid(1), ObjKind::Atomic, Value::Int(5), None)
+        ctx.restore_committed(Uid(1), ObjKind::Atomic, Value::Int(5).into(), None)
             .unwrap();
         ctx.on_prepared(aid(2));
         assert!(ctx
-            .restore_prepared(Uid(1), ObjKind::Atomic, Value::Int(9), aid(2), None)
+            .restore_prepared(Uid(1), ObjKind::Atomic, Value::Int(9).into(), aid(2), None)
             .unwrap());
         let h = ctx.ot.get(Uid(1)).unwrap().heap;
         match &ctx.heap.get(h).unwrap().body {

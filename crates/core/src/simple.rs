@@ -1,7 +1,9 @@
 //! The simple-log recovery system (ch. 3).
 
 use crate::api::{HousekeepingMode, LogStats, RecoverySystem, StoreProvider};
-use crate::entry::{decode_entry, encode_entry, LogEntry};
+use crate::entry::{
+    decode_entry, decode_entry_view, encode_entry, encode_entry_into, EntryRef, EntryView, LogEntry,
+};
 use crate::metrics::CoreObs;
 use crate::restore::RecoverCtx;
 use crate::tables::{ObjState, RecoveryOutcome};
@@ -19,39 +21,51 @@ struct SimpleSink<'a, S: PageStore> {
     obs: &'a CoreObs,
 }
 
+impl<S: PageStore> SimpleSink<'_, S> {
+    /// Encodes `entry` straight into the log's pending buffer (no
+    /// per-record allocation), returning its payload length.
+    fn append(&mut self, entry: EntryRef<'_>) -> RsResult<u64> {
+        let mut len = 0;
+        self.log.write_with(|enc| {
+            let start = enc.len();
+            encode_entry_into(enc, &entry)?;
+            len = (enc.len() - start) as u64;
+            Ok::<_, RsError>(())
+        })?;
+        Ok(len)
+    }
+}
+
 impl<S: PageStore> EntrySink for SimpleSink<'_, S> {
     fn data(&mut self, uid: Uid, kind: ObjKind, value: Value, aid: ActionId) -> RsResult<()> {
-        let bytes = encode_entry(&LogEntry::Data {
+        let len = self.append(EntryRef::Data {
             uid,
             kind,
-            value,
+            value: &value,
             aid,
         })?;
-        self.log.write(&bytes);
-        self.obs.data_entry(bytes.len() as u64);
+        self.obs.data_entry(len);
         Ok(())
     }
 
     fn base_committed(&mut self, uid: Uid, value: Value) -> RsResult<()> {
-        let bytes = encode_entry(&LogEntry::BaseCommitted {
+        let len = self.append(EntryRef::BaseCommitted {
             uid,
-            value,
+            value: &value,
             prev: None,
         })?;
-        self.log.write(&bytes);
-        self.obs.entry_written("base_committed", bytes.len() as u64);
+        self.obs.entry_written("base_committed", len);
         Ok(())
     }
 
     fn prepared_data(&mut self, uid: Uid, value: Value, aid: ActionId) -> RsResult<()> {
-        let bytes = encode_entry(&LogEntry::PreparedData {
+        let len = self.append(EntryRef::PreparedData {
             uid,
-            value,
+            value: &value,
             aid,
             prev: None,
         })?;
-        self.log.write(&bytes);
-        self.obs.entry_written("prepared_data", bytes.len() as u64);
+        self.obs.entry_written("prepared_data", len);
         Ok(())
     }
 }
@@ -162,52 +176,57 @@ impl<P: StoreProvider> SimpleLogRs<P> {
         // compacted hybrid log with the simple algorithm).
         let mut deferred_cssl: Vec<(Uid, LogAddress)> = Vec::new();
 
-        // Step 2: read the log backwards, every entry.
+        // Step 2: read the log backwards, every entry. Records are decoded
+        // as zero-copy views: versions of superseded or wiped-out writes are
+        // validated but never materialized.
         for item in self.log.read_backward(None) {
             let (addr, _seq, payload) = item?;
-            let entry = decode_entry(&payload)?;
+            let entry = decode_entry_view(&payload)?;
             ctx.entries_examined += 1;
             match entry {
-                LogEntry::Prepared { aid, .. } => {
+                EntryView::Prepared { aid, .. } => {
                     ctx.on_prepared(aid);
                 }
-                LogEntry::Committed { aid, .. } => ctx.on_committed(aid),
-                LogEntry::Aborted { aid, .. } => ctx.on_aborted(aid),
-                LogEntry::Committing { aid, gids, .. } => ctx.on_committing(aid, gids),
-                LogEntry::Done { aid, .. } => ctx.on_done(aid),
-                LogEntry::BaseCommitted { uid, value, .. } => ctx.on_base_committed(uid, value)?,
-                LogEntry::PreparedData {
+                EntryView::Committed { aid, .. } => ctx.on_committed(aid),
+                EntryView::Aborted { aid, .. } => ctx.on_aborted(aid),
+                EntryView::Committing { aid, gids, .. } => ctx.on_committing(aid, gids.to_vec()),
+                EntryView::Done { aid, .. } => ctx.on_done(aid),
+                EntryView::BaseCommitted { uid, value, .. } => {
+                    ctx.on_base_committed(uid, value.into())?
+                }
+                EntryView::PreparedData {
                     uid, value, aid, ..
-                } => ctx.on_prepared_data(uid, value, aid)?,
-                LogEntry::Data {
+                } => ctx.on_prepared_data(uid, value.into(), aid)?,
+                EntryView::Data {
                     uid,
                     kind,
                     value,
                     aid,
                 } => {
                     ctx.data_entries_read += 1;
-                    ctx.on_data(addr, uid, kind, value, aid)?;
+                    ctx.on_data(addr, uid, kind, value.into(), aid)?;
                 }
                 // Hybrid-log data entries carry no uid/aid; in a pure scan
                 // they can only be interpreted through the prepared entries'
                 // pairs, which the simple algorithm does not use.
-                LogEntry::DataH { .. } => {}
-                LogEntry::CommittedSs { cssl, .. } => deferred_cssl.extend(cssl),
+                EntryView::DataH { .. } => {}
+                EntryView::CommittedSs { cssl, .. } => deferred_cssl.extend(cssl.iter()),
             }
         }
 
         // Checkpoint pairs are the oldest committed state; restoring them
         // after the scan preserves newest-first priority.
+        let mut scratch = Vec::new();
         for (uid, addr) in deferred_cssl {
             if ctx.ot.get(uid).map(|e| e.state) == Some(ObjState::Restored) {
                 continue;
             }
-            let (_seq, payload) = self.log.read(addr)?;
+            self.log.read_into(addr, &mut scratch)?;
             ctx.entries_examined += 1;
             ctx.data_entries_read += 1;
-            match decode_entry(&payload)? {
-                LogEntry::DataH { kind, value } => {
-                    ctx.restore_committed(uid, kind, value, Some(addr))?;
+            match decode_entry_view(&scratch)? {
+                EntryView::DataH { kind, value } => {
+                    ctx.restore_committed(uid, kind, value.into(), Some(addr))?;
                 }
                 other => {
                     return Err(RsError::BadState(format!(
@@ -273,12 +292,16 @@ impl<P: StoreProvider> RecoverySystem for SimpleLogRs<P> {
             };
             process_mos(aid, mos, heap, &mut self.access, &self.pat, &mut sink)?;
         }
-        let bytes = encode_entry(&LogEntry::Prepared {
-            aid,
-            pairs: Vec::new(),
-            prev: None,
+        self.log.write_with(|enc| {
+            encode_entry_into(
+                enc,
+                &EntryRef::Prepared {
+                    aid,
+                    pairs: &[],
+                    prev: None,
+                },
+            )
         })?;
-        self.log.write(&bytes);
         self.obs.outcome("prepared", None);
         self.pat.insert(aid);
         self.obs.prepares.inc();
@@ -286,8 +309,8 @@ impl<P: StoreProvider> RecoverySystem for SimpleLogRs<P> {
     }
 
     fn stage_commit(&mut self, aid: ActionId) -> RsResult<bool> {
-        let bytes = encode_entry(&LogEntry::Committed { aid, prev: None })?;
-        self.log.write(&bytes);
+        self.log
+            .write_with(|enc| encode_entry_into(enc, &EntryRef::Committed { aid, prev: None }))?;
         self.obs.outcome("committed", None);
         self.pat.remove(&aid);
         self.obs.commits.inc();
@@ -295,8 +318,8 @@ impl<P: StoreProvider> RecoverySystem for SimpleLogRs<P> {
     }
 
     fn stage_abort(&mut self, aid: ActionId) -> RsResult<bool> {
-        let bytes = encode_entry(&LogEntry::Aborted { aid, prev: None })?;
-        self.log.write(&bytes);
+        self.log
+            .write_with(|enc| encode_entry_into(enc, &EntryRef::Aborted { aid, prev: None }))?;
         self.obs.outcome("aborted", None);
         self.pat.remove(&aid);
         self.obs.aborts.inc();
@@ -304,20 +327,24 @@ impl<P: StoreProvider> RecoverySystem for SimpleLogRs<P> {
     }
 
     fn stage_committing(&mut self, aid: ActionId, gids: &[GuardianId]) -> RsResult<bool> {
-        let bytes = encode_entry(&LogEntry::Committing {
-            aid,
-            gids: gids.to_vec(),
-            prev: None,
+        self.log.write_with(|enc| {
+            encode_entry_into(
+                enc,
+                &EntryRef::Committing {
+                    aid,
+                    gids,
+                    prev: None,
+                },
+            )
         })?;
-        self.log.write(&bytes);
         self.obs.outcome("committing", None);
         self.obs.committings.inc();
         Ok(true)
     }
 
     fn stage_done(&mut self, aid: ActionId) -> RsResult<bool> {
-        let bytes = encode_entry(&LogEntry::Done { aid, prev: None })?;
-        self.log.write(&bytes);
+        self.log
+            .write_with(|enc| encode_entry_into(enc, &EntryRef::Done { aid, prev: None }))?;
         self.obs.outcome("done", None);
         self.obs.dones.inc();
         Ok(true)

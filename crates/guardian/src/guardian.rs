@@ -2,7 +2,7 @@
 
 use crate::world::{MediaKind, WorldConfig};
 use crate::{WorldError, WorldResult};
-use argus_core::providers::{CachedProvider, MemProvider, MirrorProvider};
+use argus_core::providers::{CachedProvider, FileProvider, MemProvider, MirrorProvider};
 use argus_core::{HybridLogRs, LogEntry, LogStats, RecoverySystem, RsResult, SimpleLogRs};
 use argus_objects::{ActionId, GuardianId, Heap, HeapId, Uid, Value};
 use argus_shadow::ShadowRs;
@@ -124,9 +124,27 @@ impl Guardian {
             plan: Some(plan.clone()),
         };
         let mirror = MirrorProvider {
-            clock,
-            model,
+            clock: clock.clone(),
+            model: model.clone(),
             plan: plan.clone(),
+        };
+        // A real-file provider on demand: one subdirectory per guardian so
+        // several guardians (and several worlds) never share a log file.
+        // The FaultPlan does not apply here — a real file has real crash
+        // semantics (unsynced writes are lost, synced ones survive).
+        let file = |dir: Option<&'static str>| -> RsResult<FileProvider> {
+            let base = match dir {
+                Some(d) => std::path::PathBuf::from(d),
+                None => {
+                    static UNIQ: std::sync::atomic::AtomicU64 =
+                        std::sync::atomic::AtomicU64::new(0);
+                    let n = UNIQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    std::env::temp_dir().join(format!("argus-world-{}-{n}", std::process::id()))
+                }
+            };
+            FileProvider::new(base.join(format!("g{}", id.0)))
+                .map(|p| p.with_device(clock.clone(), model.clone()))
+                .map_err(|e| argus_core::RsError::BadState(format!("file provider: {e}")))
         };
         // Log organizations read through a volatile page cache; shadowing
         // keeps its direct store (its page map is already its own cache).
@@ -137,14 +155,21 @@ impl Guardian {
             (RsKind::Simple, MediaKind::Mirrored) => {
                 Box::new(SimpleLogRs::create(CachedProvider::new(mirror, cfg.cache))?)
             }
+            (RsKind::Simple, MediaKind::File { dir }) => Box::new(SimpleLogRs::create(
+                CachedProvider::new(file(dir)?, cfg.cache),
+            )?),
             (RsKind::Hybrid, MediaKind::Mem) => {
                 Box::new(HybridLogRs::create(CachedProvider::new(mem, cfg.cache))?)
             }
             (RsKind::Hybrid, MediaKind::Mirrored) => {
                 Box::new(HybridLogRs::create(CachedProvider::new(mirror, cfg.cache))?)
             }
+            (RsKind::Hybrid, MediaKind::File { dir }) => Box::new(HybridLogRs::create(
+                CachedProvider::new(file(dir)?, cfg.cache),
+            )?),
             (RsKind::Shadow, MediaKind::Mem) => Box::new(ShadowRs::create(mem)?),
             (RsKind::Shadow, MediaKind::Mirrored) => Box::new(ShadowRs::create(mirror)?),
+            (RsKind::Shadow, MediaKind::File { dir }) => Box::new(ShadowRs::create(file(dir)?)?),
         };
         Ok(Self {
             id,

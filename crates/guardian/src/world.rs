@@ -42,6 +42,15 @@ pub enum MediaKind {
     /// Lampson–Sturgis mirrored disks (§1.1): crashes tear at most one
     /// in-flight leg, decayed pages are repaired from the twin on read.
     Mirrored,
+    /// Real files via [`argus_stable::DurableFileStore`]: durable fsync
+    /// forces, write combining, wall-clock costs. Each guardian gets its
+    /// own subdirectory `g<N>` under `dir` (a fresh temp directory when
+    /// `None`). The `&'static str` keeps [`WorldConfig`] `Copy`; benches
+    /// leak their path strings, tests use string literals.
+    File {
+        /// Base directory for the guardians' log files.
+        dir: Option<&'static str>,
+    },
 }
 
 impl WorldConfig {

@@ -82,6 +82,22 @@ impl<P: StoreProvider> ShadowRs<P> {
         })
     }
 
+    /// Opens a shadowing store over an existing log (post-crash). Call
+    /// [`RecoverySystem::recover`] before anything else.
+    pub fn open(provider: P, store: P::Store) -> RsResult<Self> {
+        Ok(Self {
+            provider,
+            log: StableLog::open(store)?,
+            map: HashMap::new(),
+            intents: HashMap::new(),
+            pd_index: HashMap::new(),
+            coords: HashMap::new(),
+            access: HashSet::new(),
+            pat: HashSet::new(),
+            hk_open: false,
+        })
+    }
+
     /// Number of entries in the committed map (experiments).
     pub fn map_len(&self) -> usize {
         self.map.len()

@@ -70,6 +70,25 @@ impl Encoder {
         }
     }
 
+    /// Wraps an existing buffer, appending after its current contents —
+    /// the reusable-arena constructor ([`crate::StableLog::write_with`]
+    /// encodes records straight into the log's pending buffer with it,
+    /// avoiding a per-record allocation).
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Self { buf }
+    }
+
+    /// Consumes the encoder, returning the underlying buffer (pair of
+    /// [`Encoder::from_vec`]).
+    pub fn into_inner(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Mutable view of the encoded bytes (for backfilling placeholders).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+
     /// Appends a single byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -199,6 +218,12 @@ impl<'a> Decoder<'a> {
     pub fn take_bytes(&mut self) -> CodecResult<&'a [u8]> {
         let len = self.take_u32()? as usize;
         self.take(len)
+    }
+
+    /// Reads `n` raw bytes with no prefix (pair of [`Encoder::put_raw`];
+    /// the zero-copy record views slice fixed-stride arrays out with it).
+    pub fn take_raw(&mut self, n: usize) -> CodecResult<&'a [u8]> {
+        self.take(n)
     }
 
     /// Reads a `u32`-length-prefixed UTF-8 string.

@@ -317,6 +317,44 @@ impl<S: PageStore> StableLog<S> {
         LogAddress(addr)
     }
 
+    /// Like [`StableLog::write`], but the payload is encoded by `f`
+    /// *directly into the pending buffer* — no intermediate per-record
+    /// allocation. The frame header's length and checksum are backfilled
+    /// once `f` returns; if `f` fails, the partial frame is rolled back and
+    /// the log is unchanged.
+    pub fn write_with<E>(
+        &mut self,
+        f: impl FnOnce(&mut crate::Encoder) -> Result<(), E>,
+    ) -> Result<LogAddress, E> {
+        let addr = self.sb.tail + self.pending.len() as u64;
+        let base = self.pending.len();
+        let mut enc = crate::Encoder::from_vec(std::mem::take(&mut self.pending));
+        enc.put_raw(&REC_MAGIC.to_le_bytes());
+        enc.put_raw(&self.next_seq.to_le_bytes());
+        enc.put_raw(&[0u8; 8]); // len + crc, backfilled below
+        let payload_start = enc.len();
+        let result = f(&mut enc);
+        let mut buf = enc.into_inner();
+        if let Err(e) = result {
+            buf.truncate(base);
+            self.pending = buf;
+            return Err(e);
+        }
+        let len = (buf.len() - payload_start) as u32;
+        let crc = crc32(&buf[payload_start..]);
+        buf[payload_start - 8..payload_start - 4].copy_from_slice(&len.to_le_bytes());
+        buf[payload_start - 4..payload_start].copy_from_slice(&crc.to_le_bytes());
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&END_MAGIC.to_le_bytes());
+        self.pending = buf;
+        self.next_seq += 1;
+        self.pending_count += 1;
+        self.pending_last = addr;
+        self.obs.appends.inc();
+        self.obs.append_bytes.add(len as u64);
+        Ok(LogAddress(addr))
+    }
+
     /// Writes buffered frames to the device *without* publishing them: the
     /// background "free time" writing of early prepare (§4.4). Flushed
     /// entries are still invisible after a crash until a force publishes
@@ -388,6 +426,16 @@ impl<S: PageStore> StableLog<S> {
 
     /// Reads the forced entry at `addr`, returning `(sequence, payload)`.
     pub fn read(&mut self, addr: LogAddress) -> LogResult<(u64, Vec<u8>)> {
+        let mut payload = Vec::new();
+        let seq = self.read_into(addr, &mut payload)?;
+        Ok((seq, payload))
+    }
+
+    /// Reads the forced entry at `addr` into `payload` (cleared first) and
+    /// returns its sequence number. A caller walking many records reuses one
+    /// scratch buffer instead of allocating per read — the recovery chain
+    /// walk's allocation-free read path.
+    pub fn read_into(&mut self, addr: LogAddress, payload: &mut Vec<u8>) -> LogResult<u64> {
         self.obs.entry_reads.inc();
         let off = addr.offset();
         if off < DATA_START || off + HEADER_LEN > self.sb.tail {
@@ -411,15 +459,16 @@ impl<S: PageStore> StableLog<S> {
                 what: "record length",
             });
         }
-        let mut payload = vec![0u8; len as usize];
-        self.dev.read_at(off + HEADER_LEN, &mut payload)?;
-        if crc32(&payload) != crc {
+        payload.clear();
+        payload.resize(len as usize, 0);
+        self.dev.read_at(off + HEADER_LEN, payload)?;
+        if crc32(payload) != crc {
             return Err(LogError::Corrupt {
                 offset: off,
                 what: "record checksum",
             });
         }
-        Ok((seq, payload))
+        Ok(seq)
     }
 
     /// Address of the last forced entry (the thesis's `get_top`), or `None`
@@ -666,6 +715,52 @@ mod tests {
         assert_eq!(log.read(a).unwrap().1, big);
         let got: Vec<_> = log.read_backward(None).map(|r| r.unwrap().0).collect();
         assert_eq!(got, vec![small, a]);
+    }
+
+    #[test]
+    fn write_with_is_equivalent_to_write() {
+        let mut log = new_log();
+        let a = log.write(b"classic");
+        let b: LogAddress = log
+            .write_with(|enc| {
+                enc.put_raw(b"arena");
+                Ok::<(), ()>(())
+            })
+            .unwrap();
+        log.force().unwrap();
+        assert_eq!(log.read(a).unwrap(), (0, b"classic".to_vec()));
+        assert_eq!(log.read(b).unwrap(), (1, b"arena".to_vec()));
+        // The backward walk crosses both framings.
+        let got: Vec<Vec<u8>> = log.read_backward(None).map(|r| r.unwrap().2).collect();
+        assert_eq!(got, vec![b"arena".to_vec(), b"classic".to_vec()]);
+    }
+
+    #[test]
+    fn write_with_failure_rolls_the_frame_back() {
+        let mut log = new_log();
+        let a = log.write(b"kept");
+        let err = log.write_with(|enc| {
+            enc.put_raw(b"partial garbage");
+            Err::<(), &str>("encode failed")
+        });
+        assert_eq!(err.unwrap_err(), "encode failed");
+        assert_eq!(log.pending_count(), 1);
+        let b = log.force_write(b"after").unwrap();
+        assert_eq!(log.read(a).unwrap().1, b"kept");
+        assert_eq!(log.read(b).unwrap().1, b"after");
+        assert_eq!(log.stable_count(), 2);
+    }
+
+    #[test]
+    fn read_into_reuses_the_buffer() {
+        let mut log = new_log();
+        let a = log.force_write(b"a longer first record").unwrap();
+        let b = log.force_write(b"b").unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(log.read_into(a, &mut buf).unwrap(), 0);
+        assert_eq!(buf, b"a longer first record");
+        assert_eq!(log.read_into(b, &mut buf).unwrap(), 1);
+        assert_eq!(buf, b"b");
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub use bytedev::ByteDevice;
 pub use cache::{CacheConfig, PageCache};
 pub use error::{StorageError, StorageResult};
 pub use fault::{DeviceOp, FaultPlan, OpCounts, TraceEntry};
-pub use file::FileStore;
+pub use file::{DurabilityMode, DurableFileStore, FileStore};
 pub use mem::MemStore;
 pub use mirror::MirroredDisk;
 pub use page::{Page, PageNo, PAGE_SIZE};

@@ -2,12 +2,14 @@
 # Benchmark driver: regenerates the headline experiment tables and writes
 # machine-readable artifacts (BENCH_<id>.json) for tracking across commits.
 #
-#   scripts/bench.sh             # E1 E2 E12-E17 -> BENCH_*.json in repo root
+#   scripts/bench.sh             # E1 E2 E12-E19 -> BENCH_*.json in repo root
 #   scripts/bench.sh OUTDIR      # artifacts under OUTDIR instead
 #   scripts/bench.sh OUTDIR E12  # subset of experiments
 #
 # The human-readable tables (plus each run's obs metrics report) stream to
-# stdout; the JSON artifacts hold the same tables structurally.
+# stdout; the JSON artifacts hold the same tables structurally. E18/E19 are
+# wall-clock benches on real files: they default to the OS temp dir, and
+# honor ARGUS_BENCH_DIR (point it at /dev/shm for tmpfs or at a real disk).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,7 +18,7 @@ outdir="${1:-.}"
 shift || true
 experiments=("$@")
 if [[ ${#experiments[@]} -eq 0 ]]; then
-    experiments=(E1 E2 E12 E13 E14 E15 E16 E17)
+    experiments=(E1 E2 E12 E13 E14 E15 E16 E17 E18 E19)
 fi
 
 mkdir -p "$outdir"

@@ -6,6 +6,7 @@
 #   scripts/verify.sh --sweep  # + bounded deterministic crash-schedule sweep
 #   scripts/verify.sh --trace  # + trace selftest (determinism, I12, flight)
 #   scripts/verify.sh --vopr   # + seeded fault-composition batch + selftest
+#   scripts/verify.sh --wall   # + wall-clock file-backed bench smoke (E18/E19)
 #
 # The workspace has zero external dependencies, so --offline is enforced —
 # any accidental registry dependency fails here rather than in CI.
@@ -62,6 +63,19 @@ if [[ "${1:-}" == "--vopr" || "${1:-}" == "--full" ]]; then
             vopr --seed 1 --seeds 16 --iterations 64 --kind "$kind"
     done
     run cargo run -q --release --offline --bin argus-lint -- vopr --selftest
+fi
+
+# Wall tier: the group-commit claim against a real file with real fsyncs
+# (asserted by --wall-smoke), then a small E18/E19 emitting BENCH_E18.json /
+# BENCH_E19.json. Runs on tmpfs when available so a slow CI disk cannot
+# dominate; override the location with ARGUS_BENCH_DIR.
+if [[ "${1:-}" == "--wall" || "${1:-}" == "--full" ]]; then
+    if [[ -z "${ARGUS_BENCH_DIR:-}" && -d /dev/shm && -w /dev/shm ]]; then
+        export ARGUS_BENCH_DIR=/dev/shm
+    fi
+    run cargo run -q --release --offline -p argus-bench --bin experiments -- --wall-smoke
+    run cargo run -q --release --offline -p argus-bench --bin experiments -- \
+        --json-dir . E18 E19
 fi
 
 echo "verify: OK"
