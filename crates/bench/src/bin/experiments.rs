@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E19). See DESIGN.md for the
+//! Regenerates every experiment table (E1–E20). See DESIGN.md for the
 //! experiment index and EXPERIMENTS.md for recorded results.
 //!
 //! Each experiment runs under its own `argus_obs::Registry` scope, so the
@@ -25,9 +25,9 @@
 use argus_bench::{
     cc_perf, commit_perf, e10_abort_rate, e11_explore_coverage, e12_group_commit,
     e13_recovery_cache, e14_cc_policies, e15_sweep_coverage, e16_latency_attribution,
-    e17_vopr_coverage, e18_wall_group_commit, e19_wall_recovery, e1_write_cost, e2_recovery_cost,
-    e4_housekeeping_cost, e5_checkpoint_bounds_recovery, e6_early_prepare, e7_map_scaling,
-    e8_crash_matrix, e9_device_sensitivity, recovery_perf, Table,
+    e17_vopr_coverage, e18_wall_group_commit, e19_wall_recovery, e1_write_cost,
+    e20_instant_restart, e2_recovery_cost, e4_housekeeping_cost, e5_checkpoint_bounds_recovery,
+    e6_early_prepare, e7_map_scaling, e8_crash_matrix, e9_device_sensitivity, recovery_perf, Table,
 };
 use argus_guardian::{CcPolicy, RsKind, WorldConfig};
 use argus_obs::Registry;
@@ -316,5 +316,13 @@ fn main() {
         println!("{table}");
         emit_json(&json_dir, &table);
         print_metrics("E19", &metrics);
+    }
+    // E20 combines a simulated half (deterministic) with a wall-clock half
+    // on a real file, and asserts the instant-restart claims as it runs.
+    if want("E20") {
+        let (table, metrics) = scoped(|| e20_instant_restart(2_000, wall_dir.as_deref()));
+        println!("{table}");
+        emit_json(&json_dir, &table);
+        print_metrics("E20", &metrics);
     }
 }

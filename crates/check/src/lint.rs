@@ -59,6 +59,11 @@ pub enum Flavor {
     Hybrid,
     /// Flat unchained log with self-describing data entries (ch. 3).
     Simple,
+    /// REDO-only log with per-object backlinked data entries and chain-head
+    /// checkpoints. Detected when any `data_r` entry is present (checked
+    /// first: redo logs also carry `committed_ss` checkpoints), or when a
+    /// checkpoint appears without any hybrid chaining.
+    Redo,
 }
 
 impl fmt::Display for Flavor {
@@ -66,6 +71,7 @@ impl fmt::Display for Flavor {
         f.write_str(match self {
             Flavor::Hybrid => "hybrid",
             Flavor::Simple => "simple",
+            Flavor::Redo => "redo",
         })
     }
 }
@@ -353,15 +359,37 @@ pub fn assert_heap_quiesced(heap: &Heap, live: &BTreeSet<ActionId>) {
 
 /// Detects the log organization of an image (see [`Flavor`]).
 pub fn detect_flavor(image: &LogImage) -> Flavor {
-    let hybrid = image.entries().iter().any(|(_, e)| {
-        matches!(e, LogEntry::DataH { .. } | LogEntry::CommittedSs { .. })
-            || (e.is_outcome() && e.prev().is_some())
-    });
-    if hybrid {
-        Flavor::Hybrid
-    } else {
-        Flavor::Simple
+    // Backlinked data entries are unique to the redo organization; check
+    // first, because redo logs also carry `committed_ss` checkpoints.
+    if image
+        .entries()
+        .iter()
+        .any(|(_, e)| matches!(e, LogEntry::DataR { .. }))
+    {
+        return Flavor::Redo;
     }
+    let chained = image.entries().iter().any(|(_, e)| {
+        // `committed_ss` is excluded from the outcome-with-prev test: a
+        // compacted redo checkpoint reuses `prev` as its low-water mark,
+        // which is not hybrid chaining.
+        matches!(e, LogEntry::DataH { .. })
+            || (e.is_outcome() && !matches!(e, LogEntry::CommittedSs { .. }) && e.prev().is_some())
+            || matches!(e, LogEntry::Prepared { pairs, .. } if !pairs.is_empty())
+    });
+    if chained {
+        return Flavor::Hybrid;
+    }
+    // A checkpoint with no hybrid chaining anywhere: a freshly compacted
+    // redo log whose every surviving data record was a base (simple logs
+    // never write checkpoints).
+    if image
+        .entries()
+        .iter()
+        .any(|(_, e)| matches!(e, LogEntry::CommittedSs { .. }))
+    {
+        return Flavor::Redo;
+    }
+    Flavor::Simple
 }
 
 // ---- the linter ----------------------------------------------------------
@@ -395,16 +423,21 @@ impl<'a> Linter<'a> {
         self.check_well_formed();
         let chain = match self.flavor {
             Flavor::Hybrid => self.check_chain(),
-            // The simple log has no chain; recovery is a flat backward scan.
-            Flavor::Simple => Vec::new(),
+            // The simple and redo logs have no outcome chain; recovery is a
+            // flat backward scan.
+            Flavor::Simple | Flavor::Redo => Vec::new(),
         };
         self.check_outcome_matching();
         self.check_verdict_consistency();
         self.check_coordinator_pairing();
         self.check_shadow_map();
+        if self.flavor == Flavor::Redo {
+            self.check_backlinks();
+        }
         let recon = match self.flavor {
             Flavor::Hybrid => self.reconstruct_hybrid(&chain),
             Flavor::Simple => self.reconstruct_simple(),
+            Flavor::Redo => self.reconstruct_redo(),
         };
         self.check_access_closure(&recon);
         if let Some(outcome) = outcome {
@@ -625,6 +658,21 @@ impl<'a> Linter<'a> {
                 }
                 match self.image.get(*daddr) {
                     Some(LogEntry::Data { .. }) | Some(LogEntry::DataH { .. }) => {}
+                    // Redo checkpoints map uids to chain heads, which may be
+                    // any committed-version-bearing record of the same uid.
+                    Some(
+                        LogEntry::DataR { uid: u2, .. }
+                        | LogEntry::BaseCommitted { uid: u2, .. }
+                        | LogEntry::PreparedData { uid: u2, .. },
+                    ) if self.flavor == Flavor::Redo => {
+                        if u2 != uid {
+                            self.flag(
+                                Invariant::I7ShadowResolves,
+                                Some(addr),
+                                format!("{name} pair for {uid} points at a record for {u2}"),
+                            );
+                        }
+                    }
                     Some(other) => self.flag(
                         Invariant::I7ShadowResolves,
                         Some(addr),
@@ -716,7 +764,7 @@ impl<'a> Linter<'a> {
                         r.restore_committed(*uid, kind, value, Some(*daddr));
                     }
                 }
-                LogEntry::Data { .. } | LogEntry::DataH { .. } => {
+                LogEntry::Data { .. } | LogEntry::DataH { .. } | LogEntry::DataR { .. } => {
                     // Already reported as an I3 break; the walk stopped there.
                 }
             }
@@ -753,7 +801,153 @@ impl<'a> Linter<'a> {
                 LogEntry::PreparedData {
                     uid, value, aid, ..
                 } => r.on_prepared_data(*uid, value, *aid),
+                // The simple scan reads a redo record as a plain data entry.
                 LogEntry::Data {
+                    uid,
+                    kind,
+                    value,
+                    aid,
+                }
+                | LogEntry::DataR {
+                    uid,
+                    kind,
+                    value,
+                    aid,
+                    ..
+                } => match r.pt.get(aid).copied() {
+                    Some(PState::Committed) => r.restore_committed(*uid, *kind, value, Some(*addr)),
+                    Some(PState::Prepared) => {
+                        r.restore_prepared(*uid, *kind, value, *aid, Some(*addr))
+                    }
+                    Some(PState::Aborted) if *kind == ObjKind::Mutex => {
+                        r.restore_committed(*uid, *kind, value, Some(*addr))
+                    }
+                    Some(PState::Aborted) | None => {}
+                },
+                LogEntry::DataH { .. } => {}
+                LogEntry::CommittedSs { cssl, .. } => deferred_cssl.extend(cssl.iter().copied()),
+            }
+        }
+        for (uid, daddr) in deferred_cssl {
+            if r.objects.get(&uid).map(|o| o.state) == Some(ObjState::Restored) {
+                continue;
+            }
+            if let Some((kind, value)) = self.data_at(daddr) {
+                r.restore_committed(uid, kind, value, Some(daddr));
+            }
+        }
+        for v in r.take_kind_conflicts() {
+            self.violations.push(v);
+        }
+        r
+    }
+
+    // ---- I7 for the redo organization ------------------------------------
+
+    /// Backlinks are the redo log's shadow-map analogue: every `data_r`
+    /// backlink must point strictly below at a data-carrying record of the
+    /// *same* object, or a lazy chain walk would restore the wrong state.
+    fn check_backlinks(&mut self) {
+        type Link = (LogAddress, Uid, LogAddress);
+        let links: Vec<Link> = self
+            .image
+            .entries()
+            .iter()
+            .filter_map(|(addr, entry)| match entry {
+                LogEntry::DataR {
+                    uid, back: Some(b), ..
+                } => Some((*addr, *uid, *b)),
+                _ => None,
+            })
+            .collect();
+        for (addr, uid, back) in links {
+            if back.offset() >= addr.offset() {
+                self.flag(
+                    Invariant::I7ShadowResolves,
+                    Some(addr),
+                    format!("backlink for {uid} points at {back}, not below the entry"),
+                );
+                continue;
+            }
+            match self.image.get(back) {
+                Some(
+                    LogEntry::DataR { uid: u2, .. }
+                    | LogEntry::Data { uid: u2, .. }
+                    | LogEntry::BaseCommitted { uid: u2, .. }
+                    | LogEntry::PreparedData { uid: u2, .. },
+                ) => {
+                    if *u2 != uid {
+                        self.flag(
+                            Invariant::I7ShadowResolves,
+                            Some(addr),
+                            format!("backlink for {uid} points at a record for {u2} at {back}"),
+                        );
+                    }
+                }
+                Some(other) => self.flag(
+                    Invariant::I7ShadowResolves,
+                    Some(addr),
+                    format!(
+                        "backlink for {uid} points at a {} entry at {back}",
+                        other.name()
+                    ),
+                ),
+                None => self.flag(
+                    Invariant::I7ShadowResolves,
+                    Some(addr),
+                    format!("backlink for {uid} dangles: no entry at {back}"),
+                ),
+            }
+        }
+    }
+
+    /// Resolves a redo checkpoint pair to the committed version its record
+    /// carries, or `None` if it does not (already reported under I7).
+    fn redo_head_at(&self, daddr: LogAddress) -> Option<(ObjKind, &'a Value)> {
+        match self.image.get(daddr)? {
+            LogEntry::DataR { kind, value, .. } => Some((*kind, value)),
+            LogEntry::Data { kind, value, .. } => Some((*kind, value)),
+            LogEntry::BaseCommitted { value, .. } => Some((ObjKind::Atomic, value)),
+            LogEntry::PreparedData { value, .. } => Some((ObjKind::Atomic, value)),
+            _ => None,
+        }
+    }
+
+    /// Mirrors the redo full scan of `core::RedoRs::recover` without a
+    /// heap: a flat backward pass with participant-table dispatch, plus the
+    /// deferred checkpoint restore.
+    fn reconstruct_redo(&mut self) -> Reconstruction {
+        let mut r = Reconstruction::default();
+        let mut deferred_cssl: Vec<(Uid, LogAddress)> = Vec::new();
+        for (addr, entry) in self.image.entries().iter().rev() {
+            match entry {
+                LogEntry::Prepared { aid, .. } => {
+                    r.pt_enter(*aid, PState::Prepared);
+                }
+                LogEntry::Committed { aid, .. } => {
+                    r.pt_enter(*aid, PState::Committed);
+                }
+                LogEntry::Aborted { aid, .. } => {
+                    r.pt_enter(*aid, PState::Aborted);
+                }
+                LogEntry::Committing { aid, gids, .. } => {
+                    r.ct_enter(*aid, CState::Committing(gids.clone()));
+                }
+                LogEntry::Done { aid, .. } => r.ct_enter(*aid, CState::Done),
+                LogEntry::BaseCommitted { uid, value, .. } => {
+                    r.restore_committed(*uid, ObjKind::Atomic, value, None);
+                }
+                LogEntry::PreparedData {
+                    uid, value, aid, ..
+                } => r.on_prepared_data(*uid, value, *aid),
+                LogEntry::DataR {
+                    uid,
+                    kind,
+                    value,
+                    aid,
+                    ..
+                }
+                | LogEntry::Data {
                     uid,
                     kind,
                     value,
@@ -776,7 +970,7 @@ impl<'a> Linter<'a> {
             if r.objects.get(&uid).map(|o| o.state) == Some(ObjState::Restored) {
                 continue;
             }
-            if let Some((kind, value)) = self.data_at(daddr) {
+            if let Some((kind, value)) = self.redo_head_at(daddr) {
                 r.restore_committed(uid, kind, value, Some(daddr));
             }
         }

@@ -688,7 +688,7 @@ pub fn vopr(cfg: &VoprConfig) -> VoprSummary {
         .collect();
     // Housekeeping armed low, so log truncation runs *during* the faults.
     let hk_mode = match cfg.kind {
-        RsKind::Simple => HousekeepingMode::Compaction,
+        RsKind::Simple | RsKind::Redo => HousekeepingMode::Compaction,
         RsKind::Hybrid | RsKind::Shadow => HousekeepingMode::Snapshot,
     };
     for g in &gids {

@@ -1,7 +1,7 @@
 //! The recovery-system interface (§2.3).
 
 use crate::{LogEntry, RecoveryOutcome, RsResult};
-use argus_objects::{ActionId, GuardianId, Heap, HeapId};
+use argus_objects::{ActionId, GuardianId, Heap, HeapId, Uid};
 use argus_sim::StatsSnapshot;
 use argus_slog::LogAddress;
 use argus_stable::PageStore;
@@ -13,6 +13,26 @@ pub enum HousekeepingMode {
     Compaction,
     /// Rebuild the stable state by copying volatile memory (§5.2).
     Snapshot,
+}
+
+/// How [`RecoverySystem::recover`] rebuilds volatile state after a crash.
+///
+/// The thesis's organizations all recover with one full scan; the REDO-only
+/// fourth organization (Sauer & Härder's design space) also offers parallel
+/// replay over per-object chains and on-demand restoration. Organizations
+/// that only support the full scan reject the others via
+/// [`RecoverySystem::set_recovery_mode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// One full backward scan restoring everything before returning.
+    Full,
+    /// Bounded tail scan for the tables, then every object chain replayed
+    /// across this many deterministic simulated workers.
+    Parallel(u32),
+    /// Bounded tail scan only: `recover` returns with the tables and the
+    /// in-doubt objects restored; everything else is restored lazily via
+    /// [`RecoverySystem::demand_restore`] on first touch.
+    OnDemand,
 }
 
 /// Aggregate log/device statistics for experiments.
@@ -62,6 +82,36 @@ pub trait RecoverySystem {
     /// `recovery`: rebuilds the guardian's stable state in `heap` from the
     /// log and returns the OT/PT/CT tables (§3.4, §4.3).
     fn recover(&mut self, heap: &mut Heap) -> RsResult<RecoveryOutcome>;
+
+    /// Selects how the *next* `recover` call rebuilds state. Returns `true`
+    /// if the organization supports `mode`; the default supports only the
+    /// full scan (every thesis organization).
+    fn set_recovery_mode(&mut self, mode: RecoveryMode) -> bool {
+        mode == RecoveryMode::Full
+    }
+
+    /// The heap-miss path of on-demand recovery: if `uid` is awaiting lazy
+    /// restoration, walk its log chain, materialize it into `heap`, and
+    /// return `true`. Organizations without on-demand recovery have no
+    /// pending objects and return `false`.
+    fn demand_restore(&mut self, uid: Uid, heap: &mut Heap) -> RsResult<bool> {
+        let _ = (uid, heap);
+        Ok(false)
+    }
+
+    /// Number of objects still awaiting lazy restoration after an on-demand
+    /// recovery (0 for full-scan organizations).
+    fn lazy_pending(&self) -> u64 {
+        0
+    }
+
+    /// The modeled restart makespan of the last `recover` call for
+    /// organizations that track one (the REDO organization's scan +
+    /// slowest-worker figure); `None` for the full-scan organizations,
+    /// whose restart time is simply the device time the scan took.
+    fn recovery_makespan_us(&self) -> Option<u64> {
+        None
+    }
 
     // --- Group commit (staged forces) ---------------------------------
     //

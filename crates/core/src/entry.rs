@@ -34,6 +34,25 @@ pub enum LogEntry {
         /// The flattened object version.
         value: Value,
     },
+    /// Redo-log data entry (the REDO-only fourth organization): like
+    /// [`LogEntry::Data`] it is self-describing, but it additionally carries
+    /// a per-object *backlink* — the log address of the previous committed
+    /// version of the same object — so recovery can walk one object's
+    /// version chain without scanning the whole log.
+    DataR {
+        /// The recoverable object's uid.
+        uid: Uid,
+        /// Atomic or mutex.
+        kind: ObjKind,
+        /// The flattened object version.
+        value: Value,
+        /// The preparing action that wrote the entry.
+        aid: ActionId,
+        /// Backlink to the previous version of *this object* (`None` for
+        /// the first version). This is a per-object chain, distinct from
+        /// the hybrid log's per-log outcome chain.
+        back: Option<LogAddress>,
+    },
     /// Participant outcome: the action has prepared. In the hybrid log,
     /// `pairs` is this action's fragment of the shadowing map.
     Prepared {
@@ -114,7 +133,10 @@ impl LogEntry {
     /// Whether this entry participates in the backward chain of outcome
     /// entries (everything except data entries, §4.2).
     pub fn is_outcome(&self) -> bool {
-        !matches!(self, LogEntry::Data { .. } | LogEntry::DataH { .. })
+        !matches!(
+            self,
+            LogEntry::Data { .. } | LogEntry::DataH { .. } | LogEntry::DataR { .. }
+        )
     }
 
     /// The chain pointer, if this is an outcome entry.
@@ -128,7 +150,15 @@ impl LogEntry {
             | LogEntry::Committing { prev, .. }
             | LogEntry::Done { prev, .. }
             | LogEntry::CommittedSs { prev, .. } => *prev,
-            LogEntry::Data { .. } | LogEntry::DataH { .. } => None,
+            LogEntry::Data { .. } | LogEntry::DataH { .. } | LogEntry::DataR { .. } => None,
+        }
+    }
+
+    /// The per-object backlink, if this is a redo data entry.
+    pub fn backlink(&self) -> Option<LogAddress> {
+        match self {
+            LogEntry::DataR { back, .. } => *back,
+            _ => None,
         }
     }
 
@@ -144,7 +174,7 @@ impl LogEntry {
             | LogEntry::Committing { prev, .. }
             | LogEntry::Done { prev, .. }
             | LogEntry::CommittedSs { prev, .. } => *prev = new_prev,
-            LogEntry::Data { .. } | LogEntry::DataH { .. } => {}
+            LogEntry::Data { .. } | LogEntry::DataH { .. } | LogEntry::DataR { .. } => {}
         }
     }
 
@@ -153,6 +183,7 @@ impl LogEntry {
         match self {
             LogEntry::Data { .. } => "data",
             LogEntry::DataH { .. } => "data",
+            LogEntry::DataR { .. } => "data",
             LogEntry::Prepared { .. } => "prepared",
             LogEntry::Committed { .. } => "committed",
             LogEntry::Aborted { .. } => "aborted",
@@ -177,6 +208,7 @@ const TAG_PREPARED_DATA: u8 = 7;
 const TAG_COMMITTING: u8 = 8;
 const TAG_DONE: u8 = 9;
 const TAG_COMMITTED_SS: u8 = 10;
+const TAG_DATA_R: u8 = 11;
 
 const VTAG_UNIT: u8 = 0;
 const VTAG_INT: u8 = 1;
@@ -343,6 +375,19 @@ pub enum EntryRef<'a> {
         /// The flattened object version.
         value: &'a Value,
     },
+    /// Redo-log data entry with its per-object backlink.
+    DataR {
+        /// The recoverable object's uid.
+        uid: Uid,
+        /// Atomic or mutex.
+        kind: ObjKind,
+        /// The flattened object version.
+        value: &'a Value,
+        /// The preparing action that wrote the entry.
+        aid: ActionId,
+        /// Backlink to the previous version of this object.
+        back: Option<LogAddress>,
+    },
     /// Participant outcome: prepared, with the map fragment.
     Prepared {
         /// The prepared action.
@@ -425,14 +470,14 @@ impl EntryRef<'_> {
             | EntryRef::Committing { prev, .. }
             | EntryRef::Done { prev, .. }
             | EntryRef::CommittedSs { prev, .. } => *prev = new_prev,
-            EntryRef::Data { .. } | EntryRef::DataH { .. } => {}
+            EntryRef::Data { .. } | EntryRef::DataH { .. } | EntryRef::DataR { .. } => {}
         }
     }
 
     /// A short tag for diagnostics, mirroring [`LogEntry::name`].
     pub fn name(&self) -> &'static str {
         match self {
-            EntryRef::Data { .. } | EntryRef::DataH { .. } => "data",
+            EntryRef::Data { .. } | EntryRef::DataH { .. } | EntryRef::DataR { .. } => "data",
             EntryRef::Prepared { .. } => "prepared",
             EntryRef::Committed { .. } => "committed",
             EntryRef::Aborted { .. } => "aborted",
@@ -461,6 +506,19 @@ impl LogEntry {
                 aid: *aid,
             },
             LogEntry::DataH { kind, value } => EntryRef::DataH { kind: *kind, value },
+            LogEntry::DataR {
+                uid,
+                kind,
+                value,
+                aid,
+                back,
+            } => EntryRef::DataR {
+                uid: *uid,
+                kind: *kind,
+                value,
+                aid: *aid,
+                back: *back,
+            },
             LogEntry::Prepared { aid, pairs, prev } => EntryRef::Prepared {
                 aid: *aid,
                 pairs,
@@ -523,6 +581,20 @@ pub fn encode_entry_into(enc: &mut Encoder, entry: &EntryRef<'_>) -> RsResult<()
         EntryRef::DataH { kind, value } => {
             enc.put_u8(TAG_DATA_H);
             put_kind(enc, kind);
+            encode_value(enc, value)?;
+        }
+        EntryRef::DataR {
+            uid,
+            kind,
+            value,
+            aid,
+            back,
+        } => {
+            enc.put_u8(TAG_DATA_R);
+            enc.put_u64(uid.0);
+            put_kind(enc, kind);
+            put_aid(enc, aid);
+            put_prev(enc, back);
             encode_value(enc, value)?;
         }
         EntryRef::Prepared { aid, pairs, prev } => {
@@ -609,6 +681,20 @@ pub fn decode_entry(payload: &[u8]) -> RsResult<LogEntry> {
             let kind = take_kind(&mut dec)?;
             let value = decode_value(&mut dec)?;
             LogEntry::DataH { kind, value }
+        }
+        TAG_DATA_R => {
+            let uid = Uid(dec.take_u64()?);
+            let kind = take_kind(&mut dec)?;
+            let aid = take_aid(&mut dec)?;
+            let back = take_prev(&mut dec)?;
+            let value = decode_value(&mut dec)?;
+            LogEntry::DataR {
+                uid,
+                kind,
+                value,
+                aid,
+                back,
+            }
         }
         TAG_PREPARED => {
             let aid = take_aid(&mut dec)?;
@@ -819,6 +905,19 @@ pub enum EntryView<'a> {
         /// The flattened object version, not yet materialized.
         value: RawValue<'a>,
     },
+    /// Redo-log data entry with its per-object backlink.
+    DataR {
+        /// The recoverable object's uid.
+        uid: Uid,
+        /// Atomic or mutex.
+        kind: ObjKind,
+        /// The preparing action that wrote the entry.
+        aid: ActionId,
+        /// Backlink to the previous version of this object.
+        back: Option<LogAddress>,
+        /// The flattened object version, not yet materialized.
+        value: RawValue<'a>,
+    },
     /// Participant outcome: prepared.
     Prepared {
         /// The prepared action.
@@ -892,7 +991,10 @@ impl EntryView<'_> {
     /// Whether this entry participates in the backward chain of outcome
     /// entries, mirroring [`LogEntry::is_outcome`].
     pub fn is_outcome(&self) -> bool {
-        !matches!(self, EntryView::Data { .. } | EntryView::DataH { .. })
+        !matches!(
+            self,
+            EntryView::Data { .. } | EntryView::DataH { .. } | EntryView::DataR { .. }
+        )
     }
 
     /// The chain pointer, if this is an outcome entry.
@@ -906,14 +1008,14 @@ impl EntryView<'_> {
             | EntryView::Committing { prev, .. }
             | EntryView::Done { prev, .. }
             | EntryView::CommittedSs { prev, .. } => *prev,
-            EntryView::Data { .. } | EntryView::DataH { .. } => None,
+            EntryView::Data { .. } | EntryView::DataH { .. } | EntryView::DataR { .. } => None,
         }
     }
 
     /// A short tag for diagnostics, mirroring [`LogEntry::name`].
     pub fn name(&self) -> &'static str {
         match self {
-            EntryView::Data { .. } | EntryView::DataH { .. } => "data",
+            EntryView::Data { .. } | EntryView::DataH { .. } | EntryView::DataR { .. } => "data",
             EntryView::Prepared { .. } => "prepared",
             EntryView::Committed { .. } => "committed",
             EntryView::Aborted { .. } => "aborted",
@@ -1007,6 +1109,20 @@ pub fn decode_entry_view(payload: &[u8]) -> RsResult<EntryView<'_>> {
             let kind = take_kind(&mut dec)?;
             let value = take_value_span(payload, &mut dec)?;
             EntryView::DataH { kind, value }
+        }
+        TAG_DATA_R => {
+            let uid = Uid(dec.take_u64()?);
+            let kind = take_kind(&mut dec)?;
+            let aid = take_aid(&mut dec)?;
+            let back = take_prev(&mut dec)?;
+            let value = take_value_span(payload, &mut dec)?;
+            EntryView::DataR {
+                uid,
+                kind,
+                aid,
+                back,
+                value,
+            }
         }
         TAG_PREPARED => {
             let aid = take_aid(&mut dec)?;
@@ -1108,6 +1224,20 @@ mod tests {
             kind: ObjKind::Atomic,
             value: value.clone(),
         });
+        roundtrip(LogEntry::DataR {
+            uid: Uid(6),
+            kind: ObjKind::Atomic,
+            value: value.clone(),
+            aid: aid(8),
+            back: Some(LogAddress(412)),
+        });
+        roundtrip(LogEntry::DataR {
+            uid: Uid(7),
+            kind: ObjKind::Mutex,
+            value: value.clone(),
+            aid: aid(9),
+            back: None,
+        });
         roundtrip(LogEntry::Prepared {
             aid: aid(2),
             pairs: vec![(Uid(1), LogAddress(512)), (Uid(2), LogAddress(600))],
@@ -1166,6 +1296,19 @@ mod tests {
                 kind,
                 value: value.decode().unwrap(),
             },
+            EntryView::DataR {
+                uid,
+                kind,
+                aid,
+                back,
+                value,
+            } => LogEntry::DataR {
+                uid,
+                kind,
+                value: value.decode().unwrap(),
+                aid,
+                back,
+            },
             EntryView::Prepared { aid, prev, pairs } => LogEntry::Prepared {
                 aid,
                 pairs: pairs.to_vec(),
@@ -1222,6 +1365,13 @@ mod tests {
             LogEntry::DataH {
                 kind: ObjKind::Atomic,
                 value,
+            },
+            LogEntry::DataR {
+                uid: Uid(6),
+                kind: ObjKind::Atomic,
+                value: Value::Int(5),
+                aid: aid(8),
+                back: Some(LogAddress(412)),
             },
             LogEntry::Prepared {
                 aid: aid(2),
@@ -1375,6 +1525,23 @@ mod tests {
             prev: None
         }
         .is_outcome());
+    }
+
+    #[test]
+    fn redo_data_backlink_is_not_a_chain_pointer() {
+        let e = LogEntry::DataR {
+            uid: Uid(1),
+            kind: ObjKind::Atomic,
+            value: Value::Int(1),
+            aid: aid(1),
+            back: Some(LogAddress(77)),
+        };
+        assert!(!e.is_outcome());
+        assert_eq!(e.prev(), None, "the backlink is a per-object chain");
+        assert_eq!(e.backlink(), Some(LogAddress(77)));
+        let mut e2 = e.clone();
+        e2.set_prev(Some(LogAddress(9)));
+        assert_eq!(e2, e, "set_prev must not touch the backlink");
     }
 
     #[test]

@@ -312,7 +312,7 @@ impl<P: StoreProvider> HybridLogRs<P> {
                         }
                     }
                 }
-                LogEntry::Data { .. } | LogEntry::DataH { .. } => {
+                LogEntry::Data { .. } | LogEntry::DataH { .. } | LogEntry::DataR { .. } => {
                     return Err(RsError::BadState("data entry on the outcome chain".into()))
                 }
             }

@@ -610,7 +610,7 @@ impl<P: StoreProvider> RecoverySystem for HybridLogRs<P> {
                         }
                     }
                 }
-                EntryView::Data { .. } | EntryView::DataH { .. } => {
+                EntryView::Data { .. } | EntryView::DataH { .. } | EntryView::DataR { .. } => {
                     return Err(RsError::BadState("data entry on the outcome chain".into()))
                 }
             }

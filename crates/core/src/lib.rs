@@ -31,18 +31,20 @@ mod error;
 mod housekeeping;
 mod hybrid;
 mod metrics;
+mod redo;
 mod restore;
 mod simple;
 mod tables;
 mod writer;
 
-pub use api::{providers, HousekeepingMode, LogStats, RecoverySystem, StoreProvider};
+pub use api::{providers, HousekeepingMode, LogStats, RecoveryMode, RecoverySystem, StoreProvider};
 pub use entry::{
     decode_entry, decode_entry_view, decode_value, encode_entry, encode_entry_into, encode_value,
     EntryRef, EntryView, GidsView, LazyValue, LogEntry, PairsView, RawValue,
 };
 pub use error::{RsError, RsResult};
 pub use hybrid::HybridLogRs;
+pub use redo::{RedoRecoveryProfile, RedoRs};
 pub use simple::SimpleLogRs;
 pub use tables::{
     CState, CoordinatorTable, MutexTable, ObjState, ObjectTable, OtEntry, PState, ParticipantTable,

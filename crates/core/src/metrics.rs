@@ -24,6 +24,7 @@ pub(crate) struct CoreObs {
     pub data_bytes: Counter,
     pub hk_passes: Counter,
     pub hk_reclaimed: Counter,
+    pub lazy_restores: Counter,
     pub reg: Registry,
 }
 
@@ -45,6 +46,7 @@ impl CoreObs {
             data_bytes: reg.counter("core.entries.data_bytes"),
             hk_passes: reg.counter("core.hk.passes"),
             hk_reclaimed: reg.counter("core.hk.entries_reclaimed"),
+            lazy_restores: reg.counter("core.recover.lazy_restores"),
             reg,
         }
     }

@@ -197,11 +197,20 @@ impl<P: StoreProvider> SimpleLogRs<P> {
                 EntryView::PreparedData {
                     uid, value, aid, ..
                 } => ctx.on_prepared_data(uid, value.into(), aid)?,
+                // A redo-log data entry is a data entry whose backlink the
+                // simple scan simply does not need.
                 EntryView::Data {
                     uid,
                     kind,
                     value,
                     aid,
+                }
+                | EntryView::DataR {
+                    uid,
+                    kind,
+                    value,
+                    aid,
+                    ..
                 } => {
                     ctx.data_entries_read += 1;
                     ctx.on_data(addr, uid, kind, value.into(), aid)?;

@@ -3,7 +3,7 @@
 use crate::world::{MediaKind, WorldConfig};
 use crate::{WorldError, WorldResult};
 use argus_core::providers::{CachedProvider, FileProvider, MemProvider, MirrorProvider};
-use argus_core::{HybridLogRs, LogEntry, LogStats, RecoverySystem, RsResult, SimpleLogRs};
+use argus_core::{HybridLogRs, LogEntry, LogStats, RecoverySystem, RedoRs, RsResult, SimpleLogRs};
 use argus_objects::{ActionId, GuardianId, Heap, HeapId, Uid, Value};
 use argus_shadow::ShadowRs;
 use argus_sim::{CostModel, SimClock};
@@ -21,6 +21,9 @@ pub enum RsKind {
     Hybrid,
     /// The shadowing baseline (§1.2.1).
     Shadow,
+    /// The REDO-only log with backlink chains and parallel / on-demand
+    /// recovery (ROADMAP item 3 — the post-thesis evolution).
+    Redo,
 }
 
 /// A durability-dependent step whose protocol continuation is waiting on a
@@ -170,6 +173,15 @@ impl Guardian {
             (RsKind::Shadow, MediaKind::Mem) => Box::new(ShadowRs::create(mem)?),
             (RsKind::Shadow, MediaKind::Mirrored) => Box::new(ShadowRs::create(mirror)?),
             (RsKind::Shadow, MediaKind::File { dir }) => Box::new(ShadowRs::create(file(dir)?)?),
+            (RsKind::Redo, MediaKind::Mem) => {
+                Box::new(RedoRs::create(CachedProvider::new(mem, cfg.cache))?)
+            }
+            (RsKind::Redo, MediaKind::Mirrored) => {
+                Box::new(RedoRs::create(CachedProvider::new(mirror, cfg.cache))?)
+            }
+            (RsKind::Redo, MediaKind::File { dir }) => {
+                Box::new(RedoRs::create(CachedProvider::new(file(dir)?, cfg.cache))?)
+            }
         };
         Ok(Self {
             id,

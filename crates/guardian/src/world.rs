@@ -8,7 +8,7 @@ use argus_cc::{
     ObjKey, Waiter,
 };
 use argus_core::{HousekeepingMode, RecoveryOutcome};
-use argus_objects::{ActionId, GuardianId, HeapError, HeapId, ObjKind, Value};
+use argus_objects::{ActionId, GuardianId, HeapError, HeapId, ObjKind, Uid, Value};
 use argus_sim::{CostModel, SimClock};
 use argus_slog::ForceConfig;
 use argus_stable::{CacheConfig, FaultPlan};
@@ -1004,6 +1004,45 @@ impl World {
             .get(&g)
             .map(|gu| gu.up && !gu.plan.is_crashed())
             .unwrap_or(false)
+    }
+
+    /// Selects how `g`'s next recovery pass rebuilds state. Returns whether
+    /// the guardian's organization supports the mode (only the redo
+    /// organization supports `Parallel` and `OnDemand`).
+    pub fn set_recovery_mode(
+        &mut self,
+        g: GuardianId,
+        mode: argus_core::RecoveryMode,
+    ) -> WorldResult<bool> {
+        Ok(self.guardian_mut(g)?.rs.set_recovery_mode(mode))
+    }
+
+    /// Log entries an on-demand recovery has left unrestored on `g`.
+    pub fn lazy_pending(&self, g: GuardianId) -> WorldResult<u64> {
+        Ok(self.guardian(g)?.rs.lazy_pending())
+    }
+
+    /// The modeled restart makespan of `g`'s last recovery pass (`None`
+    /// unless the organization tracks one — the redo organization's
+    /// scan-plus-slowest-worker figure for parallel replay).
+    pub fn recovery_makespan_us(&self, g: GuardianId) -> WorldResult<Option<u64>> {
+        Ok(self.guardian(g)?.rs.recovery_makespan_us())
+    }
+
+    /// The heap-miss path: materializes `uid` on guardian `g` if it is
+    /// lazily pending from an on-demand recovery, returning its heap handle.
+    /// `Ok(None)` means the object is simply unknown — a true dangling
+    /// reference, not a deferred one.
+    pub fn demand(&mut self, g: GuardianId, uid: Uid) -> WorldResult<Option<HeapId>> {
+        let guardian = self.guardian_mut(g)?;
+        if let Some(h) = guardian.heap.lookup(uid) {
+            return Ok(Some(h));
+        }
+        if guardian.rs.demand_restore(uid, &mut guardian.heap)? {
+            self.obs.inc("world.demand_restores");
+            return Ok(self.guardian(g)?.heap.lookup(uid));
+        }
+        Ok(None)
     }
 
     /// Restarts a crashed guardian: runs recovery, resumes in-doubt

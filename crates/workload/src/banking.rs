@@ -85,10 +85,17 @@ impl Banking {
 
     /// Resolves the heap handle of account `i` at guardian `g` (handles are
     /// volatile; the durable name is the stable variable).
-    pub fn account(&self, world: &World, g: GuardianId, i: usize) -> WorldResult<HeapId> {
-        let guardian = world.guardian(g)?;
-        match guardian.stable_value(&account_name(i)) {
+    pub fn account(&self, world: &mut World, g: GuardianId, i: usize) -> WorldResult<HeapId> {
+        match world.guardian(g)?.stable_value(&account_name(i)) {
             Some(Value::Ref(ObjRef::Heap(h))) => Ok(h),
+            // A uid reference after an on-demand recovery: the account is
+            // still on the log; the heap-miss path materializes it.
+            Some(Value::Ref(ObjRef::Uid(u))) => match world.demand(g, u)? {
+                Some(h) => Ok(h),
+                None => Err(argus_guardian::WorldError::Rs(
+                    argus_core::RsError::BadState(format!("account {i} at {g} dangling: uid {u}")),
+                )),
+            },
             other => Err(argus_guardian::WorldError::Rs(
                 argus_core::RsError::BadState(format!("account {i} at {g} unresolved: {other:?}")),
             )),

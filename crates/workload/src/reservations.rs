@@ -69,9 +69,17 @@ impl Reservations {
         self.gid
     }
 
-    fn handle(&self, world: &World, name: &str) -> WorldResult<HeapId> {
+    fn handle(&self, world: &mut World, name: &str) -> WorldResult<HeapId> {
         match world.guardian(self.gid)?.stable_value(name) {
             Some(Value::Ref(ObjRef::Heap(h))) => Ok(h),
+            // A uid reference after an on-demand recovery: the object is
+            // still on the log; the heap-miss path materializes it.
+            Some(Value::Ref(ObjRef::Uid(u))) => match world.demand(self.gid, u)? {
+                Some(h) => Ok(h),
+                None => Err(argus_guardian::WorldError::Rs(
+                    argus_core::RsError::BadState(format!("{name} dangling: uid {u}")),
+                )),
+            },
             other => Err(argus_guardian::WorldError::Rs(
                 argus_core::RsError::BadState(format!("{name} unresolved: {other:?}")),
             )),

@@ -82,9 +82,17 @@ impl Synth {
         &self.cfg
     }
 
-    fn handle(&self, world: &World, i: usize) -> WorldResult<HeapId> {
+    fn handle(&self, world: &mut World, i: usize) -> WorldResult<HeapId> {
         match world.guardian(self.gid)?.stable_value(&obj_name(i)) {
             Some(Value::Ref(ObjRef::Heap(h))) => Ok(h),
+            // A uid reference after an on-demand recovery: the object is
+            // still on the log; the heap-miss path materializes it.
+            Some(Value::Ref(ObjRef::Uid(u))) => match world.demand(self.gid, u)? {
+                Some(h) => Ok(h),
+                None => Err(argus_guardian::WorldError::Rs(
+                    argus_core::RsError::BadState(format!("object {i} dangling: uid {u}")),
+                )),
+            },
             other => Err(argus_guardian::WorldError::Rs(
                 argus_core::RsError::BadState(format!("object {i} unresolved: {other:?}")),
             )),
@@ -171,7 +179,7 @@ mod tests {
         world.restart(synth.guardian()).unwrap();
         // Every object must still resolve.
         for i in 0..16 {
-            synth.handle(&world, i).unwrap();
+            synth.handle(&mut world, i).unwrap();
         }
     }
 

@@ -58,7 +58,7 @@ fi
 # expectation is caught, replays byte-identically, and dumps a flight
 # schedule. Any violation makes argus-lint exit non-zero and fails the gate.
 if [[ "${1:-}" == "--vopr" || "${1:-}" == "--full" ]]; then
-    for kind in simple hybrid shadow; do
+    for kind in simple hybrid shadow redo; do
         run cargo run -q --release --offline --bin argus-lint -- \
             vopr --seed 1 --seeds 16 --iterations 64 --kind "$kind"
     done
@@ -66,8 +66,10 @@ if [[ "${1:-}" == "--vopr" || "${1:-}" == "--full" ]]; then
 fi
 
 # Wall tier: the group-commit claim against a real file with real fsyncs
-# (asserted by --wall-smoke), then a small E18/E19 emitting BENCH_E18.json /
-# BENCH_E19.json. Runs on tmpfs when available so a slow CI disk cannot
+# (asserted by --wall-smoke), then a small E18/E19/E20 emitting
+# BENCH_E18.json / BENCH_E19.json / BENCH_E20.json; E20 asserts the
+# instant-restart claims (on-demand time-to-first-commit far below the
+# full-scan restarts, parallel makespan falling with workers) as it runs. Runs on tmpfs when available so a slow CI disk cannot
 # dominate; override the location with ARGUS_BENCH_DIR.
 if [[ "${1:-}" == "--wall" || "${1:-}" == "--full" ]]; then
     if [[ -z "${ARGUS_BENCH_DIR:-}" && -d /dev/shm && -w /dev/shm ]]; then
@@ -75,7 +77,7 @@ if [[ "${1:-}" == "--wall" || "${1:-}" == "--full" ]]; then
     fi
     run cargo run -q --release --offline -p argus-bench --bin experiments -- --wall-smoke
     run cargo run -q --release --offline -p argus-bench --bin experiments -- \
-        --json-dir . E18 E19
+        --json-dir . E18 E19 E20
 fi
 
 echo "verify: OK"

@@ -96,7 +96,8 @@ fn run_vopr(args: &[String]) {
                     Some("simple") => RsKind::Simple,
                     Some("hybrid") => RsKind::Hybrid,
                     Some("shadow") => RsKind::Shadow,
-                    _ => usage("--kind needs simple|hybrid|shadow"),
+                    Some("redo") => RsKind::Redo,
+                    _ => usage("--kind needs simple|hybrid|shadow|redo"),
                 };
             }
             "--selftest" => selftest = true,
@@ -327,7 +328,8 @@ fn run_sweep(args: &[String]) {
                     Some("simple") => RsKind::Simple,
                     Some("hybrid") => RsKind::Hybrid,
                     Some("shadow") => RsKind::Shadow,
-                    _ => usage("--kind needs simple|hybrid|shadow"),
+                    Some("redo") => RsKind::Redo,
+                    _ => usage("--kind needs simple|hybrid|shadow|redo"),
                 });
             }
             other => usage(&format!("unknown sweep flag {other}")),
@@ -364,9 +366,9 @@ fn run_sweep(args: &[String]) {
 fn usage(problem: &str) -> ! {
     eprintln!(
         "{problem}\nusage: argus-lint [<store path>]\n       \
-         argus-lint sweep [--double] [--stride N] [--max N] [--kind simple|hybrid|shadow]\n       \
+         argus-lint sweep [--double] [--stride N] [--max N] [--kind simple|hybrid|shadow|redo]\n       \
          argus-lint vopr [--seed N] [--iterations M] [--seeds K] \
-         [--kind simple|hybrid|shadow] [--selftest]\n       \
+         [--kind simple|hybrid|shadow|redo] [--selftest]\n       \
          argus-lint trace [--seed N] [--out PATH] [--selftest]"
     );
     std::process::exit(2);

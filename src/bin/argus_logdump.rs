@@ -24,6 +24,16 @@ fn describe(entry: &LogEntry) -> String {
             format!("data          {uid} {kind} by {aid}: {value}")
         }
         LogEntry::DataH { kind, value } => format!("data          ({kind}) {value}"),
+        LogEntry::DataR {
+            uid,
+            kind,
+            aid,
+            back,
+            value,
+        } => {
+            let back = back.map(|b| format!(" ⇤ {b}")).unwrap_or_default();
+            format!("data_r        {uid} {kind} by {aid}: {value}{back}")
+        }
         LogEntry::Prepared { aid, pairs, .. } => {
             let pairs: Vec<String> = pairs.iter().map(|(u, l)| format!("{u}→{l}")).collect();
             format!("prepared      {aid} [{}]", pairs.join(", "))

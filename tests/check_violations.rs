@@ -300,6 +300,127 @@ fn shadow_pair_at_non_data_entry_trips_i7() {
     assert_only(&report, Invariant::I7ShadowResolves);
 }
 
+#[test]
+fn corrupted_redo_backlink_trips_i7() {
+    // A redo record's backlink must point strictly below itself at an older
+    // record of the same object; a forward link can never have been written
+    // by the real sink (the chain head is stamped from the previous head).
+    let mut log = mem_log();
+    let d1 = force(
+        &mut log,
+        &LogEntry::DataR {
+            uid: Uid(1),
+            kind: ObjKind::Atomic,
+            aid: aid(1),
+            back: None,
+            value: Value::Int(1),
+        },
+    );
+    force(
+        &mut log,
+        &LogEntry::Prepared {
+            aid: aid(1),
+            pairs: vec![],
+            prev: None,
+        },
+    );
+    force(
+        &mut log,
+        &LogEntry::Committed {
+            aid: aid(1),
+            prev: None,
+        },
+    );
+    force(
+        &mut log,
+        &LogEntry::DataR {
+            uid: Uid(1),
+            kind: ObjKind::Atomic,
+            aid: aid(2),
+            back: Some(LogAddress(d1.offset() + 10_000)),
+            value: Value::Int(2),
+        },
+    );
+    force(
+        &mut log,
+        &LogEntry::Prepared {
+            aid: aid(2),
+            pairs: vec![],
+            prev: None,
+        },
+    );
+    force(
+        &mut log,
+        &LogEntry::Committed {
+            aid: aid(2),
+            prev: None,
+        },
+    );
+    let image = LogImage::from_log(&mut log);
+    assert_eq!(detect_flavor(&image), Flavor::Redo);
+    let report = lint_log(&image);
+    assert_only(&report, Invariant::I7ShadowResolves);
+}
+
+#[test]
+fn redo_backlink_to_wrong_object_trips_i7() {
+    // The backlink resolves to a record, but for a different object: the
+    // chain would replay another object's version on a chain hop.
+    let mut log = mem_log();
+    let other = force(
+        &mut log,
+        &LogEntry::DataR {
+            uid: Uid(2),
+            kind: ObjKind::Atomic,
+            aid: aid(1),
+            back: None,
+            value: Value::Int(9),
+        },
+    );
+    force(
+        &mut log,
+        &LogEntry::Prepared {
+            aid: aid(1),
+            pairs: vec![],
+            prev: None,
+        },
+    );
+    force(
+        &mut log,
+        &LogEntry::Committed {
+            aid: aid(1),
+            prev: None,
+        },
+    );
+    force(
+        &mut log,
+        &LogEntry::DataR {
+            uid: Uid(1),
+            kind: ObjKind::Atomic,
+            aid: aid(2),
+            back: Some(other),
+            value: Value::Int(2),
+        },
+    );
+    force(
+        &mut log,
+        &LogEntry::Prepared {
+            aid: aid(2),
+            pairs: vec![],
+            prev: None,
+        },
+    );
+    force(
+        &mut log,
+        &LogEntry::Committed {
+            aid: aid(2),
+            prev: None,
+        },
+    );
+    let report = lint(&mut log);
+    assert_only(&report, Invariant::I7ShadowResolves);
+}
+
 // ---- I8: one version per object per pair list -----------------------------
 
 #[test]
@@ -451,6 +572,58 @@ fn cli_detects_each_seeded_corruption() {
                 &LogEntry::Prepared {
                     aid: aid(1),
                     pairs: vec![(Uid(1), d), (Uid(1), d)],
+                    prev: None,
+                },
+            );
+        }),
+        ("corrupt-redo-backlink", "I7", |log| {
+            let d1 = force(
+                log,
+                &LogEntry::DataR {
+                    uid: Uid(1),
+                    kind: ObjKind::Atomic,
+                    aid: aid(1),
+                    back: None,
+                    value: Value::Int(1),
+                },
+            );
+            force(
+                log,
+                &LogEntry::Prepared {
+                    aid: aid(1),
+                    pairs: vec![],
+                    prev: None,
+                },
+            );
+            force(
+                log,
+                &LogEntry::Committed {
+                    aid: aid(1),
+                    prev: None,
+                },
+            );
+            force(
+                log,
+                &LogEntry::DataR {
+                    uid: Uid(1),
+                    kind: ObjKind::Atomic,
+                    aid: aid(2),
+                    back: Some(LogAddress(d1.offset() + 10_000)),
+                    value: Value::Int(2),
+                },
+            );
+            force(
+                log,
+                &LogEntry::Prepared {
+                    aid: aid(2),
+                    pairs: vec![],
+                    prev: None,
+                },
+            );
+            force(
+                log,
+                &LogEntry::Committed {
+                    aid: aid(2),
                     prev: None,
                 },
             );

@@ -10,7 +10,7 @@
 mod common;
 
 use argus::core::providers::FileProvider;
-use argus::core::{HybridLogRs, RecoverySystem, SimpleLogRs};
+use argus::core::{HybridLogRs, RecoveryMode, RecoverySystem, RedoRs, SimpleLogRs};
 use argus::guardian::{MediaKind, Outcome, RsKind, World, WorldConfig};
 use argus::objects::{ActionId, GuardianId, Heap, Value};
 use argus::shadow::ShadowRs;
@@ -130,9 +130,38 @@ fn shadowing_reopens_from_disk() {
 }
 
 #[test]
+fn redo_log_reopens_from_disk_in_every_mode_and_lints() {
+    // The redo organization restarts from disk in all three recovery modes.
+    // On-demand leaves most objects on the log, but this history only ever
+    // touches the stable root, which is restored eagerly in every mode, so
+    // the same recovered-state checks apply across the modes.
+    for mode in [
+        RecoveryMode::Full,
+        RecoveryMode::Parallel(4),
+        RecoveryMode::OnDemand,
+    ] {
+        let dir = temp_dir(&format!("redo-{mode:?}"));
+        {
+            let provider = FileProvider::new(&dir).unwrap();
+            let mut rs = RedoRs::create(provider).unwrap();
+            build_history(&mut rs, 6);
+        }
+        let mut provider = FileProvider::new(&dir).unwrap();
+        let generation = provider.active_generation().unwrap();
+        let store = provider.open_store(generation).unwrap();
+        let mut rs = RedoRs::open(provider, store).unwrap();
+        assert!(rs.set_recovery_mode(mode), "redo supports {mode:?}");
+        let out = check_recovered(&mut rs, 6);
+        let entries = rs.dump_entries().unwrap();
+        common::lint_entries_against(entries, &out);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
 fn world_on_file_media_commits_crashes_and_restarts() {
     // A mixed-organization world on real files: a distributed action across
-    // all three organizations commits via 2PC, every guardian crashes (real
+    // all four organizations commits via 2PC, every guardian crashes (real
     // loss of volatile state), restarts, and the logs still lint clean.
     let cfg = WorldConfig {
         media: MediaKind::File { dir: None },
@@ -142,6 +171,7 @@ fn world_on_file_media_commits_crashes_and_restarts() {
     let g0 = world.add_guardian(RsKind::Simple).unwrap();
     let g1 = world.add_guardian(RsKind::Hybrid).unwrap();
     let g2 = world.add_guardian(RsKind::Shadow).unwrap();
+    let g3 = world.add_guardian(RsKind::Redo).unwrap();
 
     let action = world.begin(g0).unwrap();
     world.set_stable(g0, action, "left", Value::Int(1)).unwrap();
@@ -151,6 +181,7 @@ fn world_on_file_media_commits_crashes_and_restarts() {
     world
         .set_stable(g2, action, "right", Value::Int(3))
         .unwrap();
+    world.set_stable(g3, action, "redo", Value::Int(4)).unwrap();
     assert_eq!(world.commit(action).unwrap(), Outcome::Committed);
 
     // An uncommitted write staged after the commit: the crash must drop it.
@@ -159,7 +190,7 @@ fn world_on_file_media_commits_crashes_and_restarts() {
         .set_stable(g1, doomed, "middle", Value::Int(99))
         .unwrap();
 
-    for g in [g0, g1, g2] {
+    for g in [g0, g1, g2, g3] {
         world.crash(g);
         world.restart(g).unwrap();
     }
@@ -175,6 +206,10 @@ fn world_on_file_media_commits_crashes_and_restarts() {
     assert_eq!(
         world.guardian(g2).unwrap().stable_value("right"),
         Some(Value::Int(3))
+    );
+    assert_eq!(
+        world.guardian(g3).unwrap().stable_value("redo"),
+        Some(Value::Int(4))
     );
     common::lint_world(&mut world);
 }

@@ -5,7 +5,7 @@
 //! which the next recovery converges to the very same tables and heap.
 
 use argus::core::providers::MemProvider;
-use argus::core::{HousekeepingMode, HybridLogRs, RecoverySystem, SimpleLogRs};
+use argus::core::{HousekeepingMode, HybridLogRs, RecoverySystem, RedoRs, SimpleLogRs};
 use argus::guardian::RsKind;
 use argus::objects::{ActionId, GuardianId, Heap, Value};
 use argus::shadow::ShadowRs;
@@ -30,6 +30,7 @@ fn rs_with_plan(kind: RsKind, plan: FaultPlan) -> Box<dyn RecoverySystem> {
         RsKind::Simple => Box::new(SimpleLogRs::create(provider).unwrap()),
         RsKind::Hybrid => Box::new(HybridLogRs::create(provider).unwrap()),
         RsKind::Shadow => Box::new(ShadowRs::create(provider).unwrap()),
+        RsKind::Redo => Box::new(RedoRs::create(provider).unwrap()),
     }
 }
 
@@ -37,7 +38,7 @@ fn rs_with_plan(kind: RsKind, plan: FaultPlan) -> Box<dyn RecoverySystem> {
 /// has no map to snapshot from).
 fn supported_modes(kind: RsKind) -> &'static [HousekeepingMode] {
     match kind {
-        RsKind::Simple => &[HousekeepingMode::Compaction],
+        RsKind::Simple | RsKind::Redo => &[HousekeepingMode::Compaction],
         RsKind::Hybrid | RsKind::Shadow => {
             &[HousekeepingMode::Snapshot, HousekeepingMode::Compaction]
         }
@@ -78,7 +79,7 @@ fn recover_and_lint(rs: &mut dyn RecoverySystem) -> Value {
 fn crash_mid_housekeeping_recovers_from_the_old_log() {
     // Sweep the crash point through the whole housekeeping pass, for every
     // organization and every mode it supports.
-    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow] {
+    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow, RsKind::Redo] {
         for &mode in supported_modes(kind) {
             let mut fired = 0;
             for budget in 0..400u64 {
@@ -117,7 +118,7 @@ fn crash_mid_housekeeping_recovers_from_the_old_log() {
 
 #[test]
 fn crash_between_stages_recovers_from_the_old_log() {
-    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow] {
+    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow, RsKind::Redo] {
         for &mode in supported_modes(kind) {
             let mut rs = rs_with_plan(kind, FaultPlan::new());
             let mut heap = Heap::with_stable_root();
@@ -160,7 +161,7 @@ fn recovery_is_idempotent() {
     // Recover, then crash immediately (no new work) and recover again: the
     // second recovery must produce the identical stable state and tables —
     // for every organization.
-    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow] {
+    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow, RsKind::Redo] {
         let mut rs = rs_with_plan(kind, FaultPlan::new());
         let mut heap = Heap::with_stable_root();
         build_history(rs.as_mut(), &mut heap, 12).unwrap();
@@ -213,7 +214,7 @@ fn recovery_survives_a_crash_at_every_device_op() {
     // state a never-interrupted recovery produces. Recovery reads through
     // the fault plan, so `arm_after_ops` can land the crash in the middle of
     // the backward scan.
-    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow] {
+    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow, RsKind::Redo] {
         let plan = FaultPlan::new();
         let mut rs = rs_with_plan(kind, plan.clone());
         let mut heap = Heap::with_stable_root();

@@ -1,6 +1,7 @@
-//! Cross-organization equivalence: the simple log, the hybrid log, and the
-//! shadowing baseline must recover identical stable states from identical
-//! histories — the organizations differ in cost, never in meaning.
+//! Cross-organization equivalence: the simple log, the hybrid log, the
+//! shadowing baseline, and the redo log must recover identical stable
+//! states from identical histories — the organizations differ in cost,
+//! never in meaning.
 
 use argus::guardian::{RsKind, World};
 use argus::objects::{ObjRef, Value};
@@ -48,8 +49,10 @@ fn banking_histories_recover_identically() {
         let simple = bank_balances(seed, RsKind::Simple);
         let hybrid = bank_balances(seed, RsKind::Hybrid);
         let shadow = bank_balances(seed, RsKind::Shadow);
+        let redo = bank_balances(seed, RsKind::Redo);
         assert_eq!(simple, hybrid, "seed {seed}: simple vs hybrid");
         assert_eq!(hybrid, shadow, "seed {seed}: hybrid vs shadow");
+        assert_eq!(shadow, redo, "seed {seed}: shadow vs redo");
         // And the invariant holds.
         assert_eq!(simple.iter().sum::<i64>(), 2 * 8 * 500, "seed {seed}");
     }
@@ -58,7 +61,7 @@ fn banking_histories_recover_identically() {
 #[test]
 fn reservations_recover_identically() {
     let mut results = Vec::new();
-    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow] {
+    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow, RsKind::Redo] {
         let mut world = World::fast();
         let resv = Reservations::setup(
             &mut world,
@@ -81,6 +84,7 @@ fn reservations_recover_identically() {
     }
     assert_eq!(results[0], results[1]);
     assert_eq!(results[1], results[2]);
+    assert_eq!(results[2], results[3]);
     // Seats and audit trail agree with each other.
     let (stats, seats, audit) = results[0];
     assert_eq!(stats.booked, seats);

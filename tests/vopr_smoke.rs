@@ -6,7 +6,7 @@
 use argus::check::{vopr, FaultTally, VoprConfig};
 use argus::guardian::RsKind;
 
-/// 32 seeds across the three organizations: no violations anywhere, and
+/// 32 seeds across the four organizations: no violations anywhere, and
 /// every fault kind — drop, duplicate, defer, partition, heal, pause,
 /// skew, decay, crash, restart — fired somewhere in the batch.
 #[test]
@@ -17,10 +17,11 @@ fn smoke_batch_is_clean_and_composes_every_fault() {
     let mut tally = FaultTally::default();
     for seed in 1..=32u64 {
         let mut cfg = VoprConfig::new(seed, 48);
-        cfg.kind = match seed % 3 {
+        cfg.kind = match seed % 4 {
             0 => RsKind::Simple,
             1 => RsKind::Hybrid,
-            _ => RsKind::Shadow,
+            2 => RsKind::Shadow,
+            _ => RsKind::Redo,
         };
         let summary = vopr(&cfg);
         summary.assert_clean();
@@ -57,7 +58,7 @@ fn smoke_batch_is_clean_and_composes_every_fault() {
 fn same_seed_replays_byte_for_byte() {
     let reg = argus::obs::Registry::new();
     let _scope = reg.enter();
-    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow] {
+    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow, RsKind::Redo] {
         let mut cfg = VoprConfig::new(77, 48);
         cfg.kind = kind;
         let a = vopr(&cfg);
