@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E20). See DESIGN.md for the
+//! Regenerates every experiment table (E1–E21). See DESIGN.md for the
 //! experiment index and EXPERIMENTS.md for recorded results.
 //!
 //! Each experiment runs under its own `argus_obs::Registry` scope, so the
@@ -21,15 +21,18 @@
 //! cache hits during recovery; the contended lock mix completes without a
 //! hang and blocking mode actually detects deadlocks) instead of printing
 //! tables — the CI-friendly mode used by `scripts/verify.sh`.
+//! `--scale-smoke` runs the 64-shard sharded mix on every organization and
+//! lints every shard's log — the `scripts/verify.sh --scale` tier.
 
 use argus_bench::{
     cc_perf, commit_perf, e10_abort_rate, e11_explore_coverage, e12_group_commit,
     e13_recovery_cache, e14_cc_policies, e15_sweep_coverage, e16_latency_attribution,
     e17_vopr_coverage, e18_wall_group_commit, e19_wall_recovery, e1_write_cost,
-    e20_instant_restart, e2_recovery_cost, e4_housekeeping_cost, e5_checkpoint_bounds_recovery,
-    e6_early_prepare, e7_map_scaling, e8_crash_matrix, e9_device_sensitivity, recovery_perf, Table,
+    e20_instant_restart, e21_sharded_scaling, e2_recovery_cost, e4_housekeeping_cost,
+    e5_checkpoint_bounds_recovery, e6_early_prepare, e7_map_scaling, e8_crash_matrix,
+    e9_device_sensitivity, recovery_perf, Table,
 };
-use argus_guardian::{CcPolicy, RsKind, WorldConfig};
+use argus_guardian::{CcPolicy, RsKind, World, WorldConfig};
 use argus_obs::Registry;
 use std::path::PathBuf;
 
@@ -125,6 +128,74 @@ fn smoke() {
     println!("smoke: ok");
 }
 
+/// The `--scale-smoke` mode: the sharded many-guardian world at 64 shards
+/// on every log organization — the `scripts/verify.sh --scale` tier.
+/// Runs the zipfian cross-shard mix to completion, asserts the conservation
+/// oracles (total balance; seats account exactly for the committed
+/// reservations — the mix's legal-outcomes oracle), quiesces, then checks
+/// the world structurally: I1–I10 on every shard's log, I11 heap quiescence
+/// on every shard, I12 trace consistency. Exits non-zero (panics) on
+/// violation.
+fn scale_smoke() {
+    use argus_check::{lint_heap_quiesced, lint_log, lint_trace, LogImage};
+    use argus_workload::{Sharded, ShardedConfig};
+
+    for kind in [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow, RsKind::Redo] {
+        let mut world = World::with_config(
+            argus_sim::CostModel::fast(),
+            WorldConfig::with_cc(CcPolicy::Blocking),
+        );
+        let cfg = ShardedConfig {
+            shards: 64,
+            users: 10_240,
+            concurrency: 64,
+            actions: 512,
+            ..Default::default()
+        };
+        let mix = Sharded::setup(&mut world, kind, cfg).expect("setup");
+        let mut rng = argus_sim::DetRng::new(64);
+        let stats = mix.run(&mut world, &mut rng).expect("sharded run");
+        assert_eq!(stats.committed, cfg.actions, "{kind:?}: lost actions");
+        assert!(stats.cross_shard > 0, "{kind:?}: no cross-shard 2PC ran");
+        assert_eq!(
+            mix.total_balance(&world).expect("balance"),
+            mix.expected_total(),
+            "{kind:?}: total balance not conserved"
+        );
+        assert_eq!(
+            mix.total_seats(&world).expect("seats"),
+            mix.expected_seats(&stats),
+            "{kind:?}: seats do not match committed reservations"
+        );
+        world.run_until_quiet().expect("quiesce");
+        let live = world.live_actions();
+        for g in world.guardian_ids() {
+            if let Some(entries) = world.dump_log(g).expect("dump") {
+                lint_log(&LogImage::from_entries(entries)).assert_clean();
+            }
+            let heap = &world.guardian(g).expect("guardian").heap;
+            let heap_violations = lint_heap_quiesced(heap, &live);
+            assert!(
+                heap_violations.is_empty(),
+                "{g:?} heap: {heap_violations:?}"
+            );
+        }
+        let trace_violations = lint_trace(world.tracer());
+        assert!(trace_violations.is_empty(), "trace: {trace_violations:?}");
+        println!(
+            "scale-smoke {kind:?}: {} commits ({} cross-shard, {} reservations) \
+             across {}/{} coordinating shards, abort rate {:.1}%",
+            stats.committed,
+            stats.cross_shard,
+            stats.reservations,
+            stats.coordinating_shards(),
+            cfg.shards,
+            stats.abort_rate() * 100.0
+        );
+    }
+    println!("scale-smoke: ok");
+}
+
 /// The `--wall-smoke` mode: E12's group-commit claim checked against a real
 /// file with real fsyncs. At 8 concurrent actions the shared force schedule
 /// must need at most half the fsyncs per commit of the immediate schedule
@@ -172,6 +243,7 @@ fn main() {
     let mut json_dir: Option<PathBuf> = None;
     let mut run_smoke = false;
     let mut run_wall_smoke = false;
+    let mut run_scale_smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -182,6 +254,7 @@ fn main() {
             }
             "--smoke" => run_smoke = true,
             "--wall-smoke" => run_wall_smoke = true,
+            "--scale-smoke" => run_scale_smoke = true,
             other => ids.push(other.to_uppercase()),
         }
     }
@@ -191,6 +264,10 @@ fn main() {
     }
     if run_wall_smoke {
         wall_smoke();
+        return;
+    }
+    if run_scale_smoke {
+        let (_, _) = scoped(scale_smoke);
         return;
     }
     let want = |id: &str| ids.is_empty() || ids.iter().any(|a| a == id);
@@ -324,5 +401,11 @@ fn main() {
         println!("{table}");
         emit_json(&json_dir, &table);
         print_metrics("E20", &metrics);
+    }
+    if want("E21") {
+        let (table, metrics) = scoped(|| e21_sharded_scaling(&[4, 64, 256], 8));
+        println!("{table}");
+        emit_json(&json_dir, &table);
+        print_metrics("E21", &metrics);
     }
 }

@@ -17,7 +17,7 @@ use argus_core::{HousekeepingMode, RecoveryMode, RecoverySystem};
 use argus_guardian::{CcPolicy, Outcome, RsKind, World, WorldConfig};
 use argus_objects::Value;
 use argus_sim::{CostModel, StatsSnapshot};
-use argus_workload::{Contended, ContendedConfig, Synth, SynthConfig};
+use argus_workload::{Contended, ContendedConfig, Sharded, ShardedConfig, Synth, SynthConfig};
 
 const KINDS: [RsKind; 4] = [RsKind::Simple, RsKind::Hybrid, RsKind::Shadow, RsKind::Redo];
 
@@ -827,6 +827,7 @@ pub fn e11_explore_coverage() -> Table {
         (2, 1, 1, false),
         (2, 2, 1, false),
         (3, 1, 0, false),
+        (8, 1, 0, false),
         (2, 1, 0, true),
     ] {
         let report = Explorer::new(ExploreConfig {
@@ -956,6 +957,135 @@ pub fn e14_cc_policies(concurrencies: &[usize], transfers: u64) -> Table {
                     perf.timeouts.to_string(),
                 ]);
             }
+        }
+    }
+    table
+}
+
+/// One cell of E21 measured by [`sharded_perf`]: the sharded many-guardian
+/// mix on one log organization at one world scale.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPerf {
+    /// Actions committed.
+    pub committed: u64,
+    /// Committed actions that ran distributed two-phase commit.
+    pub cross_shard: u64,
+    /// Retried attempts over all attempts.
+    pub abort_rate: f64,
+    /// Committed actions per simulated second.
+    pub commits_per_s: f64,
+    /// Shards that coordinated at least one commit.
+    pub coordinating_shards: usize,
+    /// Peak-to-mean coordinator load (1.0 = perfectly even).
+    pub coordinator_skew: f64,
+    /// World-scheduler guardian polls per committed action — the tentpole
+    /// metric: stays flat as the guardian count grows because the scheduler
+    /// visits only guardians with staged or due batches, never all `G`.
+    pub polls_per_commit: f64,
+    /// p99 action latency in simulated µs (first begin → commit).
+    pub p99_us: u64,
+}
+
+/// Runs the sharded mix ([`Sharded`]) at one scale under FIFO blocking with
+/// deadlock detection and reports the cell's metrics. Both conservation
+/// oracles (total balance, seats vs. committed reservations) are asserted,
+/// so every E21 cell doubles as a correctness check of the sharded world.
+pub fn sharded_perf(kind: RsKind, cfg: ShardedConfig) -> ShardPerf {
+    let reg = argus_obs::current();
+    let polls_before = reg.counter("world.sched.polls").get();
+    let mut world = World::with_config(
+        CostModel::default(),
+        WorldConfig::with_cc(CcPolicy::Blocking),
+    );
+    let mix = Sharded::setup(&mut world, kind, cfg).expect("setup");
+    let mut rng = argus_sim::DetRng::new(21);
+    let start = world.clock.now();
+    let stats = mix.run(&mut world, &mut rng).expect("sharded run");
+    let elapsed_us = world.clock.now() - start;
+    assert_eq!(
+        mix.total_balance(&world).expect("balance"),
+        mix.expected_total(),
+        "{kind:?}/{} shards: the mix did not conserve the total balance",
+        cfg.shards
+    );
+    assert_eq!(
+        mix.total_seats(&world).expect("seats"),
+        mix.expected_seats(&stats),
+        "{kind:?}/{} shards: seats do not match committed reservations",
+        cfg.shards
+    );
+    let polls = reg.counter("world.sched.polls").get() - polls_before;
+    ShardPerf {
+        committed: stats.committed,
+        cross_shard: stats.cross_shard,
+        abort_rate: stats.abort_rate(),
+        commits_per_s: stats.committed as f64 * 1e6 / elapsed_us.max(1) as f64,
+        coordinating_shards: stats.coordinating_shards(),
+        coordinator_skew: stats.coordinator_skew(),
+        polls_per_commit: polls as f64 / stats.committed.max(1) as f64,
+        p99_us: stats.p99_latency_us(),
+    }
+}
+
+/// The [`ShardedConfig`] E21 uses at a given scale: `actions_per_shard`
+/// actions spread over `shards` guardians and a user population that grows
+/// with the world (at 256 shards: 40 960 users).
+pub fn e21_config(shards: usize, actions_per_shard: u64) -> ShardedConfig {
+    ShardedConfig {
+        shards,
+        users: shards * 160,
+        concurrency: (shards * 2).clamp(16, 128),
+        actions: actions_per_shard * shards as u64,
+        ..Default::default()
+    }
+}
+
+/// E21 — the sharded many-guardian world at scale (§2.1's "many guardians",
+/// stressed the way §5.3 sizes real systems).
+///
+/// The partitioned banking/airline mix runs on worlds of 4 → 64 → 256 shard
+/// guardians with zipfian user populations into the tens of thousands, on
+/// every log organization. The simulator has one global clock, so elapsed
+/// simulated time is the *total* device work — commits/s of simulated time
+/// therefore measures per-commit cost, and the claim is that it carries no
+/// O(G) term: it stays flat as the guardian count grows 64×, as does the
+/// world scheduler's work per committed action (`polls/commit` — the
+/// O(active), not O(G), step), while 2PC coordination spreads across every
+/// shard (`coord shards` ≈ all of them).
+pub fn e21_sharded_scaling(shards: &[usize], actions_per_shard: u64) -> Table {
+    let mut table = Table::new(
+        "E21",
+        "Sharded many-guardian scaling: committed actions/s of simulated time (zipfian users, 2PC blocking mix)",
+        "claim: per-commit cost is independent of world size — commits/s and scheduler polls/commit stay flat as guardians grow 4 -> 256 — while 2PC coordination spreads across every shard",
+    );
+    table.header(vec![
+        "organization".into(),
+        "shards".into(),
+        "users".into(),
+        "commits/s".into(),
+        "cross-shard".into(),
+        "abort rate".into(),
+        "p99 µs".into(),
+        "coord shards".into(),
+        "coord skew".into(),
+        "polls/commit".into(),
+    ]);
+    for kind in KINDS {
+        for &shards in shards {
+            let cfg = e21_config(shards, actions_per_shard);
+            let perf = sharded_perf(kind, cfg);
+            table.row(vec![
+                kind_name(kind).into(),
+                shards.to_string(),
+                cfg.users.to_string(),
+                format!("{:.1}", perf.commits_per_s),
+                perf.cross_shard.to_string(),
+                format!("{:.1}%", perf.abort_rate * 100.0),
+                perf.p99_us.to_string(),
+                format!("{}/{}", perf.coordinating_shards, shards),
+                format!("{:.2}", perf.coordinator_skew),
+                format!("{:.2}", perf.polls_per_commit),
+            ]);
         }
     }
     table

@@ -1106,6 +1106,24 @@ mod tests {
     }
 
     #[test]
+    fn eight_participant_exploration_is_clean() {
+        // Sharded-world scale: a coordinator fanning out to 8 participants
+        // (the E21 world's typical cross-shard spread) with a crash budget.
+        // The state cap bounds the run; hitting it is coverage, not failure.
+        let cfg = ExploreConfig {
+            participants: 8,
+            max_crashes: 1,
+            max_drops: 0,
+            max_states: 150_000,
+            allow_refusal: true,
+            eager_restarts: false,
+        };
+        let report = Explorer::new(cfg).run();
+        report.assert_ok();
+        assert!(report.stats.terminal_states > 0);
+    }
+
+    #[test]
     fn refusal_schedules_abort_cleanly() {
         let cfg = ExploreConfig {
             participants: 2,

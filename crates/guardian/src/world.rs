@@ -13,7 +13,8 @@ use argus_sim::{CostModel, SimClock};
 use argus_slog::ForceConfig;
 use argus_stable::{CacheConfig, FaultPlan};
 use argus_twopc::{CoordEffect, Coordinator, Envelope, Msg, PartEffect, Participant};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 
 /// Storage-performance knobs shared by every guardian the world spawns.
 ///
@@ -165,6 +166,15 @@ pub struct World {
     /// Simulated time each live action began, consumed when the action
     /// resolves to record its end-to-end trace span.
     begin_ts: HashMap<ActionId, u64>,
+    /// Guardians holding a non-empty staged batch, maintained at every
+    /// staging site so the message loop's idle flush visits only guardians
+    /// with work — never the whole world.
+    staged_ready: BTreeSet<GuardianId>,
+    /// Min-heap of `(force deadline, guardian)` for open staged batches.
+    /// Entries are lazily invalidated: a popped guardian whose batch
+    /// already flushed (or whose current batch has a later deadline) is
+    /// skipped after an O(1) check.
+    force_due: BinaryHeap<Reverse<(u64, GuardianId)>>,
 }
 
 /// The trace key for an action: the id, decomposed so every crate stamps
@@ -214,6 +224,8 @@ impl World {
             begin_order: HashMap::new(),
             next_begin: 0,
             begin_ts: HashMap::new(),
+            staged_ready: BTreeSet::new(),
+            force_due: BinaryHeap::new(),
         }
     }
 
@@ -560,38 +572,51 @@ impl World {
         Ok(CcOutcome::Parked)
     }
 
-    /// Rebuilds the wait-for graph and, if the just-parked request closed a
-    /// cycle, aborts the youngest cycle member. Checking only from the new
-    /// waiter is sound: grants never add edges, so every cycle passes
-    /// through the most recent parker.
+    /// Rebuilds the wait-for graph and, while the just-parked request
+    /// closes a cycle, aborts the youngest member of each. Checking only
+    /// from the new waiter is sound: grants never add edges, so every cycle
+    /// passes through the most recent parker. One park can close *several*
+    /// cycles at once (the parker's new edges fan out to different
+    /// queues), and aborting one victim only breaks the cycles it was on —
+    /// hence the loop, which re-checks until no cycle through the parker
+    /// remains. Breaking only the first was a real livelock at scale: in
+    /// 8-shard worlds a park that closed two cycles left the second one
+    /// undetected forever, stalling every slot.
     fn cc_detect_deadlock(&mut self, start: ActionId) {
-        let holders = self.cc_holder_snapshot();
-        let graph = self.cc.wait_for_edges(&holders);
-        let Some(cycle) = graph.cycle_through(start) else {
-            return;
-        };
-        self.obs.inc("cc.deadlocks");
-        let victim = cycle
-            .iter()
-            .copied()
-            .filter(|a| !self.in_two_phase_commit(*a))
-            .max_by_key(|a| self.begin_order.get(a).copied().unwrap_or(0))
-            .unwrap_or(start);
-        self.obs.inc("cc.victims");
-        self.obs.event(argus_obs::Event::DeadlockVictim {
-            victim_seq: victim.seq,
-            cycle_len: cycle.len() as u64,
-        });
-        self.tracer.instant(
-            "cc",
-            "deadlock_victim",
-            victim.coordinator.0,
-            Some(tkey(victim)),
-            &[("cycle_len", cycle.len() as u64)],
-        );
-        self.cc_deadlocks.push(DeadlockReport { cycle, victim });
-        self.cc_fates.insert(victim, CcFate::Victim);
-        self.abort_local(victim);
+        loop {
+            let holders = self.cc_holder_snapshot();
+            let graph = self.cc.wait_for_edges(&holders);
+            let Some(cycle) = graph.cycle_through(start) else {
+                return;
+            };
+            self.obs.inc("cc.deadlocks");
+            let victim = cycle
+                .iter()
+                .copied()
+                .filter(|a| !self.in_two_phase_commit(*a))
+                .max_by_key(|a| self.begin_order.get(a).copied().unwrap_or(0))
+                .unwrap_or(start);
+            self.obs.inc("cc.victims");
+            self.obs.event(argus_obs::Event::DeadlockVictim {
+                victim_seq: victim.seq,
+                cycle_len: cycle.len() as u64,
+            });
+            self.tracer.instant(
+                "cc",
+                "deadlock_victim",
+                victim.coordinator.0,
+                Some(tkey(victim)),
+                &[("cycle_len", cycle.len() as u64)],
+            );
+            self.cc_deadlocks.push(DeadlockReport { cycle, victim });
+            self.cc_fates.insert(victim, CcFate::Victim);
+            self.abort_local(victim);
+            // The parker itself was the victim: its request is gone, and
+            // with it every remaining cycle through it.
+            if victim == start || !self.cc.is_blocked(start) {
+                return;
+            }
+        }
     }
 
     fn cc_holder_snapshot(&self) -> BTreeMap<ObjKey, LockHolders> {
@@ -610,10 +635,25 @@ impl World {
         out
     }
 
+    /// Whether `aid` has entered two-phase commit anywhere. A coordinator
+    /// can only live at the action's origin and participants only at
+    /// guardians the action touched, so checking that set — not every
+    /// guardian in the world — is exhaustive.
     fn in_two_phase_commit(&self, aid: ActionId) -> bool {
-        self.guardians
-            .values()
-            .any(|gu| gu.participants.contains_key(&aid) || gu.coordinators.contains_key(&aid))
+        let engaged = |g: &GuardianId| {
+            self.guardians.get(g).is_some_and(|gu| {
+                gu.participants.contains_key(&aid) || gu.coordinators.contains_key(&aid)
+            })
+        };
+        engaged(&aid.coordinator)
+            || self
+                .touched
+                .get(&aid)
+                .is_some_and(|gids| gids.iter().any(engaged))
+            || self
+                .touched_read
+                .get(&aid)
+                .is_some_and(|gids| gids.iter().any(engaged))
     }
 
     /// Grants every front waiter whose heap lock is now acquirable, runs the
@@ -797,8 +837,8 @@ impl World {
         self.cc.cancel(aid);
         let mut touched = self.touched.remove(&aid).unwrap_or_default();
         touched.extend(self.touched_read.remove(&aid).unwrap_or_default());
-        for g in touched {
-            if let Some(guardian) = self.guardians.get_mut(&g) {
+        for g in &touched {
+            if let Some(guardian) = self.guardians.get_mut(g) {
                 guardian.heap.abort_action(aid);
                 guardian.mos.remove(&aid);
                 guardian.known.remove(&aid);
@@ -806,7 +846,12 @@ impl World {
             }
         }
         if cfg!(debug_assertions) {
-            for (g, guardian) in &self.guardians {
+            // Locks are only ever taken at touched guardians, so the
+            // leak check need not visit the rest of the world.
+            for g in &touched {
+                let Some(guardian) = self.guardians.get(g) else {
+                    continue;
+                };
                 let held = guardian.heap.locks_held_by(aid);
                 debug_assert!(
                     held.is_empty(),
@@ -854,6 +899,13 @@ impl World {
     /// to quiescence.
     pub fn commit(&mut self, aid: ActionId) -> WorldResult<Outcome> {
         let timer = self.obs.phase("twopc.commit_round_us");
+        // Capture the participant set up front: the coordinator clears the
+        // touched maps when the action finishes.
+        let mut hk_gids: BTreeSet<GuardianId> = self.touched.get(&aid).cloned().unwrap_or_default();
+        if let Some(readers) = self.touched_read.get(&aid) {
+            hk_gids.extend(readers.iter().copied());
+        }
+        hk_gids.insert(aid.coordinator);
         let outcome = self.commit_inner(aid)?;
         timer.stop();
         self.obs.inc(match outcome {
@@ -862,9 +914,10 @@ impl World {
             Outcome::Pending => "world.pending",
         });
         // Apply any automatic housekeeping policies now that the log grew
-        // ("as frequently as needed", ch. 5).
-        let gids: Vec<GuardianId> = self.guardians.keys().copied().collect();
-        for g in gids {
+        // ("as frequently as needed", ch. 5). Only this action's
+        // participants appended records; every guardian's log growth is
+        // checked at a commit it takes part in.
+        for g in hk_gids {
             self.maybe_housekeep(g)?;
         }
         Ok(outcome)
@@ -955,6 +1008,7 @@ impl World {
             guardian.staged.clear();
             guardian.force_sched.flushed();
         }
+        self.staged_ready.remove(&g);
         self.net.mark_down(g);
         // Requests parked on objects in the crashed heap are moot: the
         // volatile heap (locks included) is gone. Abort the waiting actions
@@ -1077,6 +1131,9 @@ impl World {
         arm_ops: Option<u64>,
     ) -> WorldResult<Option<RecoveryOutcome>> {
         let timer = self.obs.phase("world.restart_us");
+        // The crash already cleared the staged batch; drop any stale ready
+        // marker before recovery repopulates the world's view of `g`.
+        self.staged_ready.remove(&g);
         let tracer = self.tracer.clone();
         // Begin/End (not retroactive Complete) is safe here: every exit
         // path drops the guard, including the crash-in-recovery returns.
@@ -1230,31 +1287,69 @@ impl World {
         }
     }
 
+    /// Records that `g` just staged a log entry: the guardian joins the
+    /// ready set, and its batch's force deadline enters the min-deadline
+    /// heap (staging time, if the batch is already due — e.g. it just
+    /// filled up). Keeping both structures current here is what lets the
+    /// message loop poll in O(log n) of the *staged* guardians instead of
+    /// scanning the whole world per delivery.
+    fn note_staged_batch(&mut self, g: GuardianId) {
+        let Some(guardian) = self.guardians.get(&g) else {
+            return;
+        };
+        let now = self.clock.now();
+        let due_at = if guardian.force_sched.due(now) {
+            now
+        } else {
+            guardian.force_sched.deadline().unwrap_or(now)
+        };
+        self.staged_ready.insert(g);
+        self.force_due.push(Reverse((due_at, g)));
+    }
+
     /// Forces the staged batch of every up guardian whose scheduler says
     /// the batch is due (full, or window expired on the simulated clock).
+    ///
+    /// Pops only heap entries whose deadline has passed; each pop is one
+    /// `world.sched.polls` tick, so per-delivery work is proportional to
+    /// guardians with due batches — not to the size of the world.
     fn flush_due_forces(&mut self) -> WorldResult<()> {
         let now = self.clock.now();
-        let due: Vec<GuardianId> = self
-            .guardians
-            .iter()
-            .filter(|(_, gu)| gu.up && gu.force_sched.due(now))
-            .map(|(g, _)| *g)
-            .collect();
-        for g in due {
-            self.flush_staged(g)?;
+        while let Some(&Reverse((at, g))) = self.force_due.peek() {
+            if at > now {
+                break;
+            }
+            self.force_due.pop();
+            self.obs.inc("world.sched.polls");
+            let due = self
+                .guardians
+                .get(&g)
+                .map(|gu| gu.up && gu.force_sched.due(now))
+                .unwrap_or(false);
+            if due {
+                self.flush_staged(g)?;
+            }
         }
         Ok(())
     }
 
     /// Forces every non-empty staged batch; returns whether any force ran
-    /// (and hence new messages may be in flight).
+    /// (and hence new messages may be in flight). Visits the ready set, not
+    /// every guardian.
     fn flush_all_staged(&mut self) -> WorldResult<bool> {
         let pending: Vec<GuardianId> = self
-            .guardians
+            .staged_ready
             .iter()
-            .filter(|(_, gu)| gu.up && !gu.staged.is_empty())
-            .map(|(g, _)| *g)
+            .copied()
+            .filter(|g| {
+                self.guardians
+                    .get(g)
+                    .map(|gu| gu.up && !gu.staged.is_empty())
+                    .unwrap_or(false)
+            })
             .collect();
+        self.obs
+            .add("world.sched.polls", self.staged_ready.len() as u64);
         let any = !pending.is_empty();
         for g in pending {
             self.flush_staged(g)?;
@@ -1281,7 +1376,9 @@ impl World {
         let batch = guardian.force_sched.batch_id();
         guardian.force_sched.flushed();
         let force_t0 = self.clock.now();
-        match guardian.rs.force_staged() {
+        let force = guardian.rs.force_staged();
+        self.staged_ready.remove(&g);
+        match force {
             Ok(()) => {}
             Err(e) if e.is_crash() => {
                 // The batch died with the volatile buffer: no spans — the
@@ -1489,10 +1586,12 @@ impl World {
                         .get(&aid)
                         .map(|c| c.participants.clone())
                         .unwrap_or_default();
+                    let mut staged_now = false;
                     match guardian.rs.stage_committing(aid, &gids) {
                         Ok(true) => {
                             guardian.staged.push((StagedOp::Committing(aid), now));
                             guardian.force_sched.note_staged(now);
+                            staged_now = true;
                         }
                         Ok(false) => {
                             let more = guardian
@@ -1508,16 +1607,21 @@ impl World {
                         }
                         Err(e) => return Err(e.into()),
                     }
+                    if staged_now {
+                        self.note_staged_batch(g);
+                    }
                     self.tracer
                         .complete("twopc", "committing", g.0, Some(tkey(aid)), now, &[]);
                 }
                 CoordEffect::ForceDone => {
                     let now = self.clock.now();
                     let guardian = self.guardian_mut(g)?;
+                    let mut staged_now = false;
                     match guardian.rs.stage_done(aid) {
                         Ok(true) => {
                             guardian.staged.push((StagedOp::Done(aid), now));
                             guardian.force_sched.note_staged(now);
+                            staged_now = true;
                         }
                         Ok(false) => {
                             let more = guardian
@@ -1532,6 +1636,9 @@ impl World {
                             return Ok(());
                         }
                         Err(e) => return Err(e.into()),
+                    }
+                    if staged_now {
+                        self.note_staged_batch(g);
                     }
                     self.tracer
                         .complete("twopc", "done", g.0, Some(tkey(aid)), now, &[]);
@@ -1587,10 +1694,12 @@ impl World {
                         participants,
                         ..
                     } = guardian;
+                    let mut staged_now = false;
                     match rs.stage_prepare(aid, &mos, heap) {
                         Ok(true) => {
                             staged.push((StagedOp::Prepare(aid), now));
                             force_sched.note_staged(now);
+                            staged_now = true;
                         }
                         Ok(false) => {
                             let more = participants
@@ -1611,6 +1720,9 @@ impl World {
                             queue.extend(more);
                         }
                     }
+                    if staged_now {
+                        self.note_staged_batch(g);
+                    }
                     self.tracer
                         .complete("twopc", "prepare", g.0, Some(tkey(aid)), now, &[]);
                 }
@@ -1618,10 +1730,12 @@ impl World {
                     let _timer = self.obs.phase("twopc.commit_us");
                     let now = self.clock.now();
                     let guardian = self.guardian_mut(g)?;
+                    let mut staged_now = false;
                     match guardian.rs.stage_commit(aid) {
                         Ok(true) => {
                             guardian.staged.push((StagedOp::Commit(aid), now));
                             guardian.force_sched.note_staged(now);
+                            staged_now = true;
                         }
                         Ok(false) => {
                             guardian.heap.commit_action(aid);
@@ -1639,6 +1753,9 @@ impl World {
                         }
                         Err(e) => return Err(e.into()),
                     }
+                    if staged_now {
+                        self.note_staged_batch(g);
+                    }
                     self.tracer
                         .complete("twopc", "commit", g.0, Some(tkey(aid)), now, &[]);
                 }
@@ -1646,10 +1763,12 @@ impl World {
                     let _timer = self.obs.phase("twopc.abort_us");
                     let now = self.clock.now();
                     let guardian = self.guardian_mut(g)?;
+                    let mut staged_now = false;
                     match guardian.rs.stage_abort(aid) {
                         Ok(true) => {
                             guardian.staged.push((StagedOp::Abort(aid), now));
                             guardian.force_sched.note_staged(now);
+                            staged_now = true;
                         }
                         Ok(false) => {
                             guardian.heap.abort_action(aid);
@@ -1666,6 +1785,9 @@ impl World {
                             return Ok(());
                         }
                         Err(e) => return Err(e.into()),
+                    }
+                    if staged_now {
+                        self.note_staged_batch(g);
                     }
                     self.tracer
                         .complete("twopc", "abort", g.0, Some(tkey(aid)), now, &[]);

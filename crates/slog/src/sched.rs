@@ -100,6 +100,14 @@ impl ForceScheduler {
         self.pending
     }
 
+    /// The simulated time at which the open batch's window expires (the
+    /// oldest staged entry's staging time plus the window), or `None` when
+    /// nothing is staged. A full batch is due before its deadline — check
+    /// [`ForceScheduler::due`] at staging time for that case.
+    pub fn deadline(&self) -> Option<u64> {
+        self.opened_at.map(|t| t + self.cfg.window_us)
+    }
+
     /// Whether a force should be issued now: the batch is full, or the
     /// oldest staged entry has waited at least the window.
     pub fn due(&self, now: u64) -> bool {
@@ -184,6 +192,20 @@ mod tests {
         s.flushed();
         assert_eq!(s.pending(), 0);
         assert!(!s.due(u64::MAX));
+    }
+
+    #[test]
+    fn deadline_tracks_the_oldest_entry() {
+        let mut s = ForceScheduler::new(ForceConfig {
+            window_us: 500,
+            max_batch: 64,
+        });
+        assert_eq!(s.deadline(), None);
+        s.note_staged(1_000);
+        s.note_staged(1_400); // newer entry must not move the deadline
+        assert_eq!(s.deadline(), Some(1_500));
+        s.flushed();
+        assert_eq!(s.deadline(), None);
     }
 
     #[test]

@@ -61,9 +61,24 @@ pub struct Coordinator {
 }
 
 impl Coordinator {
-    /// Creates a coordinator about to run the preparing phase.
+    /// Sorts and dedups a participant list. A guardian an action both read
+    /// and wrote at must take part in the protocol exactly once: a
+    /// duplicate entry would mean duplicate prepare/commit/abort sends
+    /// every round (the `waiting` set would still settle, hiding the
+    /// waste), so the constructors normalize deterministically rather than
+    /// trusting every caller to.
+    fn normalize(mut participants: Vec<GuardianId>) -> Vec<GuardianId> {
+        participants.sort_unstable();
+        participants.dedup();
+        participants
+    }
+
+    /// Creates a coordinator about to run the preparing phase. The
+    /// participant list is deduplicated and sorted: each guardian joins the
+    /// protocol once, however many roles it played in the action.
     pub fn new(aid: ActionId, participants: Vec<GuardianId>) -> Self {
         argus_obs::current().inc("twopc.coord.started");
+        let participants = Self::normalize(participants);
         let waiting = participants.iter().copied().collect();
         Self {
             aid,
@@ -74,12 +89,14 @@ impl Coordinator {
     }
 
     /// Resumes a coordinator from a recovered `committing` CT entry: phase
-    /// two restarts by re-sending commit messages (§2.2.3).
+    /// two restarts by re-sending commit messages (§2.2.3). The recovered
+    /// participant list is normalized like [`Coordinator::new`]'s.
     pub fn resume_committing(
         aid: ActionId,
         participants: Vec<GuardianId>,
     ) -> (Self, Vec<CoordEffect>) {
         argus_obs::current().inc("twopc.coord.resumed");
+        let participants = Self::normalize(participants);
         let waiting: BTreeSet<GuardianId> = participants.iter().copied().collect();
         let coord = Self {
             aid,
@@ -335,6 +352,24 @@ mod tests {
         assert!(c.on_msg(gid(0), &Msg::PrepareOk { aid: aid() }).is_empty());
         let effects = c.on_msg(gid(1), &Msg::PrepareOk { aid: aid() });
         assert_eq!(effects, vec![CoordEffect::ForceCommitting]);
+    }
+
+    #[test]
+    fn duplicate_participants_are_deduped() {
+        // A read+write-same-guardian action hands the constructor the same
+        // id twice; the protocol must run it as one participant — exactly
+        // one prepare out, one vote back tips the commit.
+        let mut c = Coordinator::new(aid(), vec![gid(1), gid(0), gid(1)]);
+        assert_eq!(c.participants, vec![gid(0), gid(1)]);
+        assert_eq!(c.start().len(), 2);
+        c.on_msg(gid(0), &Msg::PrepareOk { aid: aid() });
+        let effects = c.on_msg(gid(1), &Msg::PrepareOk { aid: aid() });
+        assert_eq!(effects, vec![CoordEffect::ForceCommitting]);
+        assert_eq!(commit_sends(&c.committing_forced()), 2);
+
+        let (c, effects) = Coordinator::resume_committing(aid(), vec![gid(2), gid(2), gid(0)]);
+        assert_eq!(c.participants, vec![gid(0), gid(2)]);
+        assert_eq!(commit_sends(&effects), 2);
     }
 
     #[test]

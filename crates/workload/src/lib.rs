@@ -21,15 +21,25 @@
 //!   ordering), driven by a deterministic slot scheduler with seeded
 //!   backoff retry — the workload behind experiment E14.
 //!
+//! And one scale mix for many-guardian worlds:
+//!
+//! * [`Sharded`] — [`Contended`] generalized to a partitioned object space
+//!   across 64–1024 shard guardians: a zipfian population of simulated
+//!   users with O(1) home-shard routing issues cross-shard transfer /
+//!   airline-reservation actions, spreading two-phase-commit coordination
+//!   across every shard — the workload behind experiment E21.
+//!
 //! All generators draw exclusively from [`argus_sim::DetRng`], so a seed
 //! pins down a run exactly.
 
 mod banking;
 mod contended;
 mod reservations;
+mod sharded;
 mod synth;
 
 pub use banking::{Banking, BankingConfig, BankingStats};
 pub use contended::{Contended, ContendedConfig, ContendedStats};
 pub use reservations::{Reservations, ReservationsConfig, ReservationsStats};
+pub use sharded::{Sharded, ShardedConfig, ShardedStats};
 pub use synth::{Synth, SynthConfig};

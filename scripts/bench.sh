@@ -2,7 +2,7 @@
 # Benchmark driver: regenerates the headline experiment tables and writes
 # machine-readable artifacts (BENCH_<id>.json) for tracking across commits.
 #
-#   scripts/bench.sh             # E1 E2 E12-E20 -> BENCH_*.json in repo root
+#   scripts/bench.sh             # E1 E2 E12-E21 -> BENCH_*.json in repo root
 #   scripts/bench.sh OUTDIR      # artifacts under OUTDIR instead
 #   scripts/bench.sh OUTDIR E12  # subset of experiments
 #
@@ -18,7 +18,7 @@ outdir="${1:-.}"
 shift || true
 experiments=("$@")
 if [[ ${#experiments[@]} -eq 0 ]]; then
-    experiments=(E1 E2 E12 E13 E14 E15 E16 E17 E18 E19 E20)
+    experiments=(E1 E2 E12 E13 E14 E15 E16 E17 E18 E19 E20 E21)
 fi
 
 mkdir -p "$outdir"

@@ -6,6 +6,7 @@
 #   scripts/verify.sh --sweep  # + bounded deterministic crash-schedule sweep
 #   scripts/verify.sh --trace  # + trace selftest (determinism, I12, flight)
 #   scripts/verify.sh --vopr   # + seeded fault-composition batch + selftest
+#   scripts/verify.sh --scale  # + 64-shard sharded-world smoke + many-guardian vopr
 #   scripts/verify.sh --wall   # + wall-clock file-backed bench smoke (E18/E19)
 #
 # The workspace has zero external dependencies, so --offline is enforced —
@@ -63,6 +64,20 @@ if [[ "${1:-}" == "--vopr" || "${1:-}" == "--full" ]]; then
             vopr --seed 1 --seeds 16 --iterations 64 --kind "$kind"
     done
     run cargo run -q --release --offline --bin argus-lint -- vopr --selftest
+fi
+
+# Scale tier: the sharded many-guardian world. The 64-shard zipfian
+# cross-shard mix must complete on every log organization, conserve its
+# oracles (total balance; seats vs. committed reservations), and quiesce
+# clean under the full I1–I12 lint on every shard's log — then the VOPR
+# composes its fault schedules on 8- and 16-guardian worlds instead of the
+# default 3.
+if [[ "${1:-}" == "--scale" || "${1:-}" == "--full" ]]; then
+    run cargo run -q --release --offline -p argus-bench --bin experiments -- --scale-smoke
+    run cargo run -q --release --offline --bin argus-lint -- \
+        vopr --seed 1 --seeds 8 --iterations 64 --guardians 8
+    run cargo run -q --release --offline --bin argus-lint -- \
+        vopr --seed 9 --seeds 4 --iterations 64 --guardians 16
 fi
 
 # Wall tier: the group-commit claim against a real file with real fsyncs

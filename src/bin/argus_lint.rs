@@ -13,6 +13,7 @@
 //!
 //! cargo run --release --bin argus-lint -- vopr --seed 7 --iterations 96
 //! cargo run --release --bin argus-lint -- vopr --seeds 32 --kind shadow
+//! cargo run --release --bin argus-lint -- vopr --seeds 8 --guardians 16
 //! cargo run --release --bin argus-lint -- vopr --selftest
 //!
 //! cargo run --release --bin argus-lint -- trace --seed 7 --out trace.json
@@ -69,6 +70,7 @@ fn run_vopr(args: &[String]) {
     let mut iterations = 96u64;
     let mut seeds = 1u64;
     let mut kind = RsKind::Hybrid;
+    let mut guardians = 3u32;
     let mut selftest = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -78,6 +80,13 @@ fn run_vopr(args: &[String]) {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--guardians" => {
+                guardians = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 2)
+                    .unwrap_or_else(|| usage("--guardians needs an integer >= 2"));
             }
             "--iterations" => {
                 iterations = it
@@ -114,6 +123,7 @@ fn run_vopr(args: &[String]) {
         // it, replay it identically, and dump the schedule.
         let mut cfg = VoprConfig::new(seed, iterations.min(32));
         cfg.kind = kind;
+        cfg.guardians = guardians;
         cfg.break_oracle = true;
         let a = argus::check::vopr(&cfg);
         let b = argus::check::vopr(&cfg);
@@ -156,6 +166,7 @@ fn run_vopr(args: &[String]) {
     for s in seed..seed + seeds {
         let mut cfg = VoprConfig::new(s, iterations);
         cfg.kind = kind;
+        cfg.guardians = guardians;
         let summary = argus::check::vopr(&cfg);
         println!("{summary}");
         for p in &summary.flight {
@@ -367,7 +378,7 @@ fn usage(problem: &str) -> ! {
     eprintln!(
         "{problem}\nusage: argus-lint [<store path>]\n       \
          argus-lint sweep [--double] [--stride N] [--max N] [--kind simple|hybrid|shadow|redo]\n       \
-         argus-lint vopr [--seed N] [--iterations M] [--seeds K] \
+         argus-lint vopr [--seed N] [--iterations M] [--seeds K] [--guardians G] \
          [--kind simple|hybrid|shadow|redo] [--selftest]\n       \
          argus-lint trace [--seed N] [--out PATH] [--selftest]"
     );

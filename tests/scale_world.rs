@@ -1,0 +1,134 @@
+//! The sharded many-guardian world at scale: a 64-shard zipfian
+//! cross-shard mix that must quiesce clean under the full I1–I12 lint, plus
+//! the two regression tests for the O(G) world-step bugs this world
+//! surfaced — scheduler work must track *active* guardians, not the world's
+//! size, and a participant that both reads and writes at one guardian must
+//! get exactly one prepare.
+
+mod common;
+
+use argus::cc::CcPolicy;
+use argus::guardian::{Outcome, RsKind, World, WorldConfig};
+use argus::objects::Value;
+use argus::obs::Registry;
+use argus::sim::{CostModel, DetRng};
+use argus::workload::{Sharded, ShardedConfig};
+
+/// The `--scale` tier's smoke, in test form: 64 shard guardians, 10k+
+/// zipfian users, the cross-shard transfer/reservation mix, then quiesce
+/// and hold the whole world to the invariant catalogue — I1–I10 on every
+/// shard's log, I11 heap quiescence on every shard, I12 trace consistency —
+/// plus the mix's legal-outcomes oracle (conserved balance; seats account
+/// exactly for the committed reservations).
+#[test]
+fn sixty_four_shard_mix_quiesces_clean_under_full_lint() {
+    let reg = Registry::new();
+    let _scope = reg.enter();
+    let mut world = World::with_config(CostModel::fast(), WorldConfig::with_cc(CcPolicy::Blocking));
+    let cfg = ShardedConfig {
+        shards: 64,
+        users: 10_240,
+        concurrency: 64,
+        actions: 384,
+        ..Default::default()
+    };
+    let mix = Sharded::setup(&mut world, RsKind::Hybrid, cfg).unwrap();
+    let mut rng = DetRng::new(64);
+    let stats = mix.run(&mut world, &mut rng).unwrap();
+    assert_eq!(stats.committed, cfg.actions);
+    assert!(stats.cross_shard > 0, "no distributed 2PC ran");
+    assert!(
+        stats.coordinating_shards() >= cfg.shards / 2,
+        "coordination piled up: {:?}",
+        stats.per_shard_commits
+    );
+    assert_eq!(mix.total_balance(&world).unwrap(), mix.expected_total());
+    assert_eq!(mix.total_seats(&world).unwrap(), mix.expected_seats(&stats));
+    world.run_until_quiet().unwrap();
+    common::lint_world(&mut world);
+}
+
+/// Runs the same 8-shard mix in a world padded with `idle` extra guardians
+/// that never see an action, and reports the world scheduler's poll count.
+fn sched_polls_with_idle_guardians(idle: usize) -> u64 {
+    let reg = Registry::new();
+    {
+        let _scope = reg.enter();
+        let mut world =
+            World::with_config(CostModel::fast(), WorldConfig::with_cc(CcPolicy::Blocking));
+        let cfg = ShardedConfig {
+            shards: 8,
+            actions: 128,
+            ..Default::default()
+        };
+        let mix = Sharded::setup(&mut world, RsKind::Hybrid, cfg).unwrap();
+        for _ in 0..idle {
+            world.add_guardian(RsKind::Hybrid).unwrap();
+        }
+        let mut rng = DetRng::new(5);
+        let stats = mix.run(&mut world, &mut rng).unwrap();
+        assert_eq!(stats.committed, cfg.actions);
+        world.run_until_quiet().unwrap();
+        reg.counter("world.sched.polls").get()
+    }
+}
+
+/// Regression for the O(G) world-step scans: `run_until_quiet` used to
+/// rebuild its staged/force view by walking every guardian on every step,
+/// so an identical workload did G× more work in a bigger world. The
+/// scheduler now keeps a ready set and a force-deadline heap, so padding
+/// the world from 8 to 256 guardians must not change its poll count at all.
+#[test]
+fn world_step_work_tracks_active_not_total_guardians() {
+    let small = sched_polls_with_idle_guardians(0);
+    let big = sched_polls_with_idle_guardians(248);
+    assert!(small > 0, "the mix never staged a group-commit batch");
+    assert_eq!(
+        small, big,
+        "scheduler polls grew with idle guardians: {small} at 8 guardians, {big} at 256"
+    );
+}
+
+/// Regression for duplicate participant entries: an action that both reads
+/// and writes at the same remote guardian must engage it as *one*
+/// participant — exactly one prepare per guardian, and a pinned 2PC message
+/// count (prepare + vote for the remote, nothing duplicated).
+#[test]
+fn read_and_write_at_one_guardian_prepares_it_once() {
+    let reg = Registry::new();
+    let _scope = reg.enter();
+    let mut world = World::fast();
+    let coord = world.add_guardian(RsKind::Hybrid).unwrap();
+    let remote = world.add_guardian(RsKind::Hybrid).unwrap();
+
+    let setup = world.begin(remote).unwrap();
+    let h = world.create_atomic(remote, setup, Value::Int(1)).unwrap();
+    assert_eq!(world.commit(setup).unwrap(), Outcome::Committed);
+
+    let delivered_before = world.network().delivered();
+    let prepares_before = reg.counter("twopc.part.prepares").get();
+    let aid = world.begin(coord).unwrap();
+    // Read then write the same remote object: the guardian lands in both
+    // the touched-read and touched sets.
+    assert_eq!(world.read(remote, aid, h).unwrap(), Value::Int(1));
+    world
+        .write_atomic(remote, aid, h, |v| {
+            if let Value::Int(n) = v {
+                *n += 1;
+            }
+        })
+        .unwrap();
+    assert_eq!(world.commit(aid).unwrap(), Outcome::Committed);
+
+    // One prepare per participant: the coordinator's own plus the remote's.
+    assert_eq!(
+        reg.counter("twopc.part.prepares").get() - prepares_before,
+        2,
+        "a read+write participant was prepared more than once"
+    );
+    // Each participant's conversation is exactly prepare → vote → commit →
+    // ack (the coordinator mails itself through the network like anyone
+    // else), so two participants pin eight deliveries; a duplicated
+    // participant entry would add four more.
+    assert_eq!(world.network().delivered() - delivered_before, 8);
+}

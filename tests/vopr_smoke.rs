@@ -52,6 +52,38 @@ fn smoke_batch_is_clean_and_composes_every_fault() {
     assert_eq!(reg.counter("vopr.violations").get(), 0);
 }
 
+/// The explorer at sharded-world scale: 8- and 16-guardian worlds under
+/// the full fault composition, across the organizations. The 3-guardian
+/// default had left multi-guardian code paths (coordinator fan-out,
+/// partition healing, many-participant 2PC) underexplored — this is the
+/// world size that exposed the multi-cycle deadlock-detection bug the
+/// sharded workload found.
+#[test]
+fn many_guardian_worlds_stay_clean() {
+    let reg = argus::obs::Registry::new();
+    let _scope = reg.enter();
+    let mut tally = FaultTally::default();
+    for (guardians, seeds) in [(8u32, 1..=8u64), (16, 9..=12)] {
+        for seed in seeds {
+            let mut cfg = VoprConfig::new(seed, 48);
+            cfg.guardians = guardians;
+            cfg.kind = match seed % 4 {
+                0 => RsKind::Simple,
+                1 => RsKind::Hybrid,
+                2 => RsKind::Shadow,
+                _ => RsKind::Redo,
+            };
+            let summary = vopr(&cfg);
+            summary.assert_clean();
+            tally.absorb(&summary.faults);
+        }
+    }
+    assert!(
+        tally.all_kinds_fired(),
+        "some fault kind never fired across the many-guardian batch: {tally}"
+    );
+}
+
 /// The replay contract: the same seed reproduces the same summary line,
 /// byte for byte, for each organization.
 #[test]
